@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Section 5.7: compression break-even.  PIM and ISC may hold
+ * data compressed in storage, shrinking their operand movement; ParaBit
+ * must store operands uncompressed (the latch circuit computes on raw
+ * pages).  The paper reports that, for segmentation with 200K images,
+ * ParaBit-LocFree breaks even with PIM when data compresses to 30.1% or
+ * lower, while for the bitmap workload LocFree always wins because its
+ * total time undercuts even PIM's pure compute time.
+ */
+
+#include "baselines/ambit.hpp"
+#include "baselines/interconnect.hpp"
+#include "baselines/pipeline.hpp"
+#include "bench/common/report.hpp"
+#include "parabit/cost_model.hpp"
+#include "workloads/bitmap_index.hpp"
+#include "workloads/segmentation.hpp"
+
+namespace {
+
+using namespace parabit;
+namespace bl = parabit::baselines;
+using core::Mode;
+
+/**
+ * PIM time when operands are stored compressed to @p ratio: operand
+ * movement plus compute.  Result movement is excluded on both sides of
+ * the comparison, following the paper's Fig 4 methodology (it affects
+ * both schemes identically for this workload).
+ */
+double
+pimTotalWithCompression(const bl::PimPipeline &pim, bl::BulkWork w,
+                        double ratio)
+{
+    w.bytesIn = static_cast<Bytes>(static_cast<double>(w.bytesIn) * ratio);
+    w.bytesOut = 0;
+    w.writebackBytes = 0;
+    return pim.run(w).totalSec;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 5.7: compression break-even vs PIM");
+
+    bl::PimPipeline pim{bl::AmbitModel{}, bl::Interconnect{}};
+    core::CostModel cm(ssd::SsdConfig::paperSsd());
+    bl::Interconnect link;
+
+    {
+        workloads::SegmentationWorkload seg(800, 600);
+        bl::BulkWork w = seg.work(200'000);
+        const double locfree =
+            bl::ParaBitPipeline(cm, link, Mode::kLocationFree, true).run(w)
+                .totalSec;
+
+        // Find the compression ratio where PIM's total equals LocFree's.
+        double lo = 0.0, hi = 1.0;
+        for (int it = 0; it < 100; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (pimTotalWithCompression(pim, w, mid) > locfree)
+                hi = mid;
+            else
+                lo = mid;
+        }
+        bench::section("segmentation, 200K images");
+        bench::tableHeader("quantity", "-");
+        bench::row("LocFree total (s)", -1, locfree);
+        bench::row("PIM total uncompressed (s)", -1,
+                   pimTotalWithCompression(pim, w, 1.0));
+        bench::row("break-even compression ratio", 0.301, lo);
+    }
+    {
+        const std::uint32_t days =
+            workloads::BitmapIndexWorkload::daysForMonths(12);
+        bl::BulkWork w =
+            workloads::BitmapIndexWorkload::work(800'000'000, days);
+        const double locfree =
+            bl::ParaBitPipeline(cm, link, Mode::kLocationFree, true).run(w)
+                .totalSec;
+        const double pim_compute_only = pim.run([&] {
+                                               bl::BulkWork c = w;
+                                               c.bytesIn = 0;
+                                               c.bytesOut = 0;
+                                               return c;
+                                           }())
+                                            .totalSec;
+        bench::section("bitmap index, m=12");
+        bench::tableHeader("quantity", "s");
+        bench::row("LocFree total", -1, locfree);
+        bench::row("PIM compute alone (no movement)", -1, pim_compute_only);
+        bench::rowOnly("LocFree < PIM compute alone?",
+                       locfree < pim_compute_only ? 1 : 0,
+                       "1 = yes: LocFree always outperforms PIM, matching "
+                       "the paper");
+    }
+    return 0;
+}

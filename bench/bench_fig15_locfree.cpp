@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reproduces Fig 15: location-free ParaBit — left: per-operation
+ * latencies on two 8 MB operands for the three ParaBit schemes; right:
+ * total case-study execution times.
+ *
+ * Paper anchors: bitmap — LocFree is 5.23% of ReAlloc and 10.1% of
+ * ParaBit; encryption — LocFree is 57.1% of ReAlloc/ParaBit;
+ * segmentation — LocFree and ParaBit are similar (movement-bound).
+ * Section 5.5 stores all data in LSB pages.
+ */
+
+#include <string>
+
+#include "baselines/interconnect.hpp"
+#include "baselines/pipeline.hpp"
+#include "bench/common/report.hpp"
+#include "parabit/cost_model.hpp"
+#include "workloads/bitmap_index.hpp"
+#include "workloads/encryption.hpp"
+#include "workloads/segmentation.hpp"
+
+namespace {
+
+using namespace parabit;
+namespace bl = parabit::baselines;
+using core::CostModel;
+using core::Mode;
+using flash::BitwiseOp;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 15: location-free ParaBit");
+
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    bl::Interconnect link;
+    const Bytes eight_mb = 8 * bytes::kMiB;
+
+    bench::section("left: op latencies, two 8 MB operands");
+    bench::tableHeader("op / scheme", "us");
+    const BitwiseOp ops[] = {BitwiseOp::kAnd, BitwiseOp::kOr,
+                             BitwiseOp::kXor, BitwiseOp::kXnor,
+                             BitwiseOp::kNand, BitwiseOp::kNor};
+    for (BitwiseOp op : ops) {
+        const std::string n = flash::opName(op);
+        bench::row(n + " ParaBit-ReAlloc", -1,
+                   cm.binaryOp(op, eight_mb, Mode::kReAllocate, core::ChainStep::kNone, false)
+                           .seconds *
+                       1e6);
+        bench::row(n + " ParaBit (pre-alloc)", -1,
+                   cm.binaryOp(op, eight_mb, Mode::kPreAllocated,
+                               core::ChainStep::kNone, false)
+                           .seconds *
+                       1e6);
+        bench::row(n + " ParaBit-LocFree", -1,
+                   cm.binaryOp(op, eight_mb, Mode::kLocationFree,
+                               core::ChainStep::kNone, false)
+                           .seconds *
+                       1e6);
+    }
+    bench::note("ReAlloc slowest (reallocation), pre-alloc fastest, "
+                "LocFree in between with extra sensings — Fig 15's shape");
+
+    bench::section("right: case-study totals");
+    {
+        // Bitmap, m = 12.
+        const std::uint32_t days =
+            workloads::BitmapIndexWorkload::daysForMonths(12);
+        const bl::BulkWork w =
+            workloads::BitmapIndexWorkload::work(800'000'000, days);
+        const double re =
+            bl::ParaBitPipeline(cm, link, Mode::kReAllocate, true).run(w)
+                .totalSec;
+        const double pb =
+            bl::ParaBitPipeline(cm, link, Mode::kPreAllocated, true).run(w)
+                .totalSec;
+        const double lf =
+            bl::ParaBitPipeline(cm, link, Mode::kLocationFree, true).run(w)
+                .totalSec;
+        bench::tableHeader("bitmap m=12", "s");
+        bench::row("ParaBit-ReAlloc", -1, re);
+        bench::row("ParaBit", -1, pb);
+        bench::row("ParaBit-LocFree", -1, lf);
+        bench::row("LocFree / ReAlloc", 0.0523, lf / re);
+        bench::row("LocFree / ParaBit", 0.101, lf / pb);
+    }
+    {
+        // Encryption, 100K images.  LocFree must program the cipher
+        // pages explicitly; the co-located schemes persist it through
+        // their reallocation programs.
+        workloads::EncryptionWorkload enc(800, 600);
+        const bl::BulkWork w_co = enc.work(100'000, false);
+        const bl::BulkWork w_lf = enc.work(100'000, true);
+        const double re =
+            bl::ParaBitPipeline(cm, link, Mode::kReAllocate, true).run(w_co)
+                .totalSec;
+        const double lf =
+            bl::ParaBitPipeline(cm, link, Mode::kLocationFree, true)
+                .run(w_lf)
+                .totalSec;
+        bench::tableHeader("encryption 100K images", "s");
+        bench::row("ParaBit / ParaBit-ReAlloc", -1, re);
+        bench::row("ParaBit-LocFree", -1, lf);
+        bench::row("LocFree / ReAlloc", 0.571, lf / re);
+    }
+    {
+        // Segmentation, 200K images: both are result-movement-bound.
+        workloads::SegmentationWorkload seg(800, 600);
+        const bl::BulkWork w = seg.work(200'000);
+        const double pb =
+            bl::ParaBitPipeline(cm, link, Mode::kPreAllocated, true).run(w)
+                .totalSec;
+        const double lf =
+            bl::ParaBitPipeline(cm, link, Mode::kLocationFree, true).run(w)
+                .totalSec;
+        bench::tableHeader("segmentation 200K images", "s");
+        bench::row("ParaBit", -1, pb);
+        bench::row("ParaBit-LocFree", -1, lf);
+        bench::row("LocFree / ParaBit (paper: similar, ~1.0)", 1.0,
+                   lf / pb);
+    }
+
+    bench::section("ablation: LSB-LSB layout variant (Section 5.5 layout)");
+    bench::tableHeader("op", "us");
+    for (BitwiseOp op : ops) {
+        bench::row(std::string(flash::opName(op)) + " LocFree Msb/Lsb", -1,
+                   cm.binaryOp(op, eight_mb, Mode::kLocationFree,
+                               core::ChainStep::kNone, false,
+                               flash::LocFreeVariant::kMsbLsb)
+                           .seconds *
+                       1e6);
+        bench::row(std::string(flash::opName(op)) + " LocFree Lsb/Lsb", -1,
+                   cm.binaryOp(op, eight_mb, Mode::kLocationFree,
+                               core::ChainStep::kNone, false,
+                               flash::LocFreeVariant::kLsbLsb)
+                           .seconds *
+                       1e6);
+    }
+    return 0;
+}

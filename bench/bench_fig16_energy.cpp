@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Fig 16: per-operation energy of the ParaBit schemes,
+ * normalised to the baseline MSB-page read and write (the paper's two
+ * dashed lines).
+ *
+ * Paper anchors: ParaBit-ReAlloc consumes at most 2.65% more than the
+ * baseline write; ParaBit's worst case is about 2x the baseline MSB
+ * read.
+ */
+
+#include <string>
+
+#include "bench/common/report.hpp"
+#include "parabit/cost_model.hpp"
+
+namespace {
+
+using namespace parabit;
+using core::CostModel;
+using core::Mode;
+using flash::BitwiseOp;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 16: energy consumption of ParaBit schemes");
+
+    const ssd::SsdConfig cfg = ssd::SsdConfig::paperSsd();
+    CostModel cm(cfg);
+    const flash::EnergyModel &em = cm.energy();
+    const Bytes page = cfg.geometry.pageBytes;
+
+    // Fig 16 normalises per-wordline operation energy: read reference is
+    // the MSB page read, write reference the wordline (two-page) write.
+    const double read_ref = em.msbReadEnergyJ(page);
+    const double write_ref = 2 * em.pageWriteEnergyJ(page);
+
+    const BitwiseOp ops[] = {BitwiseOp::kAnd,    BitwiseOp::kOr,
+                             BitwiseOp::kXnor,   BitwiseOp::kNand,
+                             BitwiseOp::kNor,    BitwiseOp::kXor,
+                             BitwiseOp::kNotLsb, BitwiseOp::kNotMsb};
+
+    bench::section("per-wordline energy normalised to baseline MSB read");
+    bench::tableHeader("op / scheme", "x read");
+    double worst_pre = 0;
+    for (BitwiseOp op : ops) {
+        const int sro = flash::coLocatedProgram(op).senseCount();
+        const double e_pre = em.senseEnergyJ(sro) + em.transferEnergyJ(page);
+        const double e_lf =
+            em.senseEnergyJ(
+                flash::locationFreeProgram(op).senseCount()) +
+            em.transferEnergyJ(page);
+        worst_pre = std::max(worst_pre, e_pre / read_ref);
+        bench::row(std::string(flash::opName(op)) + " ParaBit", -1,
+                   e_pre / read_ref);
+        bench::row(std::string(flash::opName(op)) + " ParaBit-LocFree", -1,
+                   e_lf / read_ref);
+    }
+    bench::tableHeader("paper claim", "x");
+    bench::row("ParaBit worst case vs baseline MSB read", 2.0, worst_pre);
+
+    bench::section("ParaBit-ReAlloc normalised to baseline write");
+    bench::tableHeader("op", "x write");
+    double worst_re = 0;
+    for (BitwiseOp op : ops) {
+        const int sro = flash::coLocatedProgram(op).senseCount();
+        // Reallocation: read both operand pages (1 SRO each, LSB
+        // layout), program the pair, then the operation's sensings.
+        const double e_re = em.senseEnergyJ(2) +
+                            2 * em.pageWriteEnergyJ(page) +
+                            em.senseEnergyJ(sro);
+        worst_re = std::max(worst_re, e_re / write_ref);
+        bench::row(std::string(flash::opName(op)) + " ParaBit-ReAlloc", -1,
+                   e_re / write_ref);
+    }
+    bench::tableHeader("paper claim", "x");
+    bench::row("ReAlloc worst case vs baseline write", 1.0265, worst_re);
+    bench::note("sense/program current ratio calibrated per DESIGN.md; "
+                "the normalised shape (ReAlloc ~ write + a few percent, "
+                "ParaBit ~ SRO-count/2 of an MSB read) is structural");
+    return 0;
+}

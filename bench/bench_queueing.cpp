@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Queued-execution study: end-to-end command latencies through the NVMe
+ * queue path (paper Fig 9/10 lifecycle) under mixed I/O and
+ * computation, and the interference ParaBit operations impose on
+ * co-running reads.
+ *
+ * The paper evaluates isolated operations; a deployable device also
+ * needs acceptable behaviour when computation shares queues with
+ * ordinary traffic.  This bench quantifies that with the full
+ * controller/FTL/timing stack on a small functional device.
+ */
+
+#include <algorithm>
+
+#include "bench/common/report.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "parabit/host_interface.hpp"
+
+namespace {
+
+using namespace parabit;
+using core::HostInterface;
+using core::Mode;
+using core::ParaBitDevice;
+
+std::vector<BitVector>
+pages(const ssd::SsdConfig &cfg, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<BitVector> out;
+    for (int p = 0; p < n; ++p) {
+        BitVector v(cfg.geometry.pageBits());
+        for (auto &w : v.words())
+            w = rng.next();
+        v.maskTail();
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Queued execution: mixed I/O + in-flash computation");
+
+    // Baseline: pure-read latency distribution.
+    {
+        ParaBitDevice dev(ssd::SsdConfig::tiny());
+        const auto d = pages(dev.ssd().config(), 1, 1);
+        for (nvme::Lpn l = 0; l < 32; ++l)
+            dev.writeData(l, d);
+        HostInterface host(dev, 1, 64);
+        ScalarStat lat;
+        for (int round = 0; round < 16; ++round) {
+            for (nvme::Lpn l = 0; l < 16; ++l)
+                host.submitRead(0, l);
+            host.pump();
+            while (auto c = host.reap(0))
+                lat.sample(ticks::toUs(c->latency));
+        }
+        bench::section("pure reads, QD16");
+        bench::tableHeader("metric", "us");
+        bench::row("mean read latency", -1, lat.mean());
+        bench::row("max read latency", -1, lat.max());
+    }
+
+    // Mixed: reads sharing the queue with ParaBit formulas.
+    for (Mode mode : {Mode::kPreAllocated, Mode::kReAllocate}) {
+        ParaBitDevice dev(ssd::SsdConfig::tiny());
+        const auto d = pages(dev.ssd().config(), 1, 2);
+        for (nvme::Lpn l = 0; l < 32; ++l)
+            dev.writeData(l, d);
+        const auto x = pages(dev.ssd().config(), 4, 3);
+        const auto y = pages(dev.ssd().config(), 4, 4);
+        if (mode == Mode::kPreAllocated)
+            dev.writeOperandPair(200, 300, x, y);
+        else {
+            dev.writeData(200, x);
+            dev.writeData(300, y);
+        }
+
+        HostInterface host(dev, 1, 64, mode);
+        ScalarStat read_lat, op_lat;
+        for (int round = 0; round < 16; ++round) {
+            for (nvme::Lpn l = 0; l < 8; ++l)
+                host.submitRead(0, l);
+            nvme::Formula f;
+            f.terms.push_back(nvme::Formula::Term{
+                nvme::OperandRef::logical(200, 4),
+                nvme::OperandRef::logical(300, 4),
+                flash::BitwiseOp::kXor});
+            const auto formula_cid = host.submitFormula(0, f);
+            for (nvme::Lpn l = 8; l < 16; ++l)
+                host.submitRead(0, l);
+            host.pump();
+            while (auto c = host.reap(0)) {
+                if (formula_cid && c->cid == *formula_cid)
+                    op_lat.sample(ticks::toUs(c->latency));
+                else
+                    read_lat.sample(ticks::toUs(c->latency));
+            }
+        }
+        bench::section(std::string("mixed reads + XOR formulas, ") +
+                       core::modeName(mode));
+        bench::tableHeader("metric", "us");
+        bench::row("mean read latency", -1, read_lat.mean());
+        bench::row("max read latency", -1, read_lat.max());
+        bench::row("mean formula latency", -1, op_lat.mean());
+    }
+
+    bench::note("pre-allocated formulas are sensing-only and barely "
+                "perturb reads; reallocation adds program traffic that "
+                "queued reads must wait behind");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared reporting helpers for the benchmark binaries.
+ *
+ * Every bench prints one table per paper artefact with three columns:
+ * the configuration row, the value the paper reports (where it states
+ * one), and the value this reproduction measures.  The goal is shape
+ * fidelity — who wins and by roughly what factor — so the ratio column
+ * is the headline.
+ */
+
+#ifndef PARABIT_BENCH_COMMON_REPORT_HPP_
+#define PARABIT_BENCH_COMMON_REPORT_HPP_
+
+#include <cstdio>
+#include <string>
+
+namespace parabit::bench {
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/** Print a section sub-header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n-- %s --\n", title.c_str());
+}
+
+/** Header for a paper-vs-measured table. */
+inline void
+tableHeader(const char *row_label, const char *unit)
+{
+    std::printf("%-42s %14s %14s %8s\n", row_label,
+                ("paper(" + std::string(unit) + ")").c_str(),
+                ("ours(" + std::string(unit) + ")").c_str(), "ratio");
+    std::printf("%.*s\n", 82,
+                "--------------------------------------------------"
+                "----------------------------------------");
+}
+
+/** One paper-vs-measured row; pass paper < 0 when the paper gives no
+ *  number for this cell. */
+inline void
+row(const std::string &label, double paper, double ours)
+{
+    if (paper >= 0) {
+        std::printf("%-42s %14.4g %14.4g %8.2f\n", label.c_str(), paper,
+                    ours, paper != 0 ? ours / paper : 0.0);
+    } else {
+        std::printf("%-42s %14s %14.4g %8s\n", label.c_str(), "-", ours,
+                    "-");
+    }
+}
+
+/** Measured-only row. */
+inline void
+rowOnly(const std::string &label, double ours, const char *note = "")
+{
+    std::printf("%-42s %14s %14.4g   %s\n", label.c_str(), "", ours, note);
+}
+
+/** Free-form note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("  note: %s\n", text.c_str());
+}
+
+} // namespace parabit::bench
+
+#endif // PARABIT_BENCH_COMMON_REPORT_HPP_

@@ -1,0 +1,35 @@
+#include "baselines/ambit.hpp"
+
+namespace parabit::baselines {
+
+int
+AmbitModel::commandRounds(flash::BitwiseOp op)
+{
+    switch (op) {
+      case flash::BitwiseOp::kAnd:
+      case flash::BitwiseOp::kOr:
+      case flash::BitwiseOp::kNand:
+      case flash::BitwiseOp::kNor:
+        // Two operand copies + control-row copy + TRA-and-result.
+        return 4;
+      case flash::BitwiseOp::kXor:
+      case flash::BitwiseOp::kXnor:
+        // Composition of AND/OR/NOT primitives.
+        return 7;
+      case flash::BitwiseOp::kNotLsb:
+      case flash::BitwiseOp::kNotMsb:
+        // One activation through the dual-contact row.
+        return 1;
+    }
+    return 4;
+}
+
+double
+AmbitModel::opSeconds(flash::BitwiseOp op, Bytes operand_bytes) const
+{
+    const Bytes slice = cfg_.maxParallelBytes;
+    const std::uint64_t slices = (operand_bytes + slice - 1) / slice;
+    return static_cast<double>(slices) * sliceSeconds(op);
+}
+
+} // namespace parabit::baselines

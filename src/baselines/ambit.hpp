@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ambit-style in-DRAM bulk bitwise PIM model (the paper's PIM baseline,
+ * Section 5.1).
+ *
+ * Ambit computes bitwise operations with sequences of row activations:
+ * triple-row activation (TRA) performs majority, dual-contact cells give
+ * NOT, and copies move operands into the designated compute rows.  Each
+ * command round costs one activate-precharge window (tRAS + tRP).  The
+ * per-operation round counts below follow the Ambit command sequences:
+ * AND/OR/NAND/NOR need four rounds (two operand copies, one control-row
+ * copy, one TRA+result), XOR/XNOR compose AND/OR/NOT for seven rounds,
+ * and NOT is a single activation through the dual-contact row.
+ *
+ * The paper's configuration: 2 ranks, 16 banks, 256 subarrays, 16 KB row
+ * buffers, tRCD/tRAS/tRP/tFAW = 13.75/35/13.75/30 ns, with at most 16 KB
+ * of operand processed in parallel (power constraint), so larger
+ * operands serialise into 16 KB slices.
+ */
+
+#ifndef PARABIT_BASELINES_AMBIT_HPP_
+#define PARABIT_BASELINES_AMBIT_HPP_
+
+#include "common/units.hpp"
+#include "flash/op_sequences.hpp"
+
+namespace parabit::baselines {
+
+/** DRAM timing/shape parameters (paper Section 5.1 values). */
+struct AmbitConfig
+{
+    double tRcdNs = 13.75;
+    double tRasNs = 35.0;
+    double tRpNs = 13.75;
+    double tFawNs = 30.0;
+    int ranks = 2;
+    int banks = 16;
+    int subarrays = 256;
+    int rowsPerSubarray = 512;
+    Bytes rowBytes = 16 * bytes::kKiB;
+    /** Max operand bytes in flight (power constraint). */
+    Bytes maxParallelBytes = 16 * bytes::kKiB;
+};
+
+/** Ambit latency model; see file comment. */
+class AmbitModel
+{
+  public:
+    explicit AmbitModel(const AmbitConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Activate-precharge command rounds for @p op. */
+    static int commandRounds(flash::BitwiseOp op);
+
+    /** Seconds for one command round (tRAS + tRP). */
+    double
+    roundSeconds() const
+    {
+        return (cfg_.tRasNs + cfg_.tRpNs) * 1e-9;
+    }
+
+    /** Latency of @p op over one row-buffer-sized operand slice. */
+    double
+    sliceSeconds(flash::BitwiseOp op) const
+    {
+        return commandRounds(op) * roundSeconds();
+    }
+
+    /**
+     * Latency of a bulk @p op over @p operand_bytes per operand; slices
+     * beyond maxParallelBytes serialise.
+     */
+    double opSeconds(flash::BitwiseOp op, Bytes operand_bytes) const;
+
+    /** DRAM capacity available to stage operands (64 GiB as configured,
+     *  matching the paper's evaluation memory size). */
+    Bytes
+    capacityBytes() const
+    {
+        return static_cast<Bytes>(cfg_.ranks) * cfg_.banks * cfg_.subarrays *
+               cfg_.rowsPerSubarray * cfg_.rowBytes;
+    }
+
+    const AmbitConfig &config() const { return cfg_; }
+
+  private:
+    AmbitConfig cfg_;
+};
+
+} // namespace parabit::baselines
+
+#endif // PARABIT_BASELINES_AMBIT_HPP_

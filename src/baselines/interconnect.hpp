@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host interconnect model (PCIe Gen3 x4, the paper's Section 3 setup).
+ *
+ * The paper measures storage-to-memory movement on a Samsung 970 PRO
+ * behind PCIe Gen3 x4 with logical addresses remapped sequentially, i.e.
+ * the device streams at its peak rate and the link efficiency decides
+ * throughput.  We model the link as raw lane bandwidth x protocol
+ * efficiency; the default efficiency is calibrated so that the paper's
+ * 144 GB (200,000 pre-processed images) move in ~43.9 s (Fig 4), and the
+ * ISC attachment point gets a slightly higher efficiency matching its
+ * 41.8 s on the same volume.
+ */
+
+#ifndef PARABIT_BASELINES_INTERCONNECT_HPP_
+#define PARABIT_BASELINES_INTERCONNECT_HPP_
+
+#include "common/units.hpp"
+
+namespace parabit::baselines {
+
+/** Link parameters; defaults are PCIe Gen3 x4. */
+struct InterconnectConfig
+{
+    int lanes = 4;
+    /** Payload bandwidth per lane after 128b/130b encoding, bytes/s. */
+    double laneBytesPerSec = 0.9846e9;
+    /** Protocol/DMA efficiency on bulk sequential transfers. */
+    double efficiency = 0.833;
+
+    /** The ISC platform's direct attachment (paper Section 3). */
+    static InterconnectConfig
+    iscAttachment()
+    {
+        InterconnectConfig c;
+        c.efficiency = 0.875;
+        return c;
+    }
+};
+
+/** Bulk-transfer time model; see file comment. */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const InterconnectConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Effective bulk bandwidth in bytes/s. */
+    double
+    bandwidth() const
+    {
+        return cfg_.lanes * cfg_.laneBytesPerSec * cfg_.efficiency;
+    }
+
+    /** Seconds to move @p n bytes. */
+    double
+    transferSeconds(Bytes n) const
+    {
+        return static_cast<double>(n) / bandwidth();
+    }
+
+    const InterconnectConfig &config() const { return cfg_; }
+
+  private:
+    InterconnectConfig cfg_;
+};
+
+} // namespace parabit::baselines
+
+#endif // PARABIT_BASELINES_INTERCONNECT_HPP_

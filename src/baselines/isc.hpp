@@ -1,0 +1,106 @@
+/**
+ * @file
+ * In-storage-computing baseline: Cosmos OpenSSD-style FPGA near the
+ * drive (paper Sections 2.3, 5.1).
+ *
+ * The Zynq-7000 part provides 218,600 6-input LUTs at 100 MHz; a 6-LUT
+ * can evaluate a chain of up to five two-input bitwise operations per
+ * cycle when all six operands are available simultaneously.  Bulk
+ * throughput is
+ *
+ *   LUTs x clock x utilisation   result bits per second.
+ *
+ * The utilisation factor folds in BRAM staging and routing overheads;
+ * the default is calibrated to the paper's bitmap-index anchor (364
+ * chained ANDs over 100 MB vectors in ~41 ms), which also reproduces
+ * the Fig 13(b) ordering (ISC fastest on two 8 MB operands) and the
+ * encryption compute share (<0.21% of total).  Left-fold chains over a
+ * running accumulator are serially dependent, so chainSeconds() charges
+ * one pass per operation; fusedChainSeconds() models the five-way
+ * fusion available when operands stream together.
+ */
+
+#ifndef PARABIT_BASELINES_ISC_HPP_
+#define PARABIT_BASELINES_ISC_HPP_
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "flash/op_sequences.hpp"
+
+namespace parabit::baselines {
+
+/** FPGA parameters (Zynq-7000 as in the Cosmos platform). */
+struct IscConfig
+{
+    double clockHz = 100e6;
+    std::uint64_t luts = 218600;
+    /** Max two-input ops foldable into one 6-LUT pass (fusion). */
+    int opsPerLutPass = 5;
+    /** Effective LUT-array utilisation on streamed data. */
+    double utilisation = 0.325;
+    /** Single-pass latency floor (one pipeline traversal). */
+    double passLatencySec = 10e-9;
+};
+
+/** ISC/FPGA compute-latency model; see file comment. */
+class IscModel
+{
+  public:
+    explicit IscModel(const IscConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Result bits produced per second at full streaming. */
+    double
+    bitsPerSecond() const
+    {
+        return static_cast<double>(cfg_.luts) * cfg_.clockHz *
+               cfg_.utilisation;
+    }
+
+    /** Latency of one bulk op over @p operand_bytes per operand. */
+    double
+    opSeconds(flash::BitwiseOp op, Bytes operand_bytes) const
+    {
+        (void)op; // every two-input op costs one LUT pass
+        const double bits = static_cast<double>(operand_bytes) * 8.0;
+        return std::max(cfg_.passLatencySec, bits / bitsPerSecond());
+    }
+
+    /**
+     * Latency of a left-fold chain of @p num_ops ops over
+     * @p operand_bytes operands.  Serial dependence on the accumulator
+     * forbids fusion: one pass per operation.
+     */
+    double
+    chainSeconds(std::uint32_t num_ops, Bytes operand_bytes) const
+    {
+        const double bits = static_cast<double>(operand_bytes) * 8.0;
+        return std::max(cfg_.passLatencySec,
+                        static_cast<double>(num_ops) * bits /
+                            bitsPerSecond());
+    }
+
+    /**
+     * Latency of a fusable expression of @p num_ops ops whose operands
+     * all stream simultaneously: up to opsPerLutPass ops per pass.
+     */
+    double
+    fusedChainSeconds(std::uint32_t num_ops, Bytes operand_bytes) const
+    {
+        const std::uint64_t passes =
+            (num_ops + cfg_.opsPerLutPass - 1) /
+            static_cast<std::uint32_t>(cfg_.opsPerLutPass);
+        const double bits = static_cast<double>(operand_bytes) * 8.0;
+        return std::max(cfg_.passLatencySec,
+                        static_cast<double>(passes) * bits / bitsPerSecond());
+    }
+
+    const IscConfig &config() const { return cfg_; }
+
+  private:
+    IscConfig cfg_;
+};
+
+} // namespace parabit::baselines
+
+#endif // PARABIT_BASELINES_ISC_HPP_

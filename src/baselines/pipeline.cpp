@@ -1,0 +1,98 @@
+#include "baselines/pipeline.hpp"
+
+#include <algorithm>
+
+namespace parabit::baselines {
+
+namespace {
+
+double
+finish(Breakdown &b)
+{
+    b.totalSec = b.moveInSec + b.computeSec + b.moveOutSec + b.writebackSec;
+    return b.totalSec;
+}
+
+} // namespace
+
+Breakdown
+PimPipeline::run(const BulkWork &work) const
+{
+    Breakdown b;
+    b.moveInSec = link_.transferSeconds(work.bytesIn);
+    for (const auto &g : work.ops) {
+        const double per_op = ambit_.opSeconds(g.op, g.operandBytes);
+        const std::uint64_t ops_per_chain =
+            g.chainLength > 1 ? g.chainLength - 1 : 1;
+        b.computeSec += per_op * static_cast<double>(ops_per_chain) *
+                        static_cast<double>(g.instances);
+    }
+    b.moveOutSec = link_.transferSeconds(work.bytesOut);
+    b.writebackSec = link_.transferSeconds(work.writebackBytes);
+    finish(b);
+    return b;
+}
+
+Breakdown
+IscPipeline::run(const BulkWork &work) const
+{
+    Breakdown b;
+    b.moveInSec = link_.transferSeconds(work.bytesIn);
+    for (const auto &g : work.ops) {
+        const std::uint32_t chain_ops =
+            g.chainLength > 1 ? g.chainLength - 1 : 1;
+        b.computeSec += isc_.chainSeconds(chain_ops, g.operandBytes) *
+                        static_cast<double>(g.instances);
+    }
+    b.moveOutSec = link_.transferSeconds(work.bytesOut);
+    b.writebackSec = link_.transferSeconds(work.writebackBytes);
+    finish(b);
+    return b;
+}
+
+Breakdown
+ParaBitPipeline::run(const BulkWork &work) const
+{
+    Breakdown b;
+    lastCost_ = core::BulkCost{};
+    // Operands are already in flash: no move-in.  Computation runs in
+    // the array; only results cross the interconnect.  Independent
+    // instances of one group pack into the device's parallel rounds —
+    // many small per-image operations fill whole stripes together.
+    for (const auto &g : work.ops) {
+        const Bytes packed = g.operandBytes * g.instances;
+        core::BulkCost c;
+        if (g.chainLength >= 2) {
+            c = cost_.chain(g.op, g.chainLength, packed, mode_,
+                            /*transfer_result=*/false, variant_,
+                            g.lsbOnlyLayout
+                                ? core::ChainStep::kDropIntoFreeMsb
+                                : core::ChainStep::kRepack);
+        } else {
+            c = cost_.notOp(g.op == flash::BitwiseOp::kNotMsb, packed,
+                            mode_, /*transfer_result=*/false);
+        }
+        lastCost_ += c;
+        b.computeSec += c.seconds;
+    }
+    // Results persisted in-SSD program straight from the plane
+    // registers (no channel transfer); results for the host stream over
+    // the link.
+    if (work.writebackBytes > 0) {
+        const core::BulkCost wb = cost_.resultWriteback(work.writebackBytes);
+        b.writebackSec = wb.seconds;
+        lastCost_ += wb;
+    }
+    b.moveOutSec = link_.transferSeconds(work.bytesOut);
+    if (pipelined_) {
+        // "+Res-Move": computation and result movement overlap; the
+        // longer of the two paths dominates.
+        b.totalSec = std::max(b.computeSec + b.writebackSec, b.moveOutSec);
+        // Keep the components for stacked-bar reporting.
+        return b;
+    }
+    finish(b);
+    return b;
+}
+
+} // namespace parabit::baselines

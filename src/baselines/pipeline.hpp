@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end execution pipelines for the compared schemes.
+ *
+ * A workload is abstracted as a BulkWork: bytes to stage in, a set of
+ * bulk bitwise operations (possibly chained), and result bytes out.
+ * Each scheme evaluates the same BulkWork:
+ *
+ *  - PIM  (Ambit):   move operands SSD -> DRAM, compute in DRAM rows,
+ *                    optionally write results back to the SSD;
+ *  - ISC  (FPGA):    move operands SSD -> FPGA BRAM, stream through the
+ *                    LUT array, optionally write back;
+ *  - ParaBit family: compute inside the SSD (CostModel) and move only
+ *                    results out, optionally pipelined with computation
+ *                    (the paper's "+Res-Move" variants).
+ *
+ * The breakdown structure mirrors the stacked bars of Fig 14.
+ */
+
+#ifndef PARABIT_BASELINES_PIPELINE_HPP_
+#define PARABIT_BASELINES_PIPELINE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/ambit.hpp"
+#include "baselines/interconnect.hpp"
+#include "baselines/isc.hpp"
+#include "parabit/cost_model.hpp"
+
+namespace parabit::baselines {
+
+/** One bulk operation group inside a workload. */
+struct BulkOpGroup
+{
+    flash::BitwiseOp op = flash::BitwiseOp::kAnd;
+    /** Bytes per operand of one chain instance. */
+    Bytes operandBytes = 0;
+    /** Operands per chain (2 = plain binary op). */
+    std::uint32_t chainLength = 2;
+    /** Number of independent chain instances. */
+    std::uint64_t instances = 1;
+    /**
+     * Whether operands sit in the LSB-only layout (free MSB pages), so
+     * pre-allocated chain steps need a single program; packed layouts
+     * (both pages used) force a full re-pair per chain step.
+     */
+    bool lsbOnlyLayout = true;
+};
+
+/** Scheme-independent workload description. */
+struct BulkWork
+{
+    Bytes bytesIn = 0;  ///< operand bytes that must reach the compute site
+    Bytes bytesOut = 0; ///< result bytes the host needs back
+    Bytes writebackBytes = 0; ///< result bytes persisted to the SSD
+    std::vector<BulkOpGroup> ops;
+};
+
+/** Execution-time breakdown (Fig 14 stacked-bar components). */
+struct Breakdown
+{
+    double moveInSec = 0;    ///< operand movement to the compute site
+    double computeSec = 0;   ///< bitwise computation
+    double moveOutSec = 0;   ///< result movement to the host
+    double writebackSec = 0; ///< result persistence to the SSD
+    double totalSec = 0;
+};
+
+/** PIM baseline (Ambit in DRAM behind the host interconnect). */
+class PimPipeline
+{
+  public:
+    PimPipeline(const AmbitModel &ambit, const Interconnect &link)
+        : ambit_(ambit), link_(link)
+    {}
+
+    Breakdown run(const BulkWork &work) const;
+
+  private:
+    AmbitModel ambit_;
+    Interconnect link_;
+};
+
+/** ISC baseline (FPGA near storage). */
+class IscPipeline
+{
+  public:
+    IscPipeline(const IscModel &isc, const Interconnect &link)
+        : isc_(isc), link_(link)
+    {}
+
+    Breakdown run(const BulkWork &work) const;
+
+  private:
+    IscModel isc_;
+    Interconnect link_;
+};
+
+/** ParaBit family: compute in flash, move only results. */
+class ParaBitPipeline
+{
+  public:
+    /**
+     * @param cost in-flash cost model
+     * @param link host interconnect for result movement
+     * @param mode execution scheme
+     * @param pipelined overlap computation with result movement
+     *        (the "+Res-Move" variants)
+     * @param variant location-free operand placement
+     */
+    ParaBitPipeline(const core::CostModel &cost, const Interconnect &link,
+                    core::Mode mode, bool pipelined = true,
+                    flash::LocFreeVariant variant =
+                        flash::LocFreeVariant::kMsbLsb)
+        : cost_(cost), link_(link), mode_(mode), pipelined_(pipelined),
+          variant_(variant)
+    {}
+
+    Breakdown run(const BulkWork &work) const;
+
+    /** The in-flash cost detail of the last run (senses, programs...). */
+    const core::BulkCost &lastCost() const { return lastCost_; }
+
+  private:
+    core::CostModel cost_;
+    Interconnect link_;
+    core::Mode mode_;
+    bool pipelined_;
+    flash::LocFreeVariant variant_;
+    mutable core::BulkCost lastCost_;
+};
+
+} // namespace parabit::baselines
+
+#endif // PARABIT_BASELINES_PIPELINE_HPP_

@@ -1,0 +1,60 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parabit {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "[FATAL] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[PANIC] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace parabit

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user/configuration errors
+ * that make continuing impossible; panic() is for internal invariant
+ * violations (i.e. bugs in this library).
+ */
+
+#ifndef PARABIT_COMMON_LOGGING_HPP_
+#define PARABIT_COMMON_LOGGING_HPP_
+
+#include <string>
+
+namespace parabit {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/** Global log threshold; messages below it are suppressed. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit a log line to stderr if @p level passes the threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+inline void logDebug(const std::string &m) { logMessage(LogLevel::kDebug, m); }
+inline void logInfo(const std::string &m) { logMessage(LogLevel::kInfo, m); }
+inline void logWarn(const std::string &m) { logMessage(LogLevel::kWarn, m); }
+
+/** User/configuration error: print and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Internal invariant violation: print and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace parabit
+
+#endif // PARABIT_COMMON_LOGGING_HPP_

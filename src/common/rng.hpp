@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and the
+ * error model.
+ *
+ * Everything in this repository must be reproducible run-to-run, so all
+ * randomness flows through explicitly seeded SplitMix64 generators.  The
+ * generator is tiny, fast, and has well-understood statistical quality
+ * for the Monte-Carlo uses here (bit-error injection, synthetic images,
+ * activity bitmaps).
+ */
+
+#ifndef PARABIT_COMMON_RNG_HPP_
+#define PARABIT_COMMON_RNG_HPP_
+
+#include <cstdint>
+
+namespace parabit {
+
+/** SplitMix64 deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    constexpr std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    constexpr std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free multiply-shift reduction; bias is negligible for
+        // the bounds used here (all << 2^64).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    constexpr double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    constexpr bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork a child generator whose stream is independent of this one. */
+    constexpr Rng
+    fork()
+    {
+        return Rng(next() ^ 0xA5A5A5A55A5A5A5Aull);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace parabit
+
+#endif // PARABIT_COMMON_RNG_HPP_

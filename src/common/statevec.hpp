@@ -1,0 +1,104 @@
+/**
+ * @file
+ * StateVec: the paper's four-state logic vector L(X) = x1 x2 x3 x4.
+ *
+ * The MICRO'21 ParaBit paper reasons about the latching circuit using a
+ * compact notation: the logic value at a circuit node X is written
+ * L(X) = x1 x2 x3 x4, where xi is the voltage (0 = low, 1 = high) that
+ * node X would take if the MLC cell currently being sensed were in state
+ * E, S1, S2 or S3 respectively.  StateVec implements exactly this algebra
+ * (bitwise AND / NOT over the four positions), which lets the latch
+ * circuit model and the unit tests mirror the paper's Tables 2-5 and
+ * Figures 2, 3, 5, 6 symbol for symbol.
+ */
+
+#ifndef PARABIT_COMMON_STATEVEC_HPP_
+#define PARABIT_COMMON_STATEVEC_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace parabit {
+
+/**
+ * Four-position logic vector over the MLC states {E, S1, S2, S3}.
+ *
+ * Internally the four bits are packed into the low nibble of a byte with
+ * bit 3 = x1 (state E) down to bit 0 = x4 (state S3), so that the string
+ * rendering matches the paper's left-to-right order.
+ */
+class StateVec
+{
+  public:
+    constexpr StateVec() : bits_(0) {}
+
+    /** Construct from four explicit positions (x1 = E ... x4 = S3). */
+    constexpr StateVec(bool x1, bool x2, bool x3, bool x4)
+        : bits_(static_cast<std::uint8_t>((x1 << 3) | (x2 << 2) |
+                                          (x3 << 1) | (x4 << 0)))
+    {}
+
+    /** Parse a 4-character 0/1 string such as "0111". */
+    static constexpr StateVec
+    fromString(const char (&s)[5])
+    {
+        return StateVec(s[0] == '1', s[1] == '1', s[2] == '1', s[3] == '1');
+    }
+
+    /** Value at state index 0..3 == E,S1,S2,S3. */
+    constexpr bool
+    at(int state) const
+    {
+        return (bits_ >> (3 - state)) & 1u;
+    }
+
+    constexpr StateVec
+    operator&(StateVec rhs) const
+    {
+        return StateVec(static_cast<std::uint8_t>(bits_ & rhs.bits_));
+    }
+
+    constexpr StateVec
+    operator|(StateVec rhs) const
+    {
+        return StateVec(static_cast<std::uint8_t>(bits_ | rhs.bits_));
+    }
+
+    /** Bitwise complement over the four positions. */
+    constexpr StateVec
+    operator~() const
+    {
+        return StateVec(static_cast<std::uint8_t>(~bits_ & 0x0Fu));
+    }
+
+    constexpr bool operator==(const StateVec &) const = default;
+
+    /** Render as the paper's "x1x2x3x4" string, e.g. "0111". */
+    std::string
+    toString() const
+    {
+        std::string s(4, '0');
+        for (int i = 0; i < 4; ++i)
+            if (at(i))
+                s[static_cast<std::size_t>(i)] = '1';
+        return s;
+    }
+
+    constexpr std::uint8_t raw() const { return bits_; }
+
+  private:
+    explicit constexpr StateVec(std::uint8_t raw) : bits_(raw) {}
+
+    std::uint8_t bits_;
+};
+
+namespace statevec {
+
+inline constexpr StateVec kAllZero{false, false, false, false};
+inline constexpr StateVec kAllOne{true, true, true, true};
+
+} // namespace statevec
+
+} // namespace parabit
+
+#endif // PARABIT_COMMON_STATEVEC_HPP_

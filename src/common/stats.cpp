@@ -1,0 +1,49 @@
+#include "common/stats.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace parabit {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1; // guard FP edge at hi_
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "hist[" << lo_ << "," << hi_ << ") n=" << total_;
+    if (underflow_)
+        os << " under=" << underflow_;
+    if (overflow_)
+        os << " over=" << overflow_;
+    return os.str();
+}
+
+} // namespace parabit

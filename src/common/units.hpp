@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Time and data-size units shared across the simulator.
+ *
+ * All simulated time is kept in integer picoseconds so that DRAM timing
+ * parameters with fractional nanoseconds (e.g. tRCD = 13.75 ns) and flash
+ * latencies in microseconds compose without rounding.  A 64-bit tick count
+ * in picoseconds covers ~213 days of simulated time, far beyond any
+ * experiment in this repository.
+ */
+
+#ifndef PARABIT_COMMON_UNITS_HPP_
+#define PARABIT_COMMON_UNITS_HPP_
+
+#include <cstdint>
+
+namespace parabit {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Number of bytes. 64-bit: case studies manipulate >100 GB volumes. */
+using Bytes = std::uint64_t;
+
+namespace ticks {
+
+inline constexpr Tick kPicosecond = 1;
+inline constexpr Tick kNanosecond = 1000 * kPicosecond;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Build a Tick from a (possibly fractional) nanosecond count. */
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kNanosecond) + 0.5);
+}
+
+/** Build a Tick from a (possibly fractional) microsecond count. */
+constexpr Tick
+fromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+/** Build a Tick from a (possibly fractional) millisecond count. */
+constexpr Tick
+fromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/** Build a Tick from a (possibly fractional) second count. */
+constexpr Tick
+fromSec(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double toNs(Tick t) { return static_cast<double>(t) / kNanosecond; }
+constexpr double toUs(Tick t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double toMs(Tick t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double toSec(Tick t) { return static_cast<double>(t) / kSecond; }
+
+} // namespace ticks
+
+namespace bytes {
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr double toKiB(Bytes b) { return static_cast<double>(b) / kKiB; }
+constexpr double toMiB(Bytes b) { return static_cast<double>(b) / kMiB; }
+constexpr double toGiB(Bytes b) { return static_cast<double>(b) / kGiB; }
+
+} // namespace bytes
+
+} // namespace parabit
+
+#endif // PARABIT_COMMON_UNITS_HPP_

@@ -1,0 +1,102 @@
+#include "flash/block.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace parabit::flash {
+
+Block::Block(std::uint32_t wordlines, std::size_t page_bits, bool store_data)
+    : pageBits_(page_bits), storeData_(store_data), wls_(wordlines)
+{
+}
+
+Block::Wordline &
+Block::wl(std::uint32_t i)
+{
+    assert(i < wls_.size());
+    return wls_[i];
+}
+
+const Block::Wordline &
+Block::wl(std::uint32_t i) const
+{
+    assert(i < wls_.size());
+    return wls_[i];
+}
+
+PageState
+Block::pageState(std::uint32_t i, bool msb) const
+{
+    const auto &w = wl(i);
+    return msb ? w.msbState : w.lsbState;
+}
+
+void
+Block::program(std::uint32_t i, bool msb, const BitVector *data)
+{
+    auto &w = wl(i);
+    PageState &st = msb ? w.msbState : w.lsbState;
+    if (st != PageState::kFree)
+        panic("Block::program: page not free (program-before-erase)");
+    st = PageState::kValid;
+    ++validPages_;
+    if (storeData_ && data) {
+        assert(data->size() == pageBits_);
+        (msb ? w.msbData : w.lsbData) = *data;
+    }
+}
+
+void
+Block::invalidate(std::uint32_t i, bool msb)
+{
+    auto &w = wl(i);
+    PageState &st = msb ? w.msbState : w.lsbState;
+    if (st != PageState::kValid)
+        panic("Block::invalidate: page not valid");
+    st = PageState::kInvalid;
+    --validPages_;
+    (msb ? w.msbData : w.lsbData).reset();
+}
+
+void
+Block::erase()
+{
+    for (auto &w : wls_) {
+        w.lsbState = PageState::kFree;
+        w.msbState = PageState::kFree;
+        w.lsbData.reset();
+        w.msbData.reset();
+    }
+    validPages_ = 0;
+    ++eraseCount_;
+}
+
+const BitVector *
+Block::pageData(std::uint32_t i, bool msb) const
+{
+    const auto &w = wl(i);
+    const auto &d = msb ? w.msbData : w.lsbData;
+    return d ? &*d : nullptr;
+}
+
+WordlineData
+Block::wordlineData(std::uint32_t i) const
+{
+    const auto &w = wl(i);
+    return WordlineData{w.lsbData ? &*w.lsbData : nullptr,
+                        w.msbData ? &*w.msbData : nullptr};
+}
+
+std::uint32_t
+Block::freePages() const
+{
+    std::uint32_t n = 0;
+    for (const auto &w : wls_) {
+        n += (w.lsbState == PageState::kFree) ? 1 : 0;
+        n += (w.msbState == PageState::kFree) ? 1 : 0;
+    }
+    return n;
+}
+
+} // namespace parabit::flash

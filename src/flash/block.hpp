@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One flash block: a stack of wordlines, each holding an LSB and an MSB
+ * logical page over the same MLC cells.
+ *
+ * Blocks track page lifecycle (free -> valid -> invalid -> erased back to
+ * free) and the block erase count used by the wear-leveling and endurance
+ * models.  Page payloads are optional: a block built with
+ * store_data = false keeps full state/timing behaviour while holding no
+ * bits, which is what the large-scale experiments use.
+ */
+
+#ifndef PARABIT_FLASH_BLOCK_HPP_
+#define PARABIT_FLASH_BLOCK_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "flash/latch_array.hpp"
+
+namespace parabit::flash {
+
+/** Lifecycle state of one logical page. */
+enum class PageState : std::uint8_t { kFree = 0, kValid, kInvalid };
+
+/** A flash block; see file comment. */
+class Block
+{
+  public:
+    /**
+     * @param wordlines number of wordlines
+     * @param page_bits bits per logical page
+     * @param store_data whether pages carry payloads
+     */
+    Block(std::uint32_t wordlines, std::size_t page_bits, bool store_data);
+
+    std::uint32_t wordlines() const { return static_cast<std::uint32_t>(wls_.size()); }
+    std::size_t pageBits() const { return pageBits_; }
+    bool storesData() const { return storeData_; }
+
+    PageState pageState(std::uint32_t wl, bool msb) const;
+
+    /**
+     * Program one logical page (must currently be free).  @p data may be
+     * null in timing-only mode or when the payload is irrelevant.
+     */
+    void program(std::uint32_t wl, bool msb, const BitVector *data);
+
+    /** Mark a valid page invalid (FTL overwrite / trim). */
+    void invalidate(std::uint32_t wl, bool msb);
+
+    /** Erase the whole block: all pages free, erase count +1. */
+    void erase();
+
+    /** Stored payload, or nullptr if absent. */
+    const BitVector *pageData(std::uint32_t wl, bool msb) const;
+
+    /** Both pages of a wordline, as the latch model consumes them. */
+    WordlineData wordlineData(std::uint32_t wl) const;
+
+    std::uint32_t eraseCount() const { return eraseCount_; }
+    std::uint32_t validPages() const { return validPages_; }
+    std::uint32_t freePages() const;
+
+  private:
+    struct Wordline
+    {
+        std::optional<BitVector> lsbData;
+        std::optional<BitVector> msbData;
+        PageState lsbState = PageState::kFree;
+        PageState msbState = PageState::kFree;
+    };
+
+    Wordline &wl(std::uint32_t i);
+    const Wordline &wl(std::uint32_t i) const;
+
+    std::size_t pageBits_;
+    bool storeData_;
+    std::vector<Wordline> wls_;
+    std::uint32_t eraseCount_ = 0;
+    std::uint32_t validPages_ = 0;
+};
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_BLOCK_HPP_

@@ -1,0 +1,155 @@
+#include "flash/chip.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+#include "flash/latch_array.hpp"
+
+namespace parabit::flash {
+
+Chip::Chip(const FlashGeometry &geom, bool store_data,
+           const ErrorModelConfig &error_cfg, std::uint64_t seed)
+    : geom_(geom), errorModel_(error_cfg), rng_(seed)
+{
+    const std::size_t n =
+        static_cast<std::size_t>(geom_.diesPerChip) * geom_.planesPerDie;
+    planes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        planes_.emplace_back(geom_, store_data);
+}
+
+Plane &
+Chip::plane(std::uint32_t die, std::uint32_t plane_idx)
+{
+    if (die >= geom_.diesPerChip || plane_idx >= geom_.planesPerDie)
+        panic("Chip::plane: address out of range");
+    return planes_[static_cast<std::size_t>(die) * geom_.planesPerDie +
+                   plane_idx];
+}
+
+const Plane &
+Chip::plane(std::uint32_t die, std::uint32_t plane_idx) const
+{
+    return const_cast<Chip *>(this)->plane(die, plane_idx);
+}
+
+Block &
+Chip::blockAt(const ChipPageAddr &a)
+{
+    return plane(a.die, a.plane).block(a.block);
+}
+
+void
+Chip::programPage(const ChipPageAddr &a, const BitVector *data)
+{
+    blockAt(a).program(a.wordline, a.msb, data);
+}
+
+BitVector
+Chip::readPage(const ChipPageAddr &a)
+{
+    Block &blk = blockAt(a);
+    if (blk.pageState(a.wordline, a.msb) != PageState::kValid)
+        logWarn("Chip::readPage: reading a non-valid page");
+    const BitVector *d = blk.pageData(a.wordline, a.msb);
+    return d ? *d : BitVector(geom_.pageBits(), true);
+}
+
+void
+Chip::eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
+                 std::uint32_t block)
+{
+    plane(die, plane_idx).block(block).erase();
+}
+
+namespace {
+
+/**
+ * Run @p prog twice — once clean, once with the noise hook — and report
+ * the output bit errors as the difference.  The clean run is skipped
+ * when the error model is disabled.
+ */
+BitVector
+runWithErrors(const MicroProgram &prog, const WordlineData &self,
+              const WordlineData &wl_m, const WordlineData &wl_n,
+              const ErrorModel &em, std::uint32_t pe, Rng &rng,
+              std::size_t width, int *bit_errors)
+{
+    LatchArray la(width);
+    if (!em.enabled()) {
+        la.execute(prog, self, wl_m, wl_n);
+        if (bit_errors)
+            *bit_errors = 0;
+        return la.out();
+    }
+
+    SenseNoiseHook noise = [&](BitVector &so, int) {
+        em.inject(so, pe, rng);
+    };
+    la.execute(prog, self, wl_m, wl_n, noise);
+    BitVector noisy = la.out();
+    if (bit_errors) {
+        LatchArray clean(width);
+        clean.execute(prog, self, wl_m, wl_n);
+        *bit_errors = static_cast<int>((noisy ^ clean.out()).popcount());
+    }
+    return noisy;
+}
+
+} // namespace
+
+BitVector
+Chip::opCoLocated(BitwiseOp op, const ChipPageAddr &a, int *bit_errors)
+{
+    Block &blk = blockAt(a);
+    const WordlineData wl = blk.wordlineData(a.wordline);
+    return runWithErrors(coLocatedProgram(op), wl, {}, {}, errorModel_,
+                         blk.eraseCount(), rng_, geom_.pageBits(),
+                         bit_errors);
+}
+
+BitVector
+Chip::opLocationFree(BitwiseOp op, const ChipPageAddr &m,
+                     const ChipPageAddr &n, int *bit_errors,
+                     LocFreeVariant variant)
+{
+    if (m.die != n.die || m.plane != n.plane)
+        panic("Chip::opLocationFree: operands must share a plane (bitlines)");
+    Block &bm = blockAt(m);
+    Block &bn = blockAt(n);
+    const WordlineData wm = bm.wordlineData(m.wordline);
+    const WordlineData wn = bn.wordlineData(n.wordline);
+    const std::uint32_t pe = std::max(bm.eraseCount(), bn.eraseCount());
+    return runWithErrors(locationFreeProgram(op, variant), {}, wm, wn,
+                         errorModel_, pe, rng_, geom_.pageBits(), bit_errors);
+}
+
+BitVector
+Chip::opBufferedOperand(BitwiseOp op, const BitVector &m_buffer,
+                        const ChipPageAddr &n, int *bit_errors)
+{
+    Block &bn = blockAt(n);
+    const WordlineData wn = bn.wordlineData(n.wordline);
+    // The buffer plays the LSB page of a virtual wordline; only N's
+    // sensings can err, but the shared noise hook is close enough at
+    // the rates involved (the buffer path has no sense amplifier).
+    const WordlineData wm{&m_buffer, nullptr};
+    return runWithErrors(
+        locationFreeProgram(op, LocFreeVariant::kLsbLsb), {}, wm, wn,
+        errorModel_, bn.eraseCount(), rng_, geom_.pageBits(), bit_errors);
+}
+
+PageState
+Chip::pageState(const ChipPageAddr &a)
+{
+    return blockAt(a).pageState(a.wordline, a.msb);
+}
+
+std::uint32_t
+Chip::blockEraseCount(std::uint32_t die, std::uint32_t plane_idx,
+                      std::uint32_t block)
+{
+    return plane(die, plane_idx).block(block).eraseCount();
+}
+
+} // namespace parabit::flash

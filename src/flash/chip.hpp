@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A NAND flash chip: dies of planes, with the functional command set the
+ * SSD controller drives — page read/program, block erase, and the two
+ * ParaBit operation modes.
+ *
+ * The chip is purely functional; all timing is computed by the SSD layer
+ * from FlashTiming plus the MicroProgram step counts, so the same chip
+ * model backs both the event-driven simulator and the closed-form cost
+ * model.
+ */
+
+#ifndef PARABIT_FLASH_CHIP_HPP_
+#define PARABIT_FLASH_CHIP_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "flash/error_model.hpp"
+#include "flash/geometry.hpp"
+#include "flash/plane.hpp"
+#include "flash/timing.hpp"
+
+namespace parabit::flash {
+
+/** Page address within one chip. */
+struct ChipPageAddr
+{
+    std::uint32_t die = 0;
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0;
+    std::uint32_t wordline = 0;
+    bool msb = false;
+
+    bool operator==(const ChipPageAddr &) const = default;
+};
+
+/** One flash chip; see file comment. */
+class Chip
+{
+  public:
+    /**
+     * @param geom device geometry (chip uses the per-chip fields)
+     * @param store_data whether pages carry payloads
+     * @param error_cfg sensing-error model configuration
+     * @param seed RNG seed for error injection
+     */
+    Chip(const FlashGeometry &geom, bool store_data,
+         const ErrorModelConfig &error_cfg = ErrorModelConfig::ideal(),
+         std::uint64_t seed = 1);
+
+    const FlashGeometry &geometry() const { return geom_; }
+
+    Plane &plane(std::uint32_t die, std::uint32_t plane_idx);
+    const Plane &plane(std::uint32_t die, std::uint32_t plane_idx) const;
+
+    /** @name Functional command set. */
+    /// @{
+
+    /** Program a free page.  @p data may be null in timing-only mode. */
+    void programPage(const ChipPageAddr &a, const BitVector *data);
+
+    /**
+     * Read a valid page through the normal (ECC-protected) path.  The
+     * returned data is error-free per paper Section 5.8 (ECC corrects
+     * normal reads).  Pages without stored payload read as all-ones.
+     */
+    BitVector readPage(const ChipPageAddr &a);
+
+    void eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
+                    std::uint32_t block);
+
+    /**
+     * Execute a co-located ParaBit operation on the wordline of @p a:
+     * the LSB page is operand X and the MSB page operand Y.  Sensing
+     * errors are injected per the chip's error model at the block's P/E
+     * count (ParaBit results bypass ECC).
+     * @param bit_errors if non-null, receives the number of injected SO
+     *        flips that survived into the output.
+     */
+    BitVector opCoLocated(BitwiseOp op, const ChipPageAddr &a,
+                          int *bit_errors = nullptr);
+
+    /**
+     * Execute a location-free ParaBit operation: operand M lives on the
+     * wordline at @p m (MSB page in the kMsbLsb variant, LSB page in
+     * kLsbLsb), operand N on the wordline at @p n (always the LSB page).
+     * Both must share the chip/die/plane (same bitlines); violating that
+     * is a caller bug.
+     */
+    BitVector opLocationFree(BitwiseOp op, const ChipPageAddr &m,
+                             const ChipPageAddr &n, int *bit_errors = nullptr,
+                             LocFreeVariant variant = LocFreeVariant::kMsbLsb);
+
+    /**
+     * Execute a location-free operation whose M operand is a buffered
+     * intermediate result re-loaded into the latch through the data-load
+     * path (paper Section 4.2's chained-operation handling): only the N
+     * operand is sensed from cells, so no flash page is programmed.
+     * Uses the LSB/LSB program variant with the buffer standing in for
+     * M's page.
+     */
+    BitVector opBufferedOperand(BitwiseOp op, const BitVector &m_buffer,
+                                const ChipPageAddr &n,
+                                int *bit_errors = nullptr);
+    /// @}
+
+    PageState pageState(const ChipPageAddr &a);
+    std::uint32_t blockEraseCount(std::uint32_t die, std::uint32_t plane_idx,
+                                  std::uint32_t block);
+
+    const ErrorModel &errorModel() const { return errorModel_; }
+
+  private:
+    Block &blockAt(const ChipPageAddr &a);
+
+    FlashGeometry geom_;
+    ErrorModel errorModel_;
+    Rng rng_;
+    std::vector<Plane> planes_; ///< dies x planes, row-major
+};
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_CHIP_HPP_

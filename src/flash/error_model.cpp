@@ -1,0 +1,52 @@
+#include "flash/error_model.hpp"
+
+#include <cmath>
+
+namespace parabit::flash {
+
+ErrorModel::ErrorModel(const ErrorModelConfig &cfg) : cfg_(cfg)
+{
+    // rber(pe) = rber0 * exp(k * pe), with
+    //   rber(ref) = rberAtRef and rber(ref)/rber(0) = 10^decades.
+    const double ln10 = std::log(10.0);
+    growthK_ = cfg_.decadesOverLife * ln10 / cfg_.refPeCycles;
+    rber0_ = cfg_.rberAtRef() / std::pow(10.0, cfg_.decadesOverLife);
+}
+
+double
+ErrorModel::rberPerSense(std::uint32_t pe_cycles) const
+{
+    if (cfg_.rberAtRef() <= 0.0)
+        return 0.0;
+    return rber0_ * std::exp(growthK_ * static_cast<double>(pe_cycles));
+}
+
+int
+ErrorModel::inject(BitVector &so, std::uint32_t pe_cycles, Rng &rng) const
+{
+    const double p = rberPerSense(pe_cycles);
+    if (p <= 0.0 || so.empty())
+        return 0;
+
+    // Draw the flip count from Poisson(n*p) by inversion; lambda is far
+    // below 1 for all configurations of interest so this loop is short.
+    const double lambda = p * static_cast<double>(so.size());
+    const double floor_p = std::exp(-lambda);
+    double acc = floor_p;
+    double term = floor_p;
+    const double u = rng.uniform();
+    int flips = 0;
+    while (u > acc && flips < 1000) {
+        ++flips;
+        term *= lambda / flips;
+        acc += term;
+    }
+
+    for (int i = 0; i < flips; ++i) {
+        const auto pos = static_cast<std::size_t>(rng.below(so.size()));
+        so.set(pos, !so.get(pos));
+    }
+    return flips;
+}
+
+} // namespace parabit::flash

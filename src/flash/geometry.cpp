@@ -1,0 +1,38 @@
+#include "flash/geometry.hpp"
+
+namespace parabit::flash {
+
+std::uint64_t
+linearPageIndex(const FlashGeometry &g, const PhysPageAddr &a)
+{
+    std::uint64_t idx = a.channel;
+    idx = idx * g.chipsPerChannel + a.chip;
+    idx = idx * g.diesPerChip + a.die;
+    idx = idx * g.planesPerDie + a.plane;
+    idx = idx * g.blocksPerPlane + a.block;
+    idx = idx * g.wordlinesPerBlock + a.wordline;
+    idx = idx * 2 + (a.msb ? 1 : 0);
+    return idx;
+}
+
+PhysPageAddr
+pageFromLinear(const FlashGeometry &g, std::uint64_t index)
+{
+    PhysPageAddr a;
+    a.msb = (index % 2) != 0;
+    index /= 2;
+    a.wordline = static_cast<std::uint32_t>(index % g.wordlinesPerBlock);
+    index /= g.wordlinesPerBlock;
+    a.block = static_cast<std::uint32_t>(index % g.blocksPerPlane);
+    index /= g.blocksPerPlane;
+    a.plane = static_cast<std::uint32_t>(index % g.planesPerDie);
+    index /= g.planesPerDie;
+    a.die = static_cast<std::uint32_t>(index % g.diesPerChip);
+    index /= g.diesPerChip;
+    a.chip = static_cast<std::uint32_t>(index % g.chipsPerChannel);
+    index /= g.chipsPerChannel;
+    a.channel = static_cast<std::uint32_t>(index);
+    return a;
+}
+
+} // namespace parabit::flash

@@ -1,0 +1,127 @@
+#include "flash/latch_array.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace parabit::flash {
+
+LatchArray::LatchArray(std::size_t width)
+    : width_(width), so_(width), a_(width), c_(width), b_(width), out_(width)
+{
+}
+
+void
+LatchArray::deriveSo(const WordlineData &wl, VRead v)
+{
+    // Treat absent pages as all-ones (the erased value); operand reads
+    // never depend on the companion page, which the unit tests verify.
+    const BitVector ones(width_, true);
+    const BitVector &lsb = wl.lsb ? *wl.lsb : ones;
+    const BitVector &msb = wl.msb ? *wl.msb : ones;
+    assert(lsb.size() == width_ && msb.size() == width_);
+
+    switch (v) {
+      case VRead::kVRead0:
+        so_.fill(true);
+        break;
+      case VRead::kVRead1:
+        so_ = ~(lsb & msb);
+        break;
+      case VRead::kVRead2:
+        so_ = ~lsb;
+        break;
+      case VRead::kVRead3:
+        so_ = ~lsb & msb;
+        break;
+    }
+}
+
+void
+LatchArray::execute(const MicroProgram &prog, const WordlineData &self,
+                    const WordlineData &wl_m, const WordlineData &wl_n,
+                    const SenseNoiseHook &noise)
+{
+    int sense_index = 0;
+    for (const auto &st : prog.steps) {
+        switch (st.kind) {
+          case MicroStep::Kind::kInitNormal:
+            c_.fill(false);
+            a_ = ~c_;
+            out_.fill(false);
+            b_ = ~out_;
+            break;
+          case MicroStep::Kind::kInitInverted:
+            a_.fill(false);
+            c_ = ~a_;
+            out_.fill(false);
+            b_ = ~out_;
+            break;
+          case MicroStep::Kind::kSense: {
+            ++sense_index;
+            switch (st.wl) {
+              case WordlineSel::kSelf:
+                deriveSo(self, st.vread);
+                break;
+              case WordlineSel::kOperandM:
+                deriveSo(wl_m, st.vread);
+                break;
+              case WordlineSel::kOperandN:
+                deriveSo(wl_n, st.vread);
+                break;
+              case WordlineSel::kNone:
+                // Re-init sense at VREAD0: always "above".
+                so_.fill(true);
+                break;
+            }
+            if (st.soInverted)
+                so_.invert();
+            if (noise)
+                noise(so_, sense_index);
+            if (st.pulse == LatchPulse::kM1) {
+                c_ &= ~so_;
+                a_ = ~c_;
+            } else if (st.pulse == LatchPulse::kM2) {
+                a_ &= ~so_;
+                c_ = ~a_;
+            } else {
+                panic("LatchArray: sense step cannot pulse M3");
+            }
+            break;
+          }
+          case MicroStep::Kind::kTransfer:
+            b_ &= ~a_;
+            out_ = ~b_;
+            break;
+        }
+    }
+}
+
+BitVector
+executeCoLocated(BitwiseOp op, const BitVector &x, const BitVector &y,
+                 const SenseNoiseHook &noise)
+{
+    assert(x.size() == y.size());
+    LatchArray la(x.size());
+    la.execute(coLocatedProgram(op), WordlineData{&x, &y}, {}, {}, noise);
+    return la.out();
+}
+
+BitVector
+executeLocationFree(BitwiseOp op, const BitVector &m, const BitVector &n,
+                    const BitVector *m_companion, const BitVector *n_companion,
+                    const SenseNoiseHook &noise, LocFreeVariant variant)
+{
+    assert(m.size() == n.size());
+    LatchArray la(m.size());
+    // kMsbLsb: operand M occupies the MSB page of its wordline; kLsbLsb:
+    // its LSB page.  Operand N always occupies the LSB page of its
+    // wordline.  Companion pages hold unrelated data.
+    const bool m_in_msb = variant == LocFreeVariant::kMsbLsb;
+    WordlineData wl_m{m_in_msb ? m_companion : &m, m_in_msb ? &m : m_companion};
+    WordlineData wl_n{&n, n_companion};
+    la.execute(locationFreeProgram(op, variant), {}, wl_m, wl_n, noise);
+    return la.out();
+}
+
+} // namespace parabit::flash

@@ -1,0 +1,65 @@
+#include "flash/latch_circuit.hpp"
+
+namespace parabit::flash {
+
+void
+LatchCircuit::initNormal()
+{
+    so_ = statevec::kAllZero;
+    c_ = statevec::kAllZero;
+    a_ = ~c_;
+    out_ = statevec::kAllZero;
+    b_ = ~out_;
+}
+
+void
+LatchCircuit::initInverted()
+{
+    so_ = statevec::kAllZero;
+    a_ = statevec::kAllZero;
+    c_ = ~a_;
+    out_ = statevec::kAllZero;
+    b_ = ~out_;
+}
+
+void
+LatchCircuit::reinitL1Inverted()
+{
+    a_ = statevec::kAllZero;
+    c_ = ~a_;
+}
+
+void
+LatchCircuit::sense(VRead v)
+{
+    so_ = senseVector(v);
+}
+
+void
+LatchCircuit::driveSo(StateVec so)
+{
+    so_ = so;
+}
+
+void
+LatchCircuit::pulseM1()
+{
+    c_ = c_ & ~so_;
+    a_ = ~c_;
+}
+
+void
+LatchCircuit::pulseM2()
+{
+    a_ = a_ & ~so_;
+    c_ = ~a_;
+}
+
+void
+LatchCircuit::pulseM3()
+{
+    b_ = b_ & ~a_;
+    out_ = ~b_;
+}
+
+} // namespace parabit::flash

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MLC cell state model and the Gray encoding between (LSB, MSB) bit pairs
+ * and threshold-voltage states.
+ *
+ * Table 1 of the paper fixes the mapping used throughout:
+ *
+ *   state  (LSB/MSB)
+ *   E      (1/1)      lowest threshold voltage (erased)
+ *   S1     (1/0)
+ *   S2     (0/0)
+ *   S3     (0/1)      highest threshold voltage
+ *
+ * Sensing at VREAD1/2/3 separates E|S1, S1|S2 and S2|S3 respectively;
+ * VREAD0 sits below the E distribution so every cell reads as "above".
+ */
+
+#ifndef PARABIT_FLASH_MLC_HPP_
+#define PARABIT_FLASH_MLC_HPP_
+
+#include <cstdint>
+
+#include "common/statevec.hpp"
+
+namespace parabit::flash {
+
+/** The four MLC threshold-voltage states, lowest voltage first. */
+enum class MlcState : std::uint8_t { kE = 0, kS1 = 1, kS2 = 2, kS3 = 3 };
+
+inline constexpr int kNumMlcStates = 4;
+
+/** LSB bit stored by a cell in @p s (Table 1). */
+constexpr bool
+mlcLsb(MlcState s)
+{
+    return s == MlcState::kE || s == MlcState::kS1;
+}
+
+/** MSB bit stored by a cell in @p s (Table 1). */
+constexpr bool
+mlcMsb(MlcState s)
+{
+    return s == MlcState::kE || s == MlcState::kS3;
+}
+
+/** Gray-encode an (LSB, MSB) pair into the cell state (Table 1 inverse). */
+constexpr MlcState
+mlcEncode(bool lsb, bool msb)
+{
+    if (lsb)
+        return msb ? MlcState::kE : MlcState::kS1;
+    return msb ? MlcState::kS3 : MlcState::kS2;
+}
+
+/**
+ * Sensing reference voltages.  kVRead0 is below the E distribution (used
+ * by the XNOR/XOR sequences to reset L1 via a sensing step that always
+ * reports "above"); kVRead1..3 are the three standard MLC read levels.
+ */
+enum class VRead : std::uint8_t
+{
+    kVRead0 = 0,
+    kVRead1 = 1,
+    kVRead2 = 2,
+    kVRead3 = 3,
+};
+
+/**
+ * Single Read Operation against a hypothetical cell: true iff a cell in
+ * state @p s has threshold voltage above reference @p v.
+ *
+ * State ordinal >= reference ordinal  <=>  voltage above reference:
+ * VREAD0 < E < VREAD1 < S1 < VREAD2 < S2 < VREAD3 < S3.
+ */
+constexpr bool
+senseAbove(MlcState s, VRead v)
+{
+    return static_cast<int>(s) >= static_cast<int>(v);
+}
+
+/**
+ * The paper's L(SO) vector for a sensing at @p v: position i is the SO
+ * value if the sensed cell is in state i.  E.g. VREAD2 -> "0011".
+ */
+constexpr StateVec
+senseVector(VRead v)
+{
+    return StateVec(senseAbove(MlcState::kE, v),
+                    senseAbove(MlcState::kS1, v),
+                    senseAbove(MlcState::kS2, v),
+                    senseAbove(MlcState::kS3, v));
+}
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_MLC_HPP_

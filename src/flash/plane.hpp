@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A flash plane: an independently operable array of blocks sharing one
+ * set of bitlines and one latching-circuit column (data register L1 +
+ * cache register L2).
+ *
+ * Blocks are materialised lazily so that device-scale geometries (half a
+ * million blocks) cost nothing until touched; untouched blocks behave as
+ * fully erased.
+ */
+
+#ifndef PARABIT_FLASH_PLANE_HPP_
+#define PARABIT_FLASH_PLANE_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bitvector.hpp"
+#include "flash/block.hpp"
+#include "flash/geometry.hpp"
+
+namespace parabit::flash {
+
+/** One plane; see file comment. */
+class Plane
+{
+  public:
+    Plane(const FlashGeometry &geom, bool store_data)
+        : blocksPerPlane_(geom.blocksPerPlane),
+          wordlinesPerBlock_(geom.wordlinesPerBlock),
+          pageBits_(geom.pageBits()), storeData_(store_data)
+    {}
+
+    /** Access (and lazily create) block @p b. */
+    Block &block(std::uint32_t b);
+
+    /** Block @p b if it has ever been touched, else nullptr. */
+    const Block *blockIfExists(std::uint32_t b) const;
+
+    /** Number of blocks materialised so far. */
+    std::size_t touchedBlocks() const { return blocks_.size(); }
+
+    /** Sum of erase counts over touched blocks. */
+    std::uint64_t totalErases() const;
+
+    bool storesData() const { return storeData_; }
+
+  private:
+    // Geometry fields are held by value so Plane (and its owning Chip)
+    // stays safely movable inside containers.
+    std::uint32_t blocksPerPlane_;
+    std::uint32_t wordlinesPerBlock_;
+    std::size_t pageBits_;
+    bool storeData_;
+    std::unordered_map<std::uint32_t, Block> blocks_;
+};
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_PLANE_HPP_

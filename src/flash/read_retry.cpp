@@ -1,0 +1,91 @@
+#include "flash/read_retry.hpp"
+
+#include "common/logging.hpp"
+
+namespace parabit::flash {
+
+BitVector
+majorityVote(const std::vector<BitVector> &runs)
+{
+    if (runs.empty())
+        panic("majorityVote: no runs");
+    if (runs.size() % 2 == 0)
+        panic("majorityVote: vote count must be odd");
+    if (runs.size() == 1)
+        return runs[0];
+
+    // Word-parallel counting: for each bit, out = 1 iff more than half
+    // of the runs have it set.  Votes are small (3..7), so a simple
+    // per-run accumulation over counters expressed as bit-sliced adders
+    // would be overkill; count per word in a small loop instead.
+    BitVector out(runs[0].size());
+    const std::size_t words = runs[0].words().size();
+    const int half = static_cast<int>(runs.size()) / 2;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t result = 0;
+        for (int bit = 0; bit < 64; ++bit) {
+            const std::uint64_t mask = std::uint64_t{1} << bit;
+            int ones = 0;
+            for (const auto &r : runs)
+                ones += (r.words()[w] & mask) ? 1 : 0;
+            if (ones > half)
+                result |= mask;
+        }
+        out.words()[w] = result;
+    }
+    out.maskTail();
+    return out;
+}
+
+namespace {
+
+VotedResult
+vote(std::vector<BitVector> runs, const BitVector &clean)
+{
+    VotedResult v;
+    v.votes = static_cast<int>(runs.size());
+    v.out = majorityVote(runs);
+    v.totalBitErrors = static_cast<int>((v.out ^ clean).popcount());
+    return v;
+}
+
+} // namespace
+
+VotedResult
+opCoLocatedVoted(Chip &chip, BitwiseOp op, const ChipPageAddr &a, int votes)
+{
+    if (votes < 1 || votes % 2 == 0)
+        panic("opCoLocatedVoted: vote count must be odd and positive");
+    std::vector<BitVector> runs;
+    runs.reserve(static_cast<std::size_t>(votes));
+    for (int k = 0; k < votes; ++k)
+        runs.push_back(chip.opCoLocated(op, a));
+    // The clean reference: majority over many runs converges to it, but
+    // for error accounting re-run once against an ideal twin is not
+    // available here; use the op recomputed from the stored pages.
+    Block &blk = chip.plane(a.die, a.plane).block(a.block);
+    const WordlineData wl = blk.wordlineData(a.wordline);
+    LatchArray la(chip.geometry().pageBits());
+    la.execute(coLocatedProgram(op), wl);
+    return vote(std::move(runs), la.out());
+}
+
+VotedResult
+opLocationFreeVoted(Chip &chip, BitwiseOp op, const ChipPageAddr &m,
+                    const ChipPageAddr &n, int votes, LocFreeVariant variant)
+{
+    if (votes < 1 || votes % 2 == 0)
+        panic("opLocationFreeVoted: vote count must be odd and positive");
+    std::vector<BitVector> runs;
+    runs.reserve(static_cast<std::size_t>(votes));
+    for (int k = 0; k < votes; ++k)
+        runs.push_back(chip.opLocationFree(op, m, n, nullptr, variant));
+    Block &bm = chip.plane(m.die, m.plane).block(m.block);
+    Block &bn = chip.plane(n.die, n.plane).block(n.block);
+    LatchArray la(chip.geometry().pageBits());
+    la.execute(locationFreeProgram(op, variant), {},
+               bm.wordlineData(m.wordline), bn.wordlineData(n.wordline));
+    return vote(std::move(runs), la.out());
+}
+
+} // namespace parabit::flash

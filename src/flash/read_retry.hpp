@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Majority-vote redundant execution of ParaBit operations.
+ *
+ * Section 5.8 notes that ParaBit results bypass ECC (the operation
+ * happens after sensing, where ECC cannot check), and that real devices
+ * mitigate sensing errors with read-retry / voltage-calibration reads.
+ * For an in-flash *computation* the natural analogue is redundant
+ * execution: run the operation k times and take a per-bitline majority
+ * vote of the outputs.  With independent per-sensing error probability
+ * p per execution, the voted error rate drops from O(p) to O(p^2) for
+ * k = 3 — two executions must err on the same bitline.
+ *
+ * The cost is k times the sensing latency/energy, which
+ * bench_ablation_retry quantifies against the error-rate gain.
+ */
+
+#ifndef PARABIT_FLASH_READ_RETRY_HPP_
+#define PARABIT_FLASH_READ_RETRY_HPP_
+
+#include "flash/chip.hpp"
+
+namespace parabit::flash {
+
+/** Result of a majority-voted execution. */
+struct VotedResult
+{
+    BitVector out;
+    int votes = 0;         ///< executions performed
+    int totalBitErrors = 0; ///< residual errors after voting (vs clean)
+};
+
+/**
+ * Execute a co-located operation @p votes times (odd) on @p chip and
+ * majority-vote the outputs per bitline.
+ */
+VotedResult opCoLocatedVoted(Chip &chip, BitwiseOp op, const ChipPageAddr &a,
+                             int votes);
+
+/** Location-free counterpart of opCoLocatedVoted(). */
+VotedResult opLocationFreeVoted(Chip &chip, BitwiseOp op,
+                                const ChipPageAddr &m, const ChipPageAddr &n,
+                                int votes,
+                                LocFreeVariant variant =
+                                    LocFreeVariant::kMsbLsb);
+
+/** Per-bitline majority of an odd number of equal-size vectors. */
+BitVector majorityVote(const std::vector<BitVector> &runs);
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_READ_RETRY_HPP_

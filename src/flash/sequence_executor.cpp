@@ -1,0 +1,133 @@
+#include "flash/sequence_executor.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace parabit::flash {
+
+namespace {
+
+void
+applyPulse(LatchCircuit &lc, LatchPulse p)
+{
+    switch (p) {
+      case LatchPulse::kM1: lc.pulseM1(); break;
+      case LatchPulse::kM2: lc.pulseM2(); break;
+      case LatchPulse::kM3: lc.pulseM3(); break;
+    }
+}
+
+std::string
+stepLabel(const MicroStep &st)
+{
+    switch (st.kind) {
+      case MicroStep::Kind::kInitNormal: return "Initialization";
+      case MicroStep::Kind::kInitInverted: return "Initialization (inv)";
+      case MicroStep::Kind::kSense: {
+        std::ostringstream os;
+        os << "VREAD" << static_cast<int>(st.vread) << " / M"
+           << (st.pulse == LatchPulse::kM1 ? 1 : 2);
+        if (st.soInverted)
+            os << " (M7)";
+        return os.str();
+      }
+      case MicroStep::Kind::kTransfer: return "L1 to L2";
+    }
+    return "?";
+}
+
+} // namespace
+
+StateVec
+runSymbolicTraced(const MicroProgram &prog, std::vector<SymbolicTraceRow> &trace)
+{
+    LatchCircuit lc;
+    trace.clear();
+    for (const auto &st : prog.steps) {
+        switch (st.kind) {
+          case MicroStep::Kind::kInitNormal:
+            lc.initNormal();
+            break;
+          case MicroStep::Kind::kInitInverted:
+            lc.initInverted();
+            break;
+          case MicroStep::Kind::kSense:
+            if (st.wl != WordlineSel::kSelf && st.wl != WordlineSel::kNone) {
+                panic("runSymbolic: location-free program needs runScalar");
+            }
+            lc.sense(st.vread);
+            if (st.soInverted)
+                lc.driveSo(~lc.so());
+            applyPulse(lc, st.pulse);
+            break;
+          case MicroStep::Kind::kTransfer:
+            applyPulse(lc, LatchPulse::kM3);
+            break;
+        }
+        trace.push_back({stepLabel(st), lc.so(), lc.c(), lc.a(), lc.b(),
+                         lc.out()});
+    }
+    return lc.out();
+}
+
+StateVec
+runSymbolic(const MicroProgram &prog)
+{
+    std::vector<SymbolicTraceRow> trace;
+    return runSymbolicTraced(prog, trace);
+}
+
+bool
+runScalar(const MicroProgram &prog, MlcState cell_self, MlcState cell_m,
+          MlcState cell_n)
+{
+    // Scalar circuit: each node is one bit.  The latch algebra is the
+    // same as the symbolic model's, specialised to width 1.
+    bool so = false, a = false, c = false, b = false, out = false;
+
+    auto cell_for = [&](WordlineSel wl) {
+        switch (wl) {
+          case WordlineSel::kSelf: return cell_self;
+          case WordlineSel::kOperandM: return cell_m;
+          case WordlineSel::kOperandN: return cell_n;
+          case WordlineSel::kNone: return MlcState::kE; // unused
+        }
+        return MlcState::kE;
+    };
+
+    for (const auto &st : prog.steps) {
+        switch (st.kind) {
+          case MicroStep::Kind::kInitNormal:
+            c = false; a = true; out = false; b = true;
+            break;
+          case MicroStep::Kind::kInitInverted:
+            a = false; c = true; out = false; b = true;
+            break;
+          case MicroStep::Kind::kSense:
+            if (st.wl == WordlineSel::kNone) {
+                // VREAD0 re-init sense: SO always reports "above".
+                so = true;
+            } else {
+                so = senseAbove(cell_for(st.wl), st.vread);
+            }
+            if (st.soInverted)
+                so = !so;
+            if (st.pulse == LatchPulse::kM1) {
+                c = c && !so;
+                a = !c;
+            } else {
+                a = a && !so;
+                c = !a;
+            }
+            break;
+          case MicroStep::Kind::kTransfer:
+            b = b && !a;
+            out = !b;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace parabit::flash

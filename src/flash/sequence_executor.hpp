@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Executors that run MicroPrograms against the latch-circuit models.
+ *
+ * Two small interpreters live here:
+ *
+ *  - runSymbolic(): drives the four-state symbolic LatchCircuit with a
+ *    co-located program and returns the final L(OUT) StateVec.  Used to
+ *    verify the paper's Tables 2-5 / Figs 5-6 literally.
+ *
+ *  - runScalar(): drives a scalar (single-bitline) circuit with concrete
+ *    operand bits, supporting both co-located and location-free programs.
+ *    For location-free programs the cells' "don't care" companion bits
+ *    are explicit parameters, so tests can prove the result is
+ *    independent of unrelated data sharing the operand cells.
+ */
+
+#ifndef PARABIT_FLASH_SEQUENCE_EXECUTOR_HPP_
+#define PARABIT_FLASH_SEQUENCE_EXECUTOR_HPP_
+
+#include "common/statevec.hpp"
+#include "flash/latch_circuit.hpp"
+#include "flash/op_sequences.hpp"
+
+namespace parabit::flash {
+
+/**
+ * Execute a co-located @p prog on the symbolic circuit.
+ * @return the final L(OUT) vector (one output bit per MLC state).
+ * Programs containing location-free steps are rejected with panic().
+ */
+StateVec runSymbolic(const MicroProgram &prog);
+
+/**
+ * Step-by-step symbolic trace entry, mirroring one row of the paper's
+ * tables.
+ */
+struct SymbolicTraceRow
+{
+    std::string label; ///< e.g. "VREAD1 / M2" or "L1 to L2"
+    StateVec so, c, a, b, out;
+};
+
+/** As runSymbolic(), but also returns the per-step node values. */
+StateVec runSymbolicTraced(const MicroProgram &prog,
+                           std::vector<SymbolicTraceRow> &trace);
+
+/**
+ * Scalar single-bitline execution with concrete data.
+ *
+ * Co-located programs read both operands from @p cell_self
+ * (LSB = first operand, MSB = second).  Location-free programs read
+ * operand M from the MSB of @p cell_m and operand N from the LSB of
+ * @p cell_n; the companion bits of those cells are whatever the caller
+ * placed there and must not influence the result.
+ *
+ * @return the final OUT bit.
+ */
+bool runScalar(const MicroProgram &prog, MlcState cell_self,
+               MlcState cell_m = MlcState::kE,
+               MlcState cell_n = MlcState::kE);
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_SEQUENCE_EXECUTOR_HPP_

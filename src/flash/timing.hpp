@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Flash timing parameters (paper Section 5.1 values for MLC NAND).
+ */
+
+#ifndef PARABIT_FLASH_TIMING_HPP_
+#define PARABIT_FLASH_TIMING_HPP_
+
+#include "common/units.hpp"
+
+namespace parabit::flash {
+
+/**
+ * Latency model for flash array operations and channel transfers.
+ *
+ * The paper sets one Single Read Operation (SRO) to 25 us and a page
+ * program to 640 us (typical MLC values, matching the 970 PRO class
+ * device and [32]).  An LSB read costs one SRO, an MSB read two; a
+ * ParaBit operation costs MicroProgram::senseCount() SROs.
+ */
+struct FlashTiming
+{
+    /** One sensing (SRO). */
+    Tick tSense = ticks::fromUs(25);
+    /** One page program (either logical page of a wordline). */
+    Tick tProgram = ticks::fromUs(640);
+    /** Block erase. */
+    Tick tErase = ticks::fromMs(3.5);
+    /** ONFI channel bandwidth for page transfers, bytes per second. */
+    double channelBytesPerSec = 800.0e6;
+    /** Command/address cycle overhead per flash command. */
+    Tick tCmdOverhead = ticks::fromNs(200);
+
+    Tick
+    transferTime(Bytes n) const
+    {
+        return ticks::fromSec(static_cast<double>(n) / channelBytesPerSec);
+    }
+
+    Tick lsbReadTime() const { return tSense; }
+    Tick msbReadTime() const { return 2 * tSense; }
+    Tick senseTime(int sro_count) const
+    {
+        return static_cast<Tick>(sro_count) * tSense;
+    }
+};
+
+} // namespace parabit::flash
+
+#endif // PARABIT_FLASH_TIMING_HPP_

@@ -1,0 +1,203 @@
+#include "flash/tlc.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace parabit::flash::tlc {
+
+int
+tlcEncode(bool lsb, bool csb, bool msb)
+{
+    for (int s = 0; s < kNumTlcStates; ++s) {
+        if (tlcBit(s, 0) == lsb && tlcBit(s, 1) == csb && tlcBit(s, 2) == msb)
+            return s;
+    }
+    panic("tlcEncode: unreachable (Gray map covers all triples)");
+}
+
+std::string
+TlcVec::toString() const
+{
+    std::string s(kNumTlcStates, '0');
+    for (int i = 0; i < kNumTlcStates; ++i)
+        if (at(i))
+            s[static_cast<std::size_t>(i)] = '1';
+    return s;
+}
+
+int
+TlcProgram::senseCount() const
+{
+    int n = 0;
+    for (const auto &st : steps)
+        if (st.kind == TlcStep::Kind::kSense)
+            ++n;
+    return n;
+}
+
+std::string
+TlcProgram::describe() const
+{
+    std::ostringstream os;
+    os << "TLC program for " << target.toString() << " (" << senseCount()
+       << " SROs)\n";
+    int row = 1;
+    for (const auto &st : steps) {
+        os << "  " << row++ << ". ";
+        switch (st.kind) {
+          case TlcStep::Kind::kInitNormal: os << "init normal"; break;
+          case TlcStep::Kind::kInitInverted: os << "init inverted"; break;
+          case TlcStep::Kind::kSense:
+            os << "sense VREAD" << st.vread << " / M"
+               << (st.pulse == LatchPulse::kM1 ? 1 : 2);
+            break;
+          case TlcStep::Kind::kTransfer: os << "transfer (M3)"; break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+TlcProgram
+synthesize(TlcVec target)
+{
+    TlcProgram prog;
+    prog.target = target;
+    auto &steps = prog.steps;
+
+    // Decompose the target into maximal runs of consecutive 1-states.
+    struct Run { int lo, hi; };
+    std::vector<Run> runs;
+    int s = 0;
+    while (s < kNumTlcStates) {
+        if (!target.at(s)) { ++s; continue; }
+        int e = s;
+        while (e + 1 < kNumTlcStates && target.at(e + 1))
+            ++e;
+        runs.push_back({s, e});
+        s = e + 1;
+    }
+
+    if (runs.empty()) {
+        // Constant zero: initialise and transfer an all-zero A.
+        steps.push_back({TlcStep::Kind::kInitInverted, 0, LatchPulse::kM2});
+        steps.push_back({TlcStep::Kind::kTransfer, 0, LatchPulse::kM3});
+        return prog;
+    }
+
+    bool first = true;
+    for (const auto &run : runs) {
+        if (run.lo == 0) {
+            // A starts all-ones (normal init / re-init via VREAD0+M1).
+            if (first) {
+                steps.push_back({TlcStep::Kind::kInitNormal, 0,
+                                 LatchPulse::kM1});
+            } else {
+                steps.push_back({TlcStep::Kind::kSense, 0, LatchPulse::kM1});
+            }
+        } else {
+            // A starts all-zero (inverted init / re-init via VREAD0+M2),
+            // then the lower bound arrives via M1: C collects "below
+            // VREAD(lo)" so A regenerates to "above".
+            if (first) {
+                steps.push_back({TlcStep::Kind::kInitInverted, 0,
+                                 LatchPulse::kM2});
+            } else {
+                steps.push_back({TlcStep::Kind::kSense, 0, LatchPulse::kM2});
+            }
+            steps.push_back({TlcStep::Kind::kSense, run.lo, LatchPulse::kM1});
+        }
+        if (run.hi < kNumTlcStates - 1) {
+            // Upper bound: A &= "below VREAD(hi+1)".
+            steps.push_back({TlcStep::Kind::kSense, run.hi + 1,
+                             LatchPulse::kM2});
+        }
+        steps.push_back({TlcStep::Kind::kTransfer, 0, LatchPulse::kM3});
+        first = false;
+    }
+    return prog;
+}
+
+TlcVec
+runSymbolic(const TlcProgram &prog)
+{
+    TlcVec so, a, c, b, out;
+    for (const auto &st : prog.steps) {
+        switch (st.kind) {
+          case TlcStep::Kind::kInitNormal:
+            c = TlcVec::allZero();
+            a = ~c;
+            out = TlcVec::allZero();
+            b = ~out;
+            break;
+          case TlcStep::Kind::kInitInverted:
+            a = TlcVec::allZero();
+            c = ~a;
+            out = TlcVec::allZero();
+            b = ~out;
+            break;
+          case TlcStep::Kind::kSense:
+            so = senseVector(st.vread);
+            if (st.pulse == LatchPulse::kM1) {
+                c = c & ~so;
+                a = ~c;
+            } else {
+                a = a & ~so;
+                c = ~a;
+            }
+            break;
+          case TlcStep::Kind::kTransfer:
+            b = b & ~a;
+            out = ~b;
+            break;
+        }
+    }
+    return out;
+}
+
+TlcVec
+and3Truth()
+{
+    return truthOf([](bool l, bool cb, bool m) { return l && cb && m; });
+}
+
+TlcVec
+or3Truth()
+{
+    return truthOf([](bool l, bool cb, bool m) { return l || cb || m; });
+}
+
+TlcVec
+nand3Truth()
+{
+    return ~and3Truth();
+}
+
+TlcVec
+nor3Truth()
+{
+    return ~or3Truth();
+}
+
+TlcVec
+xor3Truth()
+{
+    return truthOf([](bool l, bool cb, bool m) { return l ^ cb ^ m; });
+}
+
+TlcVec
+xnor3Truth()
+{
+    return ~xor3Truth();
+}
+
+TlcVec
+majority3Truth()
+{
+    return truthOf([](bool l, bool cb, bool m) {
+        return (static_cast<int>(l) + cb + m) >= 2;
+    });
+}
+
+} // namespace parabit::flash::tlc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * TLC extension of the ParaBit latch-circuit scheme (paper Section 4.4.1).
+ *
+ * TLC encodes eight threshold states; the paper gives the Gray map
+ * (bit order LSB/CSB/MSB):
+ *
+ *   E=111, S1=110, S2=100, S3=101, S4=001, S5=000, S6=010, S7=011
+ *
+ * and notes that, e.g., a three-operand AND is a single sensing at
+ * VREAD1 (it isolates state E, the only all-ones state).  This module
+ * generalises that observation: any target truth vector over the eight
+ * states decomposes into runs of consecutive states, and each run is
+ * isolable with at most two sensings (lower bound via M1 after an
+ * inverted re-init, upper bound via M2), accumulated into OUT through
+ * M3 transfers.  synthesize() emits the minimal such program; the named
+ * three-operand operations are provided on top of it.
+ */
+
+#ifndef PARABIT_FLASH_TLC_HPP_
+#define PARABIT_FLASH_TLC_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flash/op_sequences.hpp"
+
+namespace parabit::flash::tlc {
+
+inline constexpr int kNumTlcStates = 8;
+
+/** Bit of @p state on page @p page (0 = LSB, 1 = CSB, 2 = MSB). */
+constexpr bool
+tlcBit(int state, int page)
+{
+    // Gray map from the paper, bit order (LSB, CSB, MSB).
+    constexpr std::uint8_t kMap[kNumTlcStates] = {
+        0b111, 0b110, 0b100, 0b101, 0b001, 0b000, 0b010, 0b011};
+    return (kMap[state] >> (2 - page)) & 1u;
+}
+
+/** State storing the triple (lsb, csb, msb); inverse of tlcBit. */
+int tlcEncode(bool lsb, bool csb, bool msb);
+
+/** Eight-position logic vector, position 0 = state E ... 7 = state S7. */
+class TlcVec
+{
+  public:
+    constexpr TlcVec() : bits_(0) {}
+    explicit constexpr TlcVec(std::uint8_t mask) : bits_(mask) {}
+
+    constexpr bool at(int state) const { return (bits_ >> (7 - state)) & 1u; }
+    constexpr void
+    set(int state, bool v)
+    {
+        const std::uint8_t m = static_cast<std::uint8_t>(1u << (7 - state));
+        bits_ = v ? (bits_ | m) : (bits_ & static_cast<std::uint8_t>(~m));
+    }
+
+    constexpr TlcVec operator&(TlcVec r) const
+    { return TlcVec(static_cast<std::uint8_t>(bits_ & r.bits_)); }
+    constexpr TlcVec operator|(TlcVec r) const
+    { return TlcVec(static_cast<std::uint8_t>(bits_ | r.bits_)); }
+    constexpr TlcVec operator~() const
+    { return TlcVec(static_cast<std::uint8_t>(~bits_)); }
+    constexpr bool operator==(const TlcVec &) const = default;
+
+    std::string toString() const;
+
+    static constexpr TlcVec allOnes() { return TlcVec(0xFF); }
+    static constexpr TlcVec allZero() { return TlcVec(0x00); }
+
+  private:
+    std::uint8_t bits_;
+};
+
+/**
+ * Sensing vector at TLC reference @p vread (0..7): position s is 1 iff a
+ * cell in state s reads "above", i.e. s >= vread.  vread 0 always reads
+ * above (the re-initialisation sense).
+ */
+constexpr TlcVec
+senseVector(int vread)
+{
+    std::uint8_t m = 0;
+    for (int s = 0; s < kNumTlcStates; ++s)
+        if (s >= vread)
+            m = static_cast<std::uint8_t>(m | (1u << (7 - s)));
+    return TlcVec(m);
+}
+
+/** One control step of a TLC program. */
+struct TlcStep
+{
+    enum class Kind : std::uint8_t
+    { kInitNormal, kInitInverted, kSense, kTransfer };
+
+    Kind kind;
+    int vread = 0; ///< for kSense (0 = always-above re-init sense)
+    LatchPulse pulse = LatchPulse::kM2;
+};
+
+/** A TLC control program. */
+struct TlcProgram
+{
+    TlcVec target;
+    std::vector<TlcStep> steps;
+
+    int senseCount() const;
+    std::string describe() const;
+};
+
+/**
+ * Synthesize the control program computing @p target at OUT, using the
+ * run-decomposition described in the file comment.
+ */
+TlcProgram synthesize(TlcVec target);
+
+/** Execute @p prog on the 8-state symbolic circuit; returns L(OUT). */
+TlcVec runSymbolic(const TlcProgram &prog);
+
+/** Truth vector of a three-operand bit function @p fn(lsb, csb, msb). */
+template <typename Fn>
+constexpr TlcVec
+truthOf(Fn fn)
+{
+    TlcVec v;
+    for (int s = 0; s < kNumTlcStates; ++s)
+        v.set(s, fn(tlcBit(s, 0), tlcBit(s, 1), tlcBit(s, 2)));
+    return v;
+}
+
+/** @name Named three-operand truth vectors. */
+/// @{
+TlcVec and3Truth();
+TlcVec or3Truth();
+TlcVec nand3Truth();
+TlcVec nor3Truth();
+TlcVec xor3Truth();
+TlcVec xnor3Truth();
+TlcVec majority3Truth();
+/// @}
+
+} // namespace parabit::flash::tlc
+
+#endif // PARABIT_FLASH_TLC_HPP_

@@ -1,0 +1,98 @@
+#include "flash/tlc_array.hpp"
+
+#include <cassert>
+
+namespace parabit::flash::tlc {
+
+TlcLatchArray::TlcLatchArray(std::size_t width)
+    : width_(width), so_(width), a_(width), c_(width), b_(width), out_(width)
+{
+}
+
+BitVector
+TlcLatchArray::deriveSo(const TlcWordlineData &wl, int vread) const
+{
+    const BitVector ones(width_, true);
+    const BitVector &l = wl.lsb ? *wl.lsb : ones;
+    const BitVector &cs = wl.csb ? *wl.csb : ones;
+    const BitVector &m = wl.msb ? *wl.msb : ones;
+    assert(l.size() == width_ && cs.size() == width_ && m.size() == width_);
+
+    // Per-threshold indicators from the Gray map: the set of states at
+    // or above VREADk, expressed over the stored bits (L, C, M).
+    switch (vread) {
+      case 0:
+        return ones; // always above
+      case 1:
+        // not E: ~(L & C & M)
+        return ~(l & cs & m);
+      case 2:
+        // >= S2: ~(C & (L | M))  [E=111, S1=110 are the only C=1,L=1
+        // states; S7=011 has C=1,M=1]... derive via state enumeration:
+        // states below: E(111), S1(110) -> below iff L & C.
+        return ~(l & cs);
+      case 3:
+        // below: E, S1, S2(100) -> L & (C | ~M) ... S2: L=1,C=0,M=0.
+        return ~(l & (cs | ~m));
+      case 4:
+        // below: E,S1,S2,S3(101) = all L=1 states.
+        return ~l;
+      case 5:
+        // below: + S4(001): L=1 or (C=0 & M=1).
+        return ~(l | (~cs & m));
+      case 6:
+        // below: + S5(000): L=1 or C=0.
+        return ~(l | ~cs);
+      case 7:
+        // above: only S7(011): ~L & C & M.
+        return ~l & cs & m;
+      default:
+        return ones;
+    }
+}
+
+void
+TlcLatchArray::execute(const TlcProgram &prog, const TlcWordlineData &wl)
+{
+    for (const auto &st : prog.steps) {
+        switch (st.kind) {
+          case TlcStep::Kind::kInitNormal:
+            c_.fill(false);
+            a_ = ~c_;
+            out_.fill(false);
+            b_ = ~out_;
+            break;
+          case TlcStep::Kind::kInitInverted:
+            a_.fill(false);
+            c_ = ~a_;
+            out_.fill(false);
+            b_ = ~out_;
+            break;
+          case TlcStep::Kind::kSense:
+            so_ = deriveSo(wl, st.vread);
+            if (st.pulse == LatchPulse::kM1) {
+                c_ &= ~so_;
+                a_ = ~c_;
+            } else {
+                a_ &= ~so_;
+                c_ = ~a_;
+            }
+            break;
+          case TlcStep::Kind::kTransfer:
+            b_ &= ~a_;
+            out_ = ~b_;
+            break;
+        }
+    }
+}
+
+BitVector
+executeTlc(TlcVec target, const BitVector &lsb, const BitVector &csb,
+           const BitVector &msb)
+{
+    TlcLatchArray la(lsb.size());
+    la.execute(synthesize(target), TlcWordlineData{&lsb, &csb, &msb});
+    return la.out();
+}
+
+} // namespace parabit::flash::tlc

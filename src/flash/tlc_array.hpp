@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Vectorized TLC latch-array execution: runs synthesized TlcPrograms on
+ * whole-page triples (LSB/CSB/MSB), completing the Section 4.4.1
+ * extension functionally — any three-operand bitwise function computes
+ * in one pass over a TLC wordline.
+ *
+ * Sensing derives SO word-parallel from the Gray map of the paper
+ * (E=111, S1=110, S2=100, S3=101, S4=001, S5=000, S6=010, S7=011,
+ * bits ordered LSB/CSB/MSB): a cell reads "above VREADk" iff its state
+ * ordinal is >= k, and each threshold's indicator is a small boolean
+ * combination of the three page bits.
+ */
+
+#ifndef PARABIT_FLASH_TLC_ARRAY_HPP_
+#define PARABIT_FLASH_TLC_ARRAY_HPP_
+
+#include "common/bitvector.hpp"
+#include "flash/tlc.hpp"
+
+namespace parabit::flash::tlc {
+
+/** The three logical pages stored on one TLC wordline. */
+struct TlcWordlineData
+{
+    const BitVector *lsb = nullptr;
+    const BitVector *csb = nullptr;
+    const BitVector *msb = nullptr;
+};
+
+/** One latch circuit per bitline, executing TlcPrograms on page data. */
+class TlcLatchArray
+{
+  public:
+    explicit TlcLatchArray(std::size_t width);
+
+    std::size_t width() const { return width_; }
+
+    /** Run @p prog over the wordline @p wl. */
+    void execute(const TlcProgram &prog, const TlcWordlineData &wl);
+
+    const BitVector &out() const { return out_; }
+
+  private:
+    /** SO = "state(cell) >= vread" per bitline. */
+    BitVector deriveSo(const TlcWordlineData &wl, int vread) const;
+
+    std::size_t width_;
+    BitVector so_, a_, c_, b_, out_;
+};
+
+/**
+ * Convenience: compute the three-operand function with truth vector
+ * @p target over operand pages (@p lsb, @p csb, @p msb) through the
+ * synthesized control program.
+ */
+BitVector executeTlc(TlcVec target, const BitVector &lsb,
+                     const BitVector &csb, const BitVector &msb);
+
+} // namespace parabit::flash::tlc
+
+#endif // PARABIT_FLASH_TLC_ARRAY_HPP_

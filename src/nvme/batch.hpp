@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Device-side batch structures (paper Section 4.3.1, Figs 11-12).
+ *
+ * After CMD Parse, each bitwise operation with two operands becomes a
+ * Batch; operands larger than a flash page are split into
+ * SubOperations, one flash page pair each.  Chained computations (the
+ * paper's (M?N)!(M?N)! ... formulas) become a batch list, where later
+ * batches consume earlier batches' results via previous-result operand
+ * references ("p-t" in Fig 12).
+ */
+
+#ifndef PARABIT_NVME_BATCH_HPP_
+#define PARABIT_NVME_BATCH_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flash/op_sequences.hpp"
+
+namespace parabit::nvme {
+
+/** Logical page number (sector-aligned LBA / sectors-per-page). */
+using Lpn = std::uint64_t;
+
+/**
+ * One operand of a batch: either a logical page range or the result of
+ * an earlier batch in the list (Fig 12's new-batch commands).
+ */
+struct OperandRef
+{
+    enum class Kind : std::uint8_t { kLogicalPages, kBatchResult };
+
+    Kind kind = Kind::kLogicalPages;
+    Lpn lpn = 0;               ///< kLogicalPages: first page
+    std::uint32_t pages = 1;   ///< page count
+    std::uint32_t batchId = 0; ///< kBatchResult: producing batch index
+
+    static OperandRef
+    logical(Lpn lpn, std::uint32_t pages)
+    {
+        OperandRef r;
+        r.kind = Kind::kLogicalPages;
+        r.lpn = lpn;
+        r.pages = pages;
+        return r;
+    }
+
+    static OperandRef
+    resultOf(std::uint32_t batch_id, std::uint32_t pages)
+    {
+        OperandRef r;
+        r.kind = Kind::kBatchResult;
+        r.batchId = batch_id;
+        r.pages = pages;
+        return r;
+    }
+};
+
+/** One page-granular device command inside a sub-operation. */
+struct DeviceCmd
+{
+    Lpn lpn = 0;
+    bool secondOperand = false;
+    std::uint8_t offsetSectors = 0;
+    std::uint8_t sizeSectors = 0; ///< 0 = full page
+};
+
+/** Two device commands forming one page-pair computation. */
+struct SubOperation
+{
+    DeviceCmd first;
+    DeviceCmd second;
+};
+
+/** One bitwise operation over two (multi-page) operands. */
+struct Batch
+{
+    std::uint32_t id = 0;
+    flash::BitwiseOp intraOp = flash::BitwiseOp::kAnd;
+    /** Operation combining this batch's result with the next batch. */
+    std::optional<flash::BitwiseOp> extraOp;
+    std::uint8_t order = 0;
+    OperandRef firstOperand;
+    OperandRef secondOperand;
+    std::vector<SubOperation> subOps;
+};
+
+/**
+ * Host-side description of a chained formula
+ * (M0 op0 N0) chain0 (M1 op1 N1) chain1 ...
+ */
+struct Formula
+{
+    struct Term
+    {
+        OperandRef first;
+        OperandRef second;
+        flash::BitwiseOp op;
+    };
+
+    std::vector<Term> terms;
+    /** Chain operations between consecutive terms (size terms-1). */
+    std::vector<flash::BitwiseOp> chainOps;
+
+    /**
+     * Convenience: left-fold chain "x0 op x1 op x2 ..." over logical
+     * operands of equal size.
+     */
+    static Formula chain(flash::BitwiseOp op, const std::vector<Lpn> &operands,
+                         std::uint32_t pages);
+};
+
+} // namespace parabit::nvme
+
+#endif // PARABIT_NVME_BATCH_HPP_

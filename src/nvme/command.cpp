@@ -1,0 +1,176 @@
+#include "nvme/command.hpp"
+
+namespace parabit::nvme {
+
+namespace {
+
+// DWord 13 bit layout (see header).  Bit 7 flags "extra op present"
+// since all eight 3-bit op codes are valid values.
+constexpr std::uint32_t kTagBit = 1u << 0;
+constexpr std::uint32_t kIntraShift = 1, kIntraMask = 0x7u << kIntraShift;
+constexpr std::uint32_t kExtraShift = 4, kExtraMask = 0x7u << kExtraShift;
+constexpr std::uint32_t kExtraPresentBit = 1u << 7;
+constexpr std::uint32_t kOrderShift = 8, kOrderMask = 0xFFu << kOrderShift;
+constexpr std::uint32_t kOffShift = 16, kOffMask = 0xFFu << kOffShift;
+constexpr std::uint32_t kSizeShift = 24, kSizeMask = 0xFFu << kSizeShift;
+
+} // namespace
+
+void
+NvmeCommand::setOpcode(Opcode op)
+{
+    dwords_[0] = (dwords_[0] & ~0xFFu) | static_cast<std::uint32_t>(op);
+}
+
+Opcode
+NvmeCommand::opcode() const
+{
+    return static_cast<Opcode>(dwords_[0] & 0xFFu);
+}
+
+void
+NvmeCommand::setSlba(std::uint64_t lba)
+{
+    dwords_[10] = static_cast<std::uint32_t>(lba);
+    dwords_[11] = static_cast<std::uint32_t>(lba >> 32);
+}
+
+std::uint64_t
+NvmeCommand::slba() const
+{
+    return (static_cast<std::uint64_t>(dwords_[11]) << 32) | dwords_[10];
+}
+
+void
+NvmeCommand::setNlb(std::uint16_t nlb0)
+{
+    dwords_[12] = (dwords_[12] & ~0xFFFFu) | nlb0;
+}
+
+std::uint16_t
+NvmeCommand::nlb() const
+{
+    return static_cast<std::uint16_t>(dwords_[12] & 0xFFFFu);
+}
+
+void
+NvmeCommand::setOperandTag(bool second)
+{
+    dwords_[13] = second ? (dwords_[13] | kTagBit) : (dwords_[13] & ~kTagBit);
+}
+
+bool
+NvmeCommand::operandTag() const
+{
+    return (dwords_[13] & kTagBit) != 0;
+}
+
+void
+NvmeCommand::setIntraOp(flash::BitwiseOp op)
+{
+    dwords_[13] = (dwords_[13] & ~kIntraMask) |
+                  (static_cast<std::uint32_t>(op) << kIntraShift);
+}
+
+flash::BitwiseOp
+NvmeCommand::intraOp() const
+{
+    return static_cast<flash::BitwiseOp>((dwords_[13] & kIntraMask) >>
+                                         kIntraShift);
+}
+
+void
+NvmeCommand::setExtraOp(flash::BitwiseOp op)
+{
+    dwords_[13] = (dwords_[13] & ~kExtraMask) |
+                  (static_cast<std::uint32_t>(op) << kExtraShift) |
+                  kExtraPresentBit;
+}
+
+bool
+NvmeCommand::hasExtraOp() const
+{
+    return (dwords_[13] & kExtraPresentBit) != 0;
+}
+
+std::optional<flash::BitwiseOp>
+NvmeCommand::extraOp() const
+{
+    if (!hasExtraOp())
+        return std::nullopt;
+    return static_cast<flash::BitwiseOp>((dwords_[13] & kExtraMask) >>
+                                         kExtraShift);
+}
+
+void
+NvmeCommand::setBatchOrder(std::uint8_t order)
+{
+    dwords_[13] = (dwords_[13] & ~kOrderMask) |
+                  (static_cast<std::uint32_t>(order) << kOrderShift);
+}
+
+std::uint8_t
+NvmeCommand::batchOrder() const
+{
+    return static_cast<std::uint8_t>((dwords_[13] & kOrderMask) >>
+                                     kOrderShift);
+}
+
+void
+NvmeCommand::setPageOffsetSectors(std::uint8_t off)
+{
+    dwords_[13] = (dwords_[13] & ~kOffMask) |
+                  (static_cast<std::uint32_t>(off) << kOffShift);
+}
+
+std::uint8_t
+NvmeCommand::pageOffsetSectors() const
+{
+    return static_cast<std::uint8_t>((dwords_[13] & kOffMask) >> kOffShift);
+}
+
+void
+NvmeCommand::setSizeSectors(std::uint8_t size)
+{
+    dwords_[13] = (dwords_[13] & ~kSizeMask) |
+                  (static_cast<std::uint32_t>(size) << kSizeShift);
+}
+
+std::uint8_t
+NvmeCommand::sizeSectors() const
+{
+    return static_cast<std::uint8_t>((dwords_[13] & kSizeMask) >> kSizeShift);
+}
+
+void
+NvmeCommand::setPartnerLba(std::uint64_t lba)
+{
+    dwords_[2] = static_cast<std::uint32_t>(lba);
+    // Keep bit 31 of DWord 3 as the presence flag; LBAs here never reach
+    // 2^63 sectors, so the truncation is harmless.
+    dwords_[3] = (dwords_[3] & 0x80000000u) |
+                 (static_cast<std::uint32_t>(lba >> 32) & 0x7FFFFFFFu);
+    setHasPartner(true);
+}
+
+std::uint64_t
+NvmeCommand::partnerLba() const
+{
+    return (static_cast<std::uint64_t>(dwords_[3] & 0x7FFFFFFFu) << 32) |
+           dwords_[2];
+}
+
+void
+NvmeCommand::setHasPartner(bool has)
+{
+    dwords_[3] = has ? (dwords_[3] | 0x80000000u)
+                     : (dwords_[3] & ~0x80000000u);
+}
+
+bool
+NvmeCommand::hasPartner() const
+{
+    return (dwords_[3] & 0x80000000u) != 0;
+}
+
+} // namespace parabit::nvme

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * NVMe read command with ParaBit semantics in the reserved fields
+ * (paper Section 4.3.1, Fig 10).
+ *
+ * The host encodes a bitwise formula as a stream of NVMe read commands.
+ * Standard fields (opcode, SLBA, NLB) keep their usual meaning; the
+ * ParaBit semantics ride in the reserved bytes:
+ *
+ *   DWord 13, bit 0        : operand tag (0 = first, 1 = second operand)
+ *   DWord 13, bits 1..3    : intra-batch op type "i-t" (first operand cmd)
+ *   DWord 13, bits 4..6    : extra-batch op type "e-t" (second operand cmd)
+ *   DWord 13, bits 8..15   : batch order (sequencing of chained batches)
+ *   DWord 13, bits 16..23  : operand offset within the flash page, sectors
+ *   DWord 13, bits 24..31  : operand size, sectors (0 = full page)
+ *   DWords 2..3            : 64-bit partner LBA — on the first operand
+ *                            command, the LBA of the second operand; on
+ *                            the second, the LBA of the next
+ *                            sub-operation's first operand (sub-op chain)
+ */
+
+#ifndef PARABIT_NVME_COMMAND_HPP_
+#define PARABIT_NVME_COMMAND_HPP_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "flash/op_sequences.hpp"
+
+namespace parabit::nvme {
+
+/** Bytes per LBA sector. */
+inline constexpr std::uint64_t kSectorBytes = 512;
+
+/** NVMe opcode values used here. */
+enum class Opcode : std::uint8_t
+{
+    kRead = 0x02,
+    kWrite = 0x01,
+};
+
+/** A 16-DWord NVMe submission-queue entry; see file comment. */
+class NvmeCommand
+{
+  public:
+    NvmeCommand() { dwords_.fill(0); }
+
+    /** @name Standard NVMe fields. */
+    /// @{
+    void setOpcode(Opcode op);
+    Opcode opcode() const;
+
+    void setNamespaceId(std::uint32_t nsid) { dwords_[1] = nsid; }
+    std::uint32_t namespaceId() const { return dwords_[1]; }
+
+    /** Starting LBA (DWords 10/11). */
+    void setSlba(std::uint64_t lba);
+    std::uint64_t slba() const;
+
+    /** Number of logical blocks, 0-based as in NVMe (DW12 bits 0..15). */
+    void setNlb(std::uint16_t nlb0);
+    std::uint16_t nlb() const;
+    /// @}
+
+    /** @name ParaBit reserved-field semantics (Fig 10). */
+    /// @{
+    void setOperandTag(bool second);
+    bool operandTag() const;
+
+    void setIntraOp(flash::BitwiseOp op);
+    flash::BitwiseOp intraOp() const;
+
+    void setExtraOp(flash::BitwiseOp op);
+    std::optional<flash::BitwiseOp> extraOp() const;
+    bool hasExtraOp() const;
+
+    void setBatchOrder(std::uint8_t order);
+    std::uint8_t batchOrder() const;
+
+    void setPageOffsetSectors(std::uint8_t off);
+    std::uint8_t pageOffsetSectors() const;
+
+    void setSizeSectors(std::uint8_t size);
+    std::uint8_t sizeSectors() const;
+
+    /** Partner LBA in DWords 2/3 (see file comment). */
+    void setPartnerLba(std::uint64_t lba);
+    std::uint64_t partnerLba() const;
+    void setHasPartner(bool has);
+    bool hasPartner() const;
+    /// @}
+
+    std::uint32_t dword(int i) const
+    {
+        return dwords_.at(static_cast<std::size_t>(i));
+    }
+    void setDword(int i, std::uint32_t v)
+    {
+        dwords_.at(static_cast<std::size_t>(i)) = v;
+    }
+
+  private:
+    std::array<std::uint32_t, 16> dwords_;
+};
+
+} // namespace parabit::nvme
+
+#endif // PARABIT_NVME_COMMAND_HPP_

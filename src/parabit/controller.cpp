@@ -1,0 +1,393 @@
+#include "parabit/controller.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "flash/latch_array.hpp"
+#include "nvme/parser.hpp"
+
+namespace parabit::core {
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::kPreAllocated: return "ParaBit";
+      case Mode::kReAllocate: return "ParaBit-ReAlloc";
+      case Mode::kLocationFree: return "ParaBit-LocFree";
+    }
+    return "?";
+}
+
+Controller::Controller(ssd::SsdDevice &ssd)
+    : ssd_(&ssd), scratchLpn_(ssd.ftl().logicalPages() - 1)
+{
+}
+
+namespace {
+
+flash::ChipPageAddr
+chipAddr(const flash::PhysPageAddr &a)
+{
+    return flash::ChipPageAddr{a.die, a.plane, a.block, a.wordline, a.msb};
+}
+
+} // namespace
+
+flash::PhysPageAddr
+Controller::reallocatePair(std::optional<nvme::Lpn> x_lpn,
+                           const BitVector *x_buf, nvme::Lpn y_lpn,
+                           bool read_x, Tick at, ExecStats &stats,
+                           Tick &ready)
+{
+    ssd::Ftl &ftl = ssd_->ftl();
+    const Bytes page = ssd_->geometry().pageBytes;
+
+    // Phase 1: read the operands that live in flash.
+    std::vector<ssd::PhysOp> read_ops;
+    BitVector x_data, y_data;
+    if (x_lpn && read_x) {
+        x_data = ftl.readPage(*x_lpn, read_ops);
+        ++stats.pageReads;
+    } else if (x_buf) {
+        x_data = *x_buf;
+    }
+    y_data = ftl.readPage(y_lpn, read_ops);
+    ++stats.pageReads;
+    const Tick reads_done = ssd_->scheduleOps(read_ops, at);
+
+    // Phase 2: program both pages onto one fresh wordline.  The pair
+    // claims two scratch LPNs so the FTL tracks the copies.
+    std::vector<ssd::PhysOp> prog_ops;
+    const nvme::Lpn sx = scratchLpn_--;
+    const nvme::Lpn sy = scratchLpn_--;
+    const bool functional = ssd_->config().storeData;
+    const ssd::PagePair pair =
+        ftl.writePair(sx, sy, functional ? &x_data : nullptr,
+                      functional ? &y_data : nullptr, prog_ops);
+    stats.pagePrograms += 2;
+    stats.reallocBytes += 2 * page;
+    ready = ssd_->scheduleOps(prog_ops, reads_done);
+    return pair.lsb;
+}
+
+Controller::PageOpOutcome
+Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
+                          const BitVector *x_buf, nvme::Lpn y_lpn, Mode mode,
+                          Tick at, Bytes result_xfer, ExecStats &stats)
+{
+    ssd::Ftl &ftl = ssd_->ftl();
+    const Bytes page = ssd_->geometry().pageBytes;
+    const bool functional = ssd_->config().storeData;
+
+    auto y_addr = ftl.lookup(y_lpn);
+    if (!y_addr)
+        fatal("ParaBit: second operand LPN is unmapped");
+
+    std::optional<flash::PhysPageAddr> x_addr =
+        x_lpn ? ftl.lookup(*x_lpn) : std::nullopt;
+    if (x_lpn && !x_addr)
+        fatal("ParaBit: first operand LPN is unmapped");
+
+    PageOpOutcome out;
+    Tick ready = at;
+
+    // ----- Location-free: sense across wordlines, no reallocation. ----
+    if (mode == Mode::kLocationFree) {
+        if (!x_lpn) {
+            // Chain continuation: the running result is re-loaded from
+            // the controller buffer through the data-load path while Y
+            // is sensed from its cells (paper Section 4.2) — no flash
+            // program, no staging.
+            const flash::MicroProgram &prog = flash::locationFreeProgram(
+                op, flash::LocFreeVariant::kLsbLsb);
+            if (functional && x_buf != nullptr) {
+                int errors = 0;
+                out.result =
+                    ssd_->chipAt(y_addr->channel, y_addr->chip)
+                        .opBufferedOperand(op, *x_buf, chipAddr(*y_addr),
+                                           &errors);
+                stats.bitErrors += static_cast<std::uint64_t>(errors);
+            }
+            stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
+            out.senseLoc = *y_addr;
+            out.done = ssd_->scheduleArrayJobs(
+                {ssd::ArrayJob{*y_addr, prog.senseCount(), page,
+                               result_xfer}},
+                ready);
+            stats.resultBytes += result_xfer;
+            return out;
+        }
+        // Stage a timing-only chain result or a cross-plane operand
+        // into the plane of Y first; rare under a sane layout.
+        if (!x_addr || !x_addr->sameBitlines(*y_addr)) {
+            std::vector<ssd::PhysOp> ops;
+            const nvme::Lpn sx = scratchLpn_--;
+            BitVector staged;
+            if (x_addr) {
+                staged = ftl.readPage(*x_lpn, ops);
+                ++stats.pageReads;
+            } else if (x_buf) {
+                staged = *x_buf;
+            }
+            const ssd::PlaneIndex target = ssd::planeIndex(
+                ssd_->geometry(), {y_addr->channel, y_addr->chip, y_addr->die,
+                                   y_addr->plane});
+            x_addr = ftl.writeLsbOnly(sx, functional ? &staged : nullptr,
+                                      ops, target);
+            ++stats.pagePrograms;
+            stats.reallocBytes += page;
+            ready = ssd_->scheduleOps(ops, ready);
+        }
+
+        // Pick the program variant from the physical placement; the
+        // operations are commutative, so roles can swap.
+        flash::PhysPageAddr m = *x_addr, n = *y_addr;
+        flash::LocFreeVariant variant = flash::LocFreeVariant::kMsbLsb;
+        if (m.msb && !n.msb) {
+            // canonical
+        } else if (!m.msb && n.msb) {
+            std::swap(m, n);
+        } else if (!m.msb && !n.msb) {
+            variant = flash::LocFreeVariant::kLsbLsb;
+        } else {
+            // Both MSB: use the LSB-LSB shape with MSB-read semantics is
+            // not defined; stage X into an LSB page instead.
+            std::vector<ssd::PhysOp> ops;
+            const nvme::Lpn sx = scratchLpn_--;
+            BitVector staged = functional ? ftl.readPage(*x_lpn, ops)
+                                          : BitVector();
+            ++stats.pageReads;
+            const ssd::PlaneIndex target = ssd::planeIndex(
+                ssd_->geometry(), {n.channel, n.chip, n.die, n.plane});
+            m = ftl.writeLsbOnly(sx, functional ? &staged : nullptr, ops,
+                                 target);
+            ++stats.pagePrograms;
+            stats.reallocBytes += page;
+            ready = ssd_->scheduleOps(ops, ready);
+            variant = flash::LocFreeVariant::kLsbLsb;
+        }
+
+        const flash::MicroProgram &prog = flash::locationFreeProgram(
+            op, variant);
+        if (functional) {
+            int errors = 0;
+            out.result = ssd_->chipAt(m.channel, m.chip)
+                             .opLocationFree(op, chipAddr(m), chipAddr(n),
+                                             &errors, variant);
+            stats.bitErrors += static_cast<std::uint64_t>(errors);
+        }
+        stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
+        out.senseLoc = n;
+        out.done = ssd_->scheduleArrayJobs(
+            {ssd::ArrayJob{n, prog.senseCount(), result_xfer}}, ready);
+        stats.resultBytes += result_xfer;
+        return out;
+    }
+
+    // ----- Co-located modes. ------------------------------------------
+    flash::PhysPageAddr wl_addr{};
+    bool need_realloc = true;
+
+    if (mode == Mode::kPreAllocated) {
+        if (x_addr && x_addr->sameWordline(*y_addr)) {
+            // Ideal pre-allocation: operands already share the MLCs.
+            wl_addr = *y_addr;
+            need_realloc = false;
+        } else if (!y_addr->msb) {
+            // Chain continuation: drop X (buffer or flash) into the free
+            // MSB of Y's wordline — a single program.
+            BitVector x_data;
+            std::vector<ssd::PhysOp> ops;
+            if (x_buf) {
+                x_data = *x_buf;
+            } else if (x_addr) {
+                x_data = ftl.readPage(*x_lpn, ops);
+                ++stats.pageReads;
+            }
+            const nvme::Lpn sx = scratchLpn_--;
+            if (ftl.writeIntoFreeMsb(sx, *y_addr,
+                                     functional ? &x_data : nullptr, ops)) {
+                ++stats.pagePrograms;
+                stats.reallocBytes += page;
+                ready = ssd_->scheduleOps(ops, ready);
+                wl_addr = *y_addr;
+                need_realloc = false;
+            } else if (!ops.empty()) {
+                // The read happened but the MSB was taken; fall through
+                // to full reallocation without re-reading.
+                ready = ssd_->scheduleOps(ops, ready);
+                wl_addr = reallocatePair(x_lpn, functional ? &x_data : nullptr,
+                                         y_lpn, false, ready, stats, ready);
+                need_realloc = false;
+            }
+        }
+    }
+
+    if (need_realloc) {
+        // ParaBit-ReAlloc (and PreAllocated fallback): read both
+        // operands, re-pair them on a fresh wordline.
+        wl_addr = reallocatePair(x_lpn, x_buf, y_lpn, x_lpn.has_value(), at,
+                                 stats, ready);
+    }
+
+    const flash::MicroProgram &prog = flash::coLocatedProgram(op);
+    if (functional) {
+        int errors = 0;
+        out.result = ssd_->chipAt(wl_addr.channel, wl_addr.chip)
+                         .opCoLocated(op, chipAddr(wl_addr), &errors);
+        stats.bitErrors += static_cast<std::uint64_t>(errors);
+    }
+    stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
+    out.senseLoc = wl_addr;
+    out.done = ssd_->scheduleArrayJobs(
+        {ssd::ArrayJob{wl_addr, prog.senseCount(), result_xfer}}, ready);
+    stats.resultBytes += result_xfer;
+    return out;
+}
+
+ExecResult
+Controller::executeBatches(const std::vector<nvme::Batch> &batches, Mode mode,
+                           Tick at, bool transfer_results,
+                           std::optional<nvme::Lpn> result_lpn)
+{
+    ExecResult res;
+    res.stats.start = at;
+    res.stats.end = at;
+    const Bytes page = ssd_->geometry().pageBytes;
+    const bool functional = ssd_->config().storeData;
+
+    // Per-batch results: the data pages (functional mode) and, for
+    // chain continuations, the logical scratch homes if programmed.
+    struct BatchOut
+    {
+        std::vector<BitVector> pages;
+        Tick done = 0;
+    };
+    std::vector<BatchOut> outs(batches.size());
+
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        const nvme::Batch &b = batches[bi];
+        const bool is_final = bi + 1 == batches.size();
+        const Bytes xfer = (is_final && transfer_results) ? page : 0;
+
+        // Resolve the first operand: logical pages or an earlier
+        // batch's result (kept in the controller buffer, paper Fig 12).
+        const bool x_from_result =
+            b.firstOperand.kind == nvme::OperandRef::Kind::kBatchResult;
+        const std::vector<BitVector> *x_pages = nullptr;
+        Tick ready = at;
+        if (x_from_result) {
+            const BatchOut &prev = outs.at(b.firstOperand.batchId);
+            x_pages = &prev.pages;
+            ready = std::max(ready, prev.done);
+        }
+        if (b.secondOperand.kind == nvme::OperandRef::Kind::kBatchResult)
+            fatal("ParaBit: second operand must be a logical range");
+
+        BatchOut &bo = outs[bi];
+        for (std::size_t p = 0; p < b.subOps.size(); ++p) {
+            const nvme::SubOperation &sub = b.subOps[p];
+            std::optional<nvme::Lpn> x_lpn;
+            const BitVector *x_buf = nullptr;
+            if (x_from_result) {
+                if (functional)
+                    x_buf = &x_pages->at(p);
+            } else {
+                x_lpn = sub.first.lpn;
+            }
+            PageOpOutcome o = executePageOp(b.intraOp, x_lpn, x_buf,
+                                            sub.second.lpn, mode, ready, xfer,
+                                            res.stats);
+            bo.done = std::max(bo.done, o.done);
+            if (functional)
+                bo.pages.push_back(o.result ? std::move(*o.result)
+                                            : BitVector());
+        }
+        res.stats.end = std::max(res.stats.end, bo.done);
+    }
+
+    if (!batches.empty()) {
+        BatchOut &last = outs.back();
+        if (result_lpn) {
+            std::vector<ssd::PhysOp> ops;
+            for (std::size_t p = 0; p < last.pages.size() ||
+                                    (!functional &&
+                                     p < batches.back().subOps.size());
+                 ++p) {
+                const BitVector *d =
+                    functional ? &last.pages.at(p) : nullptr;
+                ssd_->ftl().writePage(*result_lpn + p, d, ops);
+            }
+            res.stats.end = std::max(res.stats.end,
+                                     ssd_->scheduleOps(ops, res.stats.end));
+        }
+        res.pages = std::move(last.pages);
+    }
+    return res;
+}
+
+ExecResult
+Controller::executeOp(flash::BitwiseOp op, nvme::Lpn x, nvme::Lpn y,
+                      std::uint32_t pages, Mode mode, Tick at,
+                      bool transfer_results)
+{
+    nvme::Formula f;
+    f.terms.push_back(nvme::Formula::Term{
+        nvme::OperandRef::logical(x, pages),
+        nvme::OperandRef::logical(y, pages), op});
+    nvme::CmdParser parser(ssd_->geometry().pageBytes);
+    return executeBatches(parser.buildBatches(f), mode, at, transfer_results);
+}
+
+ExecResult
+Controller::executeNot(bool msb_page, nvme::Lpn x, std::uint32_t pages,
+                       Mode mode, Tick at, bool transfer_results)
+{
+    // NOT is unary: the operand's own wordline is sensed with the
+    // inverted-initialisation sequence; no co-location is ever needed.
+    // In ReAlloc mode the paper still charges the reallocation cost, so
+    // we move the page to a fresh wordline first.
+    ExecResult res;
+    res.stats.start = at;
+    res.stats.end = at;
+    ssd::Ftl &ftl = ssd_->ftl();
+    const Bytes page = ssd_->geometry().pageBytes;
+    const bool functional = ssd_->config().storeData;
+    const flash::BitwiseOp op =
+        msb_page ? flash::BitwiseOp::kNotMsb : flash::BitwiseOp::kNotLsb;
+    const flash::MicroProgram &prog = flash::coLocatedProgram(op);
+
+    for (std::uint32_t p = 0; p < pages; ++p) {
+        auto addr = ftl.lookup(x + p);
+        if (!addr)
+            fatal("ParaBit NOT: operand LPN unmapped");
+        Tick ready = at;
+        if (mode == Mode::kReAllocate) {
+            std::vector<ssd::PhysOp> ops;
+            BitVector data = ftl.readPage(x + p, ops);
+            ++res.stats.pageReads;
+            const nvme::Lpn sx = scratchLpn_--;
+            addr = ftl.writeLsbOnly(sx, functional ? &data : nullptr, ops);
+            ++res.stats.pagePrograms;
+            res.stats.reallocBytes += page;
+            ready = ssd_->scheduleOps(ops, ready);
+        }
+        if (functional) {
+            int errors = 0;
+            BitVector out = ssd_->chipAt(addr->channel, addr->chip)
+                                .opCoLocated(op, chipAddr(*addr), &errors);
+            res.stats.bitErrors += static_cast<std::uint64_t>(errors);
+            res.pages.push_back(std::move(out));
+        }
+        res.stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
+        const Bytes xfer = transfer_results ? page : 0;
+        const Tick done = ssd_->scheduleArrayJobs(
+            {ssd::ArrayJob{*addr, prog.senseCount(), xfer}}, ready);
+        res.stats.resultBytes += xfer;
+        res.stats.end = std::max(res.stats.end, done);
+    }
+    return res;
+}
+
+} // namespace parabit::core

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The ParaBit SSD-controller modules (paper Fig 9, Section 4.3):
+ * Operands ReAllocation and Parallel Read, operating on the batch lists
+ * produced by CMD Parse.
+ *
+ * Three execution modes mirror the paper's evaluated schemes:
+ *
+ *  - kPreAllocated ("ParaBit"): operands were placed for computation in
+ *    advance (co-located pairs for the first op, LSB-only layout for
+ *    chain continuations), so the first operation senses immediately;
+ *    chained results are dropped into the free MSB page of the next
+ *    operand's wordline when possible (one program), else re-paired.
+ *
+ *  - kReAllocate ("ParaBit-ReAlloc"): operands start wherever the FTL
+ *    put them; every operation first reads both operand pages and
+ *    re-programs them as a co-located pair, then senses.
+ *
+ *  - kLocationFree ("ParaBit-LocFree"): operands only need to share a
+ *    plane (bitlines); the extended latch circuit computes across
+ *    wordlines with zero reallocation.  Operands in different planes
+ *    are first staged into a common plane (counted, rare by layout).
+ */
+
+#ifndef PARABIT_PARABIT_CONTROLLER_HPP_
+#define PARABIT_PARABIT_CONTROLLER_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "nvme/batch.hpp"
+#include "ssd/ssd.hpp"
+
+namespace parabit::core {
+
+/** Execution scheme; see file comment. */
+enum class Mode : std::uint8_t
+{
+    kPreAllocated = 0, ///< "ParaBit"
+    kReAllocate,       ///< "ParaBit-ReAlloc"
+    kLocationFree,     ///< "ParaBit-LocFree"
+};
+
+const char *modeName(Mode m);
+
+/** Instrumentation of one executed formula/op. */
+struct ExecStats
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t senseOps = 0;     ///< total SROs issued
+    std::uint64_t pageReads = 0;    ///< operand page reads (reallocation)
+    std::uint64_t pagePrograms = 0; ///< reallocation / result programs
+    Bytes reallocBytes = 0;         ///< bytes re-programmed for alignment
+    Bytes resultBytes = 0;          ///< result bytes transferred to host
+    std::uint64_t bitErrors = 0;    ///< sensing errors in ParaBit outputs
+
+    Tick elapsed() const { return end - start; }
+
+    void
+    accumulate(const ExecStats &o)
+    {
+        end = std::max(end, o.end);
+        senseOps += o.senseOps;
+        pageReads += o.pageReads;
+        pagePrograms += o.pagePrograms;
+        reallocBytes += o.reallocBytes;
+        resultBytes += o.resultBytes;
+        bitErrors += o.bitErrors;
+    }
+};
+
+/** Result of a formula execution. */
+struct ExecResult
+{
+    /** Result pages (empty in timing-only mode). */
+    std::vector<BitVector> pages;
+    ExecStats stats;
+};
+
+/** The in-SSD ParaBit execution engine; see file comment. */
+class Controller
+{
+  public:
+    /**
+     * @param ssd the device to operate
+     * @param transfer_results whether results stream to the host after
+     *        computation (encryption-style workloads keep them in-SSD)
+     */
+    explicit Controller(ssd::SsdDevice &ssd);
+
+    /**
+     * Execute a batch list (from nvme::CmdParser) in @p mode, submitted
+     * at @p at.  Batches with kBatchResult operands consume earlier
+     * batches' results.
+     *
+     * @param transfer_results stream final result to the host
+     * @param result_lpn if set, the final result is also written back
+     *        into flash at this logical page range
+     */
+    ExecResult executeBatches(const std::vector<nvme::Batch> &batches,
+                              Mode mode, Tick at, bool transfer_results = true,
+                              std::optional<nvme::Lpn> result_lpn =
+                                  std::nullopt);
+
+    /** Single two-operand bulk op over @p pages consecutive pages. */
+    ExecResult executeOp(flash::BitwiseOp op, nvme::Lpn x, nvme::Lpn y,
+                         std::uint32_t pages, Mode mode, Tick at,
+                         bool transfer_results = true);
+
+    /** Unary NOT over one operand range. */
+    ExecResult executeNot(bool msb_page, nvme::Lpn x, std::uint32_t pages,
+                          Mode mode, Tick at, bool transfer_results = true);
+
+    ssd::SsdDevice &ssd() { return *ssd_; }
+
+  private:
+    struct PageOpOutcome
+    {
+        std::optional<BitVector> result;
+        flash::PhysPageAddr senseLoc; ///< wordline that was sensed
+        Tick done;
+    };
+
+    /**
+     * Execute one page-pair operation.  @p prev_result, when set, is the
+     * in-buffer result of the previous chain step (its data, if
+     * functional).  @p prev_loc is where that result physically lives if
+     * it was programmed.
+     */
+    PageOpOutcome executePageOp(flash::BitwiseOp op,
+                                std::optional<nvme::Lpn> x_lpn,
+                                const BitVector *x_buf, nvme::Lpn y_lpn,
+                                Mode mode, Tick at, Bytes result_xfer,
+                                ExecStats &stats);
+
+    /** Operands ReAllocation: pair (x, y) onto one wordline. */
+    flash::PhysPageAddr reallocatePair(std::optional<nvme::Lpn> x_lpn,
+                                       const BitVector *x_buf, nvme::Lpn y_lpn,
+                                       bool read_x, Tick at, ExecStats &stats,
+                                       Tick &ready);
+
+    ssd::SsdDevice *ssd_;
+    nvme::Lpn scratchLpn_; ///< internal LPNs for reallocated copies
+};
+
+} // namespace parabit::core
+
+#endif // PARABIT_PARABIT_CONTROLLER_HPP_

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Closed-form cost model for device-scale ParaBit executions.
+ *
+ * The case studies of Section 5.3 process up to hundreds of gigabytes;
+ * simulating them page-event by page-event is wasteful because a
+ * maximally parallel ParaBit operation is perfectly regular: every plane
+ * in the device performs the identical micro-program on its own page
+ * pair.  This model computes bulk-operation latency, energy and write
+ * traffic from the same primitives as the event simulator (FlashTiming,
+ * MicroProgram sense counts, geometry parallelism) — the unit tests
+ * assert that both agree on small inputs.
+ *
+ * A "stripe" is one page from every plane of the device: the paper's
+ * evaluated SSD (128 chips x 4 planes x 8 KB pages) gives 4 MiB per
+ * stripe page, i.e. one parallel operation consumes two 4 MiB operand
+ * stripes per co-located wordline — with the LSB+MSB pages that is the
+ * paper's "two 8 MB operands processed at once" working set.
+ */
+
+#ifndef PARABIT_PARABIT_COST_MODEL_HPP_
+#define PARABIT_PARABIT_COST_MODEL_HPP_
+
+#include <cstdint>
+
+#include "flash/energy_model.hpp"
+#include "parabit/controller.hpp"
+#include "ssd/config.hpp"
+
+namespace parabit::core {
+
+/** Aggregate cost of a bulk operation. */
+struct BulkCost
+{
+    double seconds = 0;        ///< in-flash wall time (array path)
+    double energyJ = 0;        ///< flash array + I/O energy
+    std::uint64_t senseOps = 0;
+    std::uint64_t pageReads = 0;
+    std::uint64_t pagePrograms = 0;
+    Bytes reallocBytes = 0;
+    Bytes resultBytes = 0;
+
+    BulkCost &operator+=(const BulkCost &o);
+};
+
+/**
+ * How a chained operation places the running result for its next step.
+ *
+ *  - kNone: not a chain continuation (first operation of a chain);
+ *  - kDropIntoFreeMsb: the next operand sits in an LSB-only layout
+ *    (paper Section 5.5), so the buffered result programs into its free
+ *    MSB page — one program;
+ *  - kRepack: the next operand's wordline is fully occupied (e.g. the
+ *    4-bit packed class planes of the segmentation study), so the
+ *    result and the operand re-pair onto a fresh wordline — one operand
+ *    read plus two programs.
+ */
+enum class ChainStep : std::uint8_t { kNone = 0, kDropIntoFreeMsb, kRepack };
+
+/** Closed-form bulk cost model; see file comment. */
+class CostModel
+{
+  public:
+    explicit CostModel(const ssd::SsdConfig &cfg,
+                       const flash::EnergyConfig &ecfg = {});
+
+    const ssd::SsdConfig &config() const { return cfg_; }
+
+    /** Bytes of one operand processed by one maximally parallel op. */
+    Bytes stripeBytes() const;
+
+    /** Internal (flash back-end) sequential read bandwidth, bytes/s. */
+    double internalReadBandwidth() const;
+
+    /**
+     * One bulk binary op over two @p operand_bytes operands.
+     *
+     * @param chain_step how this op consumes the previous chain result
+     *        (see ChainStep); ignored by the ReAllocate and LocationFree
+     *        modes, which reallocate always / never
+     * @param transfer_result stream the result to the host interface
+     * @param variant location-free operand placement
+     */
+    BulkCost binaryOp(flash::BitwiseOp op, Bytes operand_bytes, Mode mode,
+                      ChainStep chain_step = ChainStep::kNone,
+                      bool transfer_result = true,
+                      flash::LocFreeVariant variant =
+                          flash::LocFreeVariant::kMsbLsb) const;
+
+    /** Unary NOT over one operand. */
+    BulkCost notOp(bool msb_page, Bytes operand_bytes, Mode mode,
+                   bool transfer_result = true) const;
+
+    /**
+     * Left-fold chain over @p num_operands equal-size operands
+     * (result = ((o0 op o1) op o2) ...), e.g. the bitmap-index AND over
+     * m months of daily activity vectors.
+     */
+    BulkCost chain(flash::BitwiseOp op, std::uint32_t num_operands,
+                   Bytes operand_bytes, Mode mode,
+                   bool transfer_result = true,
+                   flash::LocFreeVariant variant =
+                       flash::LocFreeVariant::kMsbLsb,
+                   ChainStep continuation =
+                       ChainStep::kDropIntoFreeMsb) const;
+
+    /** Cost of writing @p bytes into flash (data staging, striped). */
+    BulkCost hostWrite(Bytes bytes) const;
+
+    /**
+     * Cost of persisting @p bytes of in-flash computation results: the
+     * data already sits in each plane's latch/cache registers, so the
+     * pages program directly with no channel transfer (copyback-style).
+     */
+    BulkCost resultWriteback(Bytes bytes) const;
+
+    const flash::EnergyModel &energy() const { return energyModel_; }
+
+  private:
+    /** Number of stripe rounds needed for @p operand_bytes. */
+    std::uint64_t rounds(Bytes operand_bytes) const;
+
+    ssd::SsdConfig cfg_;
+    flash::EnergyModel energyModel_;
+};
+
+} // namespace parabit::core
+
+#endif // PARABIT_PARABIT_COST_MODEL_HPP_

@@ -1,0 +1,140 @@
+#include "parabit/device.hpp"
+
+#include "common/logging.hpp"
+#include "nvme/parser.hpp"
+
+namespace parabit::core {
+
+ParaBitDevice::ParaBitDevice(const ssd::SsdConfig &cfg)
+    : ssd_(std::make_unique<ssd::SsdDevice>(cfg)), controller_(*ssd_)
+{
+}
+
+void
+ParaBitDevice::writeData(nvme::Lpn start, const std::vector<BitVector> &pages)
+{
+    std::vector<const BitVector *> ptrs;
+    ptrs.reserve(pages.size());
+    for (const auto &p : pages)
+        ptrs.push_back(&p);
+    now_ = ssd_->writePages(start, ptrs, now_);
+}
+
+void
+ParaBitDevice::writeDataLsbOnly(nvme::Lpn start,
+                                const std::vector<BitVector> &pages)
+{
+    std::vector<ssd::PhysOp> ops;
+    for (std::size_t i = 0; i < pages.size(); ++i)
+        ssd_->ftl().writeLsbOnly(start + i, &pages[i], ops);
+    now_ = ssd_->scheduleOps(ops, now_);
+}
+
+void
+ParaBitDevice::writeOperandPair(nvme::Lpn x_start, nvme::Lpn y_start,
+                                const std::vector<BitVector> &x_pages,
+                                const std::vector<BitVector> &y_pages)
+{
+    if (x_pages.size() != y_pages.size())
+        fatal("writeOperandPair: operand sizes differ");
+    std::vector<ssd::PhysOp> ops;
+    for (std::size_t i = 0; i < x_pages.size(); ++i)
+        ssd_->ftl().writePair(x_start + i, y_start + i, &x_pages[i],
+                              &y_pages[i], ops);
+    now_ = ssd_->scheduleOps(ops, now_);
+}
+
+void
+ParaBitDevice::writeDataLsbOnlyInPlane(nvme::Lpn start,
+                                       const std::vector<BitVector> &pages,
+                                       std::uint32_t plane)
+{
+    std::vector<ssd::PhysOp> ops;
+    for (std::size_t i = 0; i < pages.size(); ++i)
+        ssd_->ftl().writeLsbOnly(start + i, &pages[i], ops, plane);
+    now_ = ssd_->scheduleOps(ops, now_);
+}
+
+void
+ParaBitDevice::writeMeta(nvme::Lpn start, std::uint32_t pages)
+{
+    std::vector<ssd::PhysOp> ops;
+    for (std::uint32_t i = 0; i < pages; ++i)
+        ssd_->ftl().writePage(start + i, nullptr, ops);
+    now_ = ssd_->scheduleOps(ops, now_);
+}
+
+void
+ParaBitDevice::writeMetaLsbOnly(nvme::Lpn start, std::uint32_t pages)
+{
+    std::vector<ssd::PhysOp> ops;
+    for (std::uint32_t i = 0; i < pages; ++i)
+        ssd_->ftl().writeLsbOnly(start + i, nullptr, ops);
+    now_ = ssd_->scheduleOps(ops, now_);
+}
+
+void
+ParaBitDevice::writeMetaOperandPair(nvme::Lpn x_start, nvme::Lpn y_start,
+                                    std::uint32_t pages)
+{
+    std::vector<ssd::PhysOp> ops;
+    for (std::uint32_t i = 0; i < pages; ++i)
+        ssd_->ftl().writePair(x_start + i, y_start + i, nullptr, nullptr, ops);
+    now_ = ssd_->scheduleOps(ops, now_);
+}
+
+std::vector<BitVector>
+ParaBitDevice::readData(nvme::Lpn start, std::uint32_t pages)
+{
+    std::vector<BitVector> out;
+    now_ = ssd_->readPages(start, pages, &out, now_);
+    return out;
+}
+
+ExecResult
+ParaBitDevice::bitwise(flash::BitwiseOp op, nvme::Lpn x, nvme::Lpn y,
+                       std::uint32_t pages, Mode mode, bool transfer_results)
+{
+    ExecResult r = controller_.executeOp(op, x, y, pages, mode, now_,
+                                         transfer_results);
+    now_ = r.stats.end;
+    return r;
+}
+
+ExecResult
+ParaBitDevice::bitwiseNot(nvme::Lpn x, std::uint32_t pages, Mode mode,
+                          bool msb_page, bool transfer_results)
+{
+    ExecResult r = controller_.executeNot(msb_page, x, pages, mode, now_,
+                                          transfer_results);
+    now_ = r.stats.end;
+    return r;
+}
+
+ExecResult
+ParaBitDevice::bitwiseChain(flash::BitwiseOp op,
+                            const std::vector<nvme::Lpn> &operands,
+                            std::uint32_t pages, Mode mode,
+                            bool transfer_results,
+                            std::optional<nvme::Lpn> result_lpn)
+{
+    const nvme::Formula f = nvme::Formula::chain(op, operands, pages);
+    nvme::CmdParser parser(ssd_->geometry().pageBytes);
+    ExecResult r = controller_.executeBatches(parser.buildBatches(f), mode,
+                                              now_, transfer_results,
+                                              result_lpn);
+    now_ = r.stats.end;
+    return r;
+}
+
+ExecResult
+ParaBitDevice::execute(const std::vector<nvme::Batch> &batches, Mode mode,
+                       bool transfer_results)
+{
+    ExecResult r = controller_.executeBatches(batches, mode, now_,
+                                              transfer_results);
+    now_ = r.stats.end;
+    return r;
+}
+
+} // namespace parabit::core

@@ -1,0 +1,154 @@
+#include "parabit/host_interface.hpp"
+
+#include "common/logging.hpp"
+
+namespace parabit::core {
+
+HostInterface::HostInterface(ParaBitDevice &dev, std::uint16_t num_queues,
+                             std::uint16_t depth, Mode mode)
+    : dev_(&dev), parser_(dev.ssd().geometry().pageBytes), mode_(mode)
+{
+    if (num_queues == 0)
+        fatal("HostInterface: need at least one queue pair");
+    qps_.reserve(num_queues);
+    for (std::uint16_t q = 0; q < num_queues; ++q)
+        qps_.emplace_back(q, depth);
+    tickets_.resize(num_queues);
+    results_.resize(num_queues);
+}
+
+std::optional<std::uint16_t>
+HostInterface::submitRead(std::uint16_t qid, nvme::Lpn lpn)
+{
+    nvme::NvmeCommand c;
+    c.setOpcode(nvme::Opcode::kRead);
+    c.setSlba(lpn * parser_.sectorsPerPage());
+    c.setNlb(static_cast<std::uint16_t>(parser_.sectorsPerPage() - 1));
+    return qps_.at(qid).submit(c, dev_->now());
+}
+
+std::optional<std::uint16_t>
+HostInterface::submitWrite(std::uint16_t qid, nvme::Lpn lpn)
+{
+    nvme::NvmeCommand c;
+    c.setOpcode(nvme::Opcode::kWrite);
+    c.setSlba(lpn * parser_.sectorsPerPage());
+    c.setNlb(static_cast<std::uint16_t>(parser_.sectorsPerPage() - 1));
+    return qps_.at(qid).submit(c, dev_->now());
+}
+
+std::optional<std::uint16_t>
+HostInterface::submitFormula(std::uint16_t qid, const nvme::Formula &formula)
+{
+    const auto cmds = parser_.encode(formula);
+    nvme::QueuePair &qp = qps_.at(qid);
+    if (cmds.empty() ||
+        qp.sqOccupancy() + cmds.size() >= qp.depth())
+        return std::nullopt; // all-or-nothing submission
+    std::uint16_t last_cid = 0;
+    const Tick now = dev_->now();
+    for (const auto &c : cmds) {
+        const auto cid = qp.submit(c, now);
+        if (!cid)
+            panic("HostInterface: ring filled mid-formula");
+        last_cid = *cid;
+    }
+    tickets_.at(qid).push_back(
+        FormulaTicket{qid, last_cid, cmds.size()});
+    return last_cid;
+}
+
+std::optional<QueuedCompletion>
+HostInterface::reap(std::uint16_t qid)
+{
+    auto c = qps_.at(qid).reap();
+    if (!c)
+        return std::nullopt;
+    QueuedCompletion out;
+    out.qid = qid;
+    out.cid = c->cid;
+    out.latency = c->latency();
+    // Attach result pages if this cid finished a formula.
+    auto &pending = results_.at(qid);
+    if (!pending.empty() && pending.front().cid == c->cid) {
+        out.pages = std::move(pending.front().pages);
+        pending.pop_front();
+    }
+    return out;
+}
+
+std::size_t
+HostInterface::pump()
+{
+    // Round-robin fetch: one command per queue per turn until all SQs
+    // drain, preserving NVMe's per-queue FIFO order.
+    struct Pending
+    {
+        std::uint16_t qid;
+        nvme::QueuePair::Fetched f;
+    };
+    std::vector<Pending> order;
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::uint16_t q = 0; q < queues(); ++q) {
+            if (auto f = qps_[q].fetch()) {
+                order.push_back(Pending{q, std::move(*f)});
+                any = true;
+            }
+        }
+    }
+
+    // Execute in arbitration order.  ParaBit command groups are
+    // re-assembled per queue using the formula tickets.
+    std::size_t retired = 0;
+    std::vector<std::vector<nvme::NvmeCommand>> groups(queues());
+    for (auto &p : order) {
+        const auto op = p.f.cmd.opcode();
+        auto &ticketq = tickets_.at(p.qid);
+        const bool in_formula =
+            !ticketq.empty() &&
+            (p.f.cmd.hasPartner() || p.f.cmd.operandTag() ||
+             !groups[p.qid].empty());
+        if (in_formula) {
+            groups[p.qid].push_back(p.f.cmd);
+            if (groups[p.qid].size() == ticketq.front().cmdCount) {
+                // Formula complete: parse and execute.
+                const FormulaTicket t = ticketq.front();
+                ticketq.pop_front();
+                const auto batches = parser_.parse(groups[p.qid]);
+                groups[p.qid].clear();
+                const ExecResult r =
+                    dev_->controller().executeBatches(batches, mode_,
+                                                      dev_->now());
+                QueuedCompletion qc;
+                qc.qid = p.qid;
+                qc.cid = t.finalCid;
+                qc.pages = std::move(const_cast<ExecResult &>(r).pages);
+                results_.at(p.qid).push_back(std::move(qc));
+                qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
+                                     r.stats.end);
+                ++retired;
+            }
+            continue;
+        }
+
+        // Plain I/O path.
+        const nvme::Lpn lpn = p.f.cmd.slba() / parser_.sectorsPerPage();
+        Tick done = dev_->now();
+        if (op == nvme::Opcode::kRead) {
+            std::vector<ssd::PhysOp> ops;
+            dev_->ssd().ftl().readPage(lpn, ops);
+            done = dev_->ssd().scheduleOps(ops, dev_->now());
+        } else {
+            std::vector<ssd::PhysOp> ops;
+            dev_->ssd().ftl().writePage(lpn, nullptr, ops);
+            done = dev_->ssd().scheduleOps(ops, dev_->now());
+        }
+        qps_[p.qid].complete(p.f.cid, p.f.submittedAt, done);
+        ++retired;
+    }
+    return retired;
+}
+
+} // namespace parabit::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level SSD configuration.
+ */
+
+#ifndef PARABIT_SSD_CONFIG_HPP_
+#define PARABIT_SSD_CONFIG_HPP_
+
+#include <cstdint>
+
+#include "flash/error_model.hpp"
+#include "flash/geometry.hpp"
+#include "flash/timing.hpp"
+
+namespace parabit::ssd {
+
+/** Configuration of a simulated SSD. */
+struct SsdConfig
+{
+    flash::FlashGeometry geometry;
+    flash::FlashTiming timing;
+    flash::ErrorModelConfig errors = flash::ErrorModelConfig::ideal();
+
+    /** Whether flash pages carry payloads (functional mode) or only
+     *  state (timing mode for device-scale experiments). */
+    bool storeData = true;
+
+    /** Fraction of blocks held back as over-provisioning. */
+    double overProvisioning = 0.07;
+
+    /**
+     * GC trigger: a plane starts garbage collection when its free-block
+     * count drops below this fraction of blocksPerPlane.
+     */
+    double gcFreeBlockThreshold = 0.05;
+
+    /**
+     * Static wear leveling: when the erase-count spread within a plane
+     * exceeds this threshold, the coldest data block is migrated onto a
+     * well-worn free block so static data stops pinning young blocks.
+     * 0 disables static wear leveling.
+     */
+    std::uint32_t wearLevelThreshold = 16;
+
+    /**
+     * Scramble host data before programming (paper Section 4.3.2).
+     * ParaBit operand placement always bypasses the scrambler, as the
+     * paper requires; this flag covers the normal host write path.
+     */
+    bool scrambleHostData = false;
+
+    /** RNG seed (error injection, scrambler key, tie-breaking). */
+    std::uint64_t seed = 0xC0FFEE;
+
+    /** The paper's evaluated device (Section 5.1) in timing mode. */
+    static SsdConfig
+    paperSsd()
+    {
+        SsdConfig c;
+        c.geometry = flash::FlashGeometry::paperSsd();
+        c.storeData = false;
+        return c;
+    }
+
+    /** Small functional device for tests and examples. */
+    static SsdConfig
+    tiny()
+    {
+        SsdConfig c;
+        c.geometry = flash::FlashGeometry::tiny();
+        c.storeData = true;
+        return c;
+    }
+};
+
+} // namespace parabit::ssd
+
+#endif // PARABIT_SSD_CONFIG_HPP_

@@ -1,0 +1,37 @@
+#include "ssd/event_engine.hpp"
+
+#include "common/logging.hpp"
+
+namespace parabit::ssd {
+
+void
+EventEngine::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("EventEngine::schedule: event in the past");
+    queue_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventEngine::runOne()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast as the
+    // element is popped immediately after (standard idiom).
+    Event ev = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventEngine::run()
+{
+    while (runOne()) {
+    }
+    return now_;
+}
+
+} // namespace parabit::ssd

@@ -1,0 +1,391 @@
+#include "ssd/ftl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace parabit::ssd {
+
+Ftl::Ftl(const SsdConfig &cfg, std::vector<flash::Chip> &chips)
+    : cfg_(cfg), chips_(&chips), alloc_(cfg.geometry),
+      scrambler_(cfg.seed ^ 0x5C4A3B2E1D0FULL)
+{
+    const double usable = 1.0 - cfg_.overProvisioning;
+    logicalPages_ = static_cast<std::uint64_t>(
+        std::floor(static_cast<double>(cfg_.geometry.totalPages()) * usable));
+    gcThresholdBlocks_ = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(cfg_.gcFreeBlockThreshold *
+                                      cfg_.geometry.blocksPerPlane));
+}
+
+flash::Chip &
+Ftl::chipAt(const flash::PhysPageAddr &a)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(a.channel) * cfg_.geometry.chipsPerChannel +
+        a.chip;
+    return (*chips_).at(idx);
+}
+
+flash::ChipPageAddr
+Ftl::chipAddr(const flash::PhysPageAddr &a) const
+{
+    return flash::ChipPageAddr{a.die, a.plane, a.block, a.wordline, a.msb};
+}
+
+void
+Ftl::unmapPhys(const flash::PhysPageAddr &a)
+{
+    const std::uint64_t lin = flash::linearPageIndex(cfg_.geometry, a);
+    auto it = reverse_.find(lin);
+    if (it == reverse_.end())
+        return;
+    map_.erase(it->second);
+    reverse_.erase(it);
+}
+
+void
+Ftl::programPhys(const flash::PhysPageAddr &a, const BitVector *data,
+                 bool for_gc, std::vector<PhysOp> &ops)
+{
+    chipAt(a).programPage(chipAddr(a), data);
+    ops.push_back(PhysOp{PhysOp::Kind::kPageProgram, a, for_gc});
+}
+
+void
+Ftl::mapLpn(Lpn lpn, const flash::PhysPageAddr &a, std::vector<PhysOp> &ops)
+{
+    // Invalidate any previous mapping of this LPN.
+    auto old = map_.find(lpn);
+    if (old != map_.end()) {
+        const flash::PhysPageAddr &o = old->second;
+        chipAt(o).plane(o.die, o.plane)
+            .block(o.block)
+            .invalidate(o.wordline, o.msb);
+        reverse_.erase(flash::linearPageIndex(cfg_.geometry, o));
+    }
+    (void)ops;
+    map_[lpn] = a;
+    reverse_[flash::linearPageIndex(cfg_.geometry, a)] = lpn;
+}
+
+void
+Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
+{
+    if (inGc_)
+        return; // GC relocations must not recurse
+    inGc_ = true;
+    ++gcRuns_;
+
+    const PlaneCoord pc = planeCoord(cfg_.geometry, plane);
+    flash::PhysPageAddr probe;
+    probe.channel = pc.channel;
+    probe.chip = pc.chip;
+    probe.die = pc.die;
+    probe.plane = pc.plane;
+    flash::Chip &chip = chipAt(probe);
+    flash::Plane &pl = chip.plane(pc.die, pc.plane);
+
+    // Greedy victim selection: the touched, non-active block with the
+    // fewest valid pages (untouched blocks are still free).
+    std::int64_t victim = -1;
+    std::uint32_t best_valid = cfg_.geometry.pagesPerBlock() + 1;
+    for (std::uint32_t b = 0; b < cfg_.geometry.blocksPerPlane; ++b) {
+        const flash::Block *blk = pl.blockIfExists(b);
+        if (!blk || alloc_.isActiveBlock(plane, b))
+            continue;
+        // Only consider blocks that are fully written or hold garbage.
+        if (blk->freePages() == cfg_.geometry.pagesPerBlock())
+            continue; // erased / never used: not a GC victim
+        if (blk->validPages() < best_valid) {
+            best_valid = blk->validPages();
+            victim = b;
+        }
+    }
+    if (victim < 0) {
+        inGc_ = false;
+        return;
+    }
+
+    // Relocate valid pages, then erase.
+    flash::Block &blk = pl.block(static_cast<std::uint32_t>(victim));
+    for (std::uint32_t wl = 0; wl < cfg_.geometry.wordlinesPerBlock; ++wl) {
+        for (int m = 0; m < 2; ++m) {
+            const bool msb = m == 1;
+            if (blk.pageState(wl, msb) != flash::PageState::kValid)
+                continue;
+            flash::PhysPageAddr src = probe;
+            src.block = static_cast<std::uint32_t>(victim);
+            src.wordline = wl;
+            src.msb = msb;
+            const std::uint64_t lin =
+                flash::linearPageIndex(cfg_.geometry, src);
+            auto rit = reverse_.find(lin);
+
+            // Read the victim page.
+            BitVector data = chip.readPage(chipAddr(src));
+            ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
+
+            // Program it to a fresh page in the same plane.
+            auto dst = alloc_.nextPage(plane);
+            if (!dst)
+                panic("Ftl::collectGarbage: no space to relocate");
+            programPhys(*dst, cfg_.storeData ? &data : nullptr, true, ops);
+            ++gcWrites_;
+
+            blk.invalidate(wl, msb);
+            if (rit != reverse_.end()) {
+                const Lpn lpn = rit->second;
+                reverse_.erase(rit);
+                map_[lpn] = *dst;
+                reverse_[flash::linearPageIndex(cfg_.geometry, *dst)] = lpn;
+            }
+        }
+    }
+    chip.eraseBlock(pc.die, pc.plane, static_cast<std::uint32_t>(victim));
+    ++erases_;
+    flash::PhysPageAddr eaddr = probe;
+    eaddr.block = static_cast<std::uint32_t>(victim);
+    ops.push_back(PhysOp{PhysOp::Kind::kBlockErase, eaddr, true});
+    alloc_.noteErased(plane, static_cast<std::uint32_t>(victim));
+    inGc_ = false;
+}
+
+std::uint32_t
+Ftl::eraseSpread(PlaneIndex plane)
+{
+    const PlaneCoord pc = planeCoord(cfg_.geometry, plane);
+    flash::PhysPageAddr probe;
+    probe.channel = pc.channel;
+    probe.chip = pc.chip;
+    probe.die = pc.die;
+    probe.plane = pc.plane;
+    flash::Plane &pl = chipAt(probe).plane(pc.die, pc.plane);
+    std::uint32_t lo = UINT32_MAX, hi = 0;
+    for (std::uint32_t b = 0; b < cfg_.geometry.blocksPerPlane; ++b) {
+        const flash::Block *blk = pl.blockIfExists(b);
+        const std::uint32_t e = blk ? blk->eraseCount() : 0;
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    return hi - lo;
+}
+
+void
+Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
+{
+    if (cfg_.wearLevelThreshold == 0 || inGc_)
+        return;
+
+    const PlaneCoord pc = planeCoord(cfg_.geometry, plane);
+    flash::PhysPageAddr probe;
+    probe.channel = pc.channel;
+    probe.chip = pc.chip;
+    probe.die = pc.die;
+    probe.plane = pc.plane;
+    flash::Chip &chip = chipAt(probe);
+    flash::Plane &pl = chip.plane(pc.die, pc.plane);
+
+    // Find the coldest block holding static (fully valid) data and the
+    // overall wear range.
+    std::int64_t coldest = -1;
+    std::uint32_t cold_erases = UINT32_MAX, hottest = 0;
+    for (std::uint32_t b = 0; b < cfg_.geometry.blocksPerPlane; ++b) {
+        const flash::Block *blk = pl.blockIfExists(b);
+        const std::uint32_t e = blk ? blk->eraseCount() : 0;
+        hottest = std::max(hottest, e);
+        if (!blk || alloc_.isActiveBlock(plane, b))
+            continue;
+        if (blk->validPages() == 0)
+            continue; // no data worth migrating
+        if (e < cold_erases) {
+            cold_erases = e;
+            coldest = b;
+        }
+    }
+    if (coldest < 0 || hottest - cold_erases < cfg_.wearLevelThreshold)
+        return;
+    if (alloc_.freeBlocks(plane) == 0)
+        return;
+
+    // Migrate the cold block's valid pages onto a pooled (well-worn,
+    // thanks to FIFO recycling) free block, then recycle the cold one.
+    inGc_ = true; // reuse the recursion guard: migration must not nest
+    ++wearMoves_;
+    flash::Block &blk = pl.block(static_cast<std::uint32_t>(coldest));
+    for (std::uint32_t wl = 0; wl < cfg_.geometry.wordlinesPerBlock; ++wl) {
+        for (int m = 0; m < 2; ++m) {
+            const bool msb = m == 1;
+            if (blk.pageState(wl, msb) != flash::PageState::kValid)
+                continue;
+            flash::PhysPageAddr src = probe;
+            src.block = static_cast<std::uint32_t>(coldest);
+            src.wordline = wl;
+            src.msb = msb;
+            const std::uint64_t lin =
+                flash::linearPageIndex(cfg_.geometry, src);
+            auto rit = reverse_.find(lin);
+
+            BitVector data = chip.readPage(chipAddr(src));
+            ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
+            auto dst = alloc_.nextPage(plane);
+            if (!dst)
+                break;
+            programPhys(*dst, cfg_.storeData ? &data : nullptr, true, ops);
+            ++gcWrites_;
+            blk.invalidate(wl, msb);
+            if (rit != reverse_.end()) {
+                const Lpn lpn = rit->second;
+                reverse_.erase(rit);
+                map_[lpn] = *dst;
+                reverse_[flash::linearPageIndex(cfg_.geometry, *dst)] = lpn;
+            }
+        }
+    }
+    chip.eraseBlock(pc.die, pc.plane, static_cast<std::uint32_t>(coldest));
+    ++erases_;
+    flash::PhysPageAddr eaddr = probe;
+    eaddr.block = static_cast<std::uint32_t>(coldest);
+    ops.push_back(PhysOp{PhysOp::Kind::kBlockErase, eaddr, true});
+    alloc_.noteErased(plane, static_cast<std::uint32_t>(coldest));
+    inGc_ = false;
+}
+
+flash::PhysPageAddr
+Ftl::allocateOrGc(PlaneIndex plane, bool lsb_only, std::vector<PhysOp> &ops)
+{
+    if (alloc_.freeBlocks(plane) < gcThresholdBlocks_) {
+        collectGarbage(plane, ops);
+        maybeWearLevel(plane, ops);
+    }
+    auto a = lsb_only ? alloc_.nextLsbOnly(plane) : alloc_.nextPage(plane);
+    if (!a) {
+        collectGarbage(plane, ops);
+        a = lsb_only ? alloc_.nextLsbOnly(plane) : alloc_.nextPage(plane);
+    }
+    if (!a)
+        fatal("Ftl: device full (no free blocks after GC)");
+    return *a;
+}
+
+PagePair
+Ftl::allocatePairOrGc(PlaneIndex plane, std::vector<PhysOp> &ops)
+{
+    if (alloc_.freeBlocks(plane) < gcThresholdBlocks_)
+        collectGarbage(plane, ops);
+    auto p = alloc_.nextPair(plane);
+    if (!p) {
+        collectGarbage(plane, ops);
+        p = alloc_.nextPair(plane);
+    }
+    if (!p)
+        fatal("Ftl: device full (no free wordline pair after GC)");
+    return *p;
+}
+
+void
+Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
+{
+    if (lpn >= logicalPages_)
+        fatal("Ftl::writePage: LPN beyond logical capacity");
+    const PlaneIndex plane = alloc_.nextPlane();
+    const flash::PhysPageAddr a = allocateOrGc(plane, false, ops);
+    if (cfg_.scrambleHostData && data) {
+        BitVector whitened = *data;
+        scrambler_.apply(whitened, lpn);
+        programPhys(a, &whitened, false, ops);
+        scrambledLpns_.insert(lpn);
+    } else {
+        programPhys(a, data, false, ops);
+        scrambledLpns_.erase(lpn);
+    }
+    ++hostWrites_;
+    mapLpn(lpn, a, ops);
+}
+
+BitVector
+Ftl::readPage(Lpn lpn, std::vector<PhysOp> &ops)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        fatal("Ftl::readPage: unmapped LPN");
+    const flash::PhysPageAddr &a = it->second;
+    ops.push_back(PhysOp{PhysOp::Kind::kPageRead, a, false});
+    BitVector page = chipAt(a).readPage(chipAddr(a));
+    if (cfg_.scrambleHostData && scrambledLpns_.count(lpn))
+        scrambler_.apply(page, lpn);
+    return page;
+}
+
+std::optional<flash::PhysPageAddr>
+Ftl::lookup(Lpn lpn) const
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Ftl::trim(Lpn lpn)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return;
+    const flash::PhysPageAddr a = it->second;
+    chipAt(a).plane(a.die, a.plane).block(a.block).invalidate(a.wordline,
+                                                              a.msb);
+    reverse_.erase(flash::linearPageIndex(cfg_.geometry, a));
+    map_.erase(it);
+    scrambledLpns_.erase(lpn);
+}
+
+PagePair
+Ftl::writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
+               const BitVector *data_y, std::vector<PhysOp> &ops,
+               std::optional<PlaneIndex> plane)
+{
+    const PlaneIndex p = plane ? *plane : alloc_.nextPlane();
+    const PagePair pair = allocatePairOrGc(p, ops);
+    programPhys(pair.lsb, data_x, false, ops);
+    programPhys(pair.msb, data_y, false, ops);
+    parabitWrites_ += 2;
+    // ParaBit operands are stored raw (scrambling disabled, Sec 4.3.2).
+    scrambledLpns_.erase(lpn_x);
+    scrambledLpns_.erase(lpn_y);
+    mapLpn(lpn_x, pair.lsb, ops);
+    mapLpn(lpn_y, pair.msb, ops);
+    return pair;
+}
+
+flash::PhysPageAddr
+Ftl::writeLsbOnly(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops,
+                  std::optional<PlaneIndex> plane)
+{
+    const PlaneIndex p = plane ? *plane : alloc_.nextPlane();
+    const flash::PhysPageAddr a = allocateOrGc(p, true, ops);
+    programPhys(a, data, false, ops);
+    ++parabitWrites_;
+    scrambledLpns_.erase(lpn);
+    mapLpn(lpn, a, ops);
+    return a;
+}
+
+bool
+Ftl::writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
+                      const BitVector *data, std::vector<PhysOp> &ops)
+{
+    flash::PhysPageAddr msb = lsb_addr;
+    msb.msb = true;
+    flash::Chip &chip = chipAt(msb);
+    if (chip.pageState(chipAddr(msb)) != flash::PageState::kFree)
+        return false;
+    programPhys(msb, data, false, ops);
+    ++parabitWrites_;
+    scrambledLpns_.erase(lpn);
+    mapLpn(lpn, msb, ops);
+    return true;
+}
+
+} // namespace parabit::ssd

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Page-mapping Flash Translation Layer with greedy garbage collection.
+ *
+ * The FTL is purely functional: it mutates the chip array and appends a
+ * log of the physical operations it performed (including GC traffic) so
+ * the device layer can book them on the timing model.  Besides the
+ * standard read/write/trim path it exposes the placement primitives the
+ * ParaBit controller builds on:
+ *
+ *  - writePair():  place two logical pages on one wordline (operand
+ *                  co-location / ReAllocation);
+ *  - writeLsbOnly(): LSB-only placement leaving MSBs free (Section 5.5
+ *                  pre-allocation);
+ *  - writeIntoFreeMsb(): drop a fresh logical page into the free MSB of
+ *                  an existing wordline (chained-result placement).
+ */
+
+#ifndef PARABIT_SSD_FTL_HPP_
+#define PARABIT_SSD_FTL_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "flash/chip.hpp"
+#include "ssd/allocator.hpp"
+#include "ssd/config.hpp"
+#include "ssd/scrambler.hpp"
+
+namespace parabit::ssd {
+
+/** Logical page number. */
+using Lpn = std::uint64_t;
+
+/** One physical flash operation, for the timing layer. */
+struct PhysOp
+{
+    enum class Kind : std::uint8_t
+    {
+        kPageRead,    ///< array sense (1 SRO LSB / 2 SRO MSB) + page out
+        kPageProgram, ///< page in + program
+        kBlockErase,  ///< erase (addr.block significant)
+    };
+
+    Kind kind;
+    flash::PhysPageAddr addr;
+    bool forGc = false; ///< true when induced by garbage collection
+};
+
+/** Page-mapping FTL; see file comment. */
+class Ftl
+{
+  public:
+    /**
+     * @param cfg device configuration
+     * @param chips chip array, indexed channel * chipsPerChannel + chip
+     */
+    Ftl(const SsdConfig &cfg, std::vector<flash::Chip> &chips);
+
+    /** Logical capacity in pages after over-provisioning. */
+    std::uint64_t logicalPages() const { return logicalPages_; }
+
+    /** @name Standard host path. */
+    /// @{
+
+    /**
+     * Write one logical page (data may be null in timing mode); striped
+     * placement, interleaved density.  GC may piggyback.
+     */
+    void writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops);
+
+    /** Read a mapped logical page (ECC-clean). */
+    BitVector readPage(Lpn lpn, std::vector<PhysOp> &ops);
+
+    /** Current physical location of @p lpn, if mapped. */
+    std::optional<flash::PhysPageAddr> lookup(Lpn lpn) const;
+
+    /** Unmap @p lpn and invalidate its physical page. */
+    void trim(Lpn lpn);
+    /// @}
+
+    /** @name ParaBit placement primitives. */
+    /// @{
+
+    /**
+     * Place logical pages @p lpn_x (LSB) and @p lpn_y (MSB) on one fresh
+     * wordline of @p plane (or a striped plane if nullopt).
+     * @return the wordline's pair of physical addresses.
+     */
+    PagePair writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
+                       const BitVector *data_y, std::vector<PhysOp> &ops,
+                       std::optional<PlaneIndex> plane = std::nullopt);
+
+    /** LSB-only placement of @p lpn in @p plane (or striped). */
+    flash::PhysPageAddr writeLsbOnly(Lpn lpn, const BitVector *data,
+                                     std::vector<PhysOp> &ops,
+                                     std::optional<PlaneIndex> plane =
+                                         std::nullopt);
+
+    /**
+     * Write @p lpn into the free MSB page of the wordline holding
+     * @p lsb_addr.  Fails (returns false) if that MSB is not free.
+     */
+    bool writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
+                          const BitVector *data, std::vector<PhysOp> &ops);
+    /// @}
+
+    /** @name Statistics (endurance / WAF). */
+    /// @{
+    std::uint64_t hostPagesWritten() const { return hostWrites_; }
+    std::uint64_t gcPagesWritten() const { return gcWrites_; }
+    std::uint64_t totalPagesWritten() const
+    {
+        return hostWrites_ + gcWrites_ + parabitWrites_;
+    }
+    /** Pages written by ParaBit reallocation (counted via writePair /
+     *  writeLsbOnly / writeIntoFreeMsb). */
+    std::uint64_t parabitPagesWritten() const { return parabitWrites_; }
+    std::uint64_t blockErases() const { return erases_; }
+    std::uint64_t gcRuns() const { return gcRuns_; }
+    std::uint64_t wearLevelMoves() const { return wearMoves_; }
+
+    /** Max-min block erase-count spread in @p plane (wear skew). */
+    std::uint32_t eraseSpread(PlaneIndex plane);
+    double
+    writeAmplification() const
+    {
+        const std::uint64_t host = hostWrites_ + parabitWrites_;
+        return host == 0 ? 1.0
+                         : static_cast<double>(totalPagesWritten()) /
+                               static_cast<double>(host);
+    }
+    /// @}
+
+    /** Direct chip access for the controller layer. */
+    flash::Chip &chipAt(const flash::PhysPageAddr &a);
+
+    Allocator &allocator() { return alloc_; }
+
+  private:
+    flash::ChipPageAddr chipAddr(const flash::PhysPageAddr &a) const;
+    void unmapPhys(const flash::PhysPageAddr &a);
+    void mapLpn(Lpn lpn, const flash::PhysPageAddr &a,
+                std::vector<PhysOp> &ops);
+    flash::PhysPageAddr allocateOrGc(PlaneIndex plane, bool lsb_only,
+                                     std::vector<PhysOp> &ops);
+    PagePair allocatePairOrGc(PlaneIndex plane, std::vector<PhysOp> &ops);
+    void collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops);
+    void maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops);
+    void programPhys(const flash::PhysPageAddr &a, const BitVector *data,
+                     bool for_gc, std::vector<PhysOp> &ops);
+
+    SsdConfig cfg_;
+    std::vector<flash::Chip> *chips_;
+    Allocator alloc_;
+    Scrambler scrambler_;
+    std::uint64_t logicalPages_;
+    std::unordered_map<Lpn, flash::PhysPageAddr> map_;
+    /** Reverse map: linear physical page index -> LPN (for GC). */
+    std::unordered_map<std::uint64_t, Lpn> reverse_;
+    /** LPNs whose stored bits are whitened (host path with scrambling);
+     *  ParaBit placements store raw data and clear membership. */
+    std::unordered_set<Lpn> scrambledLpns_;
+
+    std::uint64_t hostWrites_ = 0;
+    std::uint64_t gcWrites_ = 0;
+    std::uint64_t parabitWrites_ = 0;
+    std::uint64_t erases_ = 0;
+    std::uint64_t gcRuns_ = 0;
+    std::uint64_t wearMoves_ = 0;
+    std::uint32_t gcThresholdBlocks_;
+    bool inGc_ = false;
+};
+
+} // namespace parabit::ssd
+
+#endif // PARABIT_SSD_FTL_HPP_

@@ -1,0 +1,18 @@
+#include "ssd/scrambler.hpp"
+
+#include "common/rng.hpp"
+
+namespace parabit::ssd {
+
+void
+Scrambler::apply(BitVector &page, std::uint64_t lpn) const
+{
+    // One SplitMix64 stream per (device key, LPN); the stream is
+    // deterministic, so XOR-ing twice cancels.
+    Rng stream(key_ ^ (lpn * 0x9E3779B97F4A7C15ull) ^ 0x5CA4B1E5u);
+    for (auto &w : page.words())
+        w ^= stream.next();
+    page.maskTail();
+}
+
+} // namespace parabit::ssd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Data scrambler (paper Section 4.3.2).
+ *
+ * Real SSDs whiten host data before programming it — long runs of
+ * identical bits stress the cell array — by XORing each page with a
+ * keystream derived from its logical address.  The paper notes that
+ * scrambling "would complicate the use of ParaBit": the latch circuit
+ * computes on the raw stored bits, so AND/OR/... over scrambled pages is
+ * meaningless.  ParaBit therefore disables scrambling when operands are
+ * allocated or reallocated and re-enables it when results are restored.
+ *
+ * This module implements the keystream (XOR with a SplitMix64-expanded
+ * stream keyed by device seed and LPN, hence involutive) and the FTL
+ * applies it on the host read/write path only — the ParaBit placement
+ * primitives (writePair, writeLsbOnly, writeIntoFreeMsb) store raw data,
+ * exactly the paper's policy.
+ */
+
+#ifndef PARABIT_SSD_SCRAMBLER_HPP_
+#define PARABIT_SSD_SCRAMBLER_HPP_
+
+#include <cstdint>
+
+#include "common/bitvector.hpp"
+
+namespace parabit::ssd {
+
+/** Involutive page scrambler; see file comment. */
+class Scrambler
+{
+  public:
+    explicit Scrambler(std::uint64_t device_key) : key_(device_key) {}
+
+    /**
+     * XOR @p page with the keystream of logical page @p lpn, in place.
+     * Applying it twice restores the original (involution).
+     */
+    void apply(BitVector &page, std::uint64_t lpn) const;
+
+    /** Convenience: scrambled copy. */
+    BitVector
+    scrambled(BitVector page, std::uint64_t lpn) const
+    {
+        apply(page, lpn);
+        return page;
+    }
+
+  private:
+    std::uint64_t key_;
+};
+
+} // namespace parabit::ssd
+
+#endif // PARABIT_SSD_SCRAMBLER_HPP_

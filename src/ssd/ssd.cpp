@@ -1,0 +1,166 @@
+#include "ssd/ssd.hpp"
+
+#include "common/logging.hpp"
+
+namespace parabit::ssd {
+
+SsdDevice::SsdDevice(const SsdConfig &cfg)
+    : cfg_(cfg),
+      chips_([&] {
+          std::vector<flash::Chip> v;
+          const std::uint32_t n = cfg.geometry.chips();
+          v.reserve(n);
+          for (std::uint32_t i = 0; i < n; ++i)
+              v.emplace_back(cfg.geometry, cfg.storeData, cfg.errors,
+                             cfg.seed + i);
+          return v;
+      }()),
+      ftl_(cfg, chips_),
+      channelTls_(cfg.geometry.channels),
+      planeTls_(cfg.geometry.planesTotal())
+{
+}
+
+Timeline &
+SsdDevice::channelTl(std::uint32_t channel)
+{
+    return channelTls_.at(channel);
+}
+
+Timeline &
+SsdDevice::planeTl(const flash::PhysPageAddr &a)
+{
+    const std::size_t idx =
+        ((static_cast<std::size_t>(a.channel) * cfg_.geometry.chipsPerChannel +
+          a.chip) *
+             cfg_.geometry.diesPerChip +
+         a.die) *
+            cfg_.geometry.planesPerDie +
+        a.plane;
+    return planeTls_.at(idx);
+}
+
+Tick
+SsdDevice::scheduleOps(const std::vector<PhysOp> &ops, Tick ready_at)
+{
+    const flash::FlashTiming &t = cfg_.timing;
+    const Bytes page = cfg_.geometry.pageBytes;
+    Tick done = ready_at;
+    for (const auto &op : ops) {
+        Timeline &ch = channelTl(op.addr.channel);
+        Timeline &die = planeTl(op.addr);
+        Tick end = ready_at;
+        switch (op.kind) {
+          case PhysOp::Kind::kPageRead: {
+            const Tick array = op.addr.msb ? t.msbReadTime() : t.lsbReadTime();
+            const Tick a_start = die.reserve(ready_at + t.tCmdOverhead, array);
+            const Tick x_start = ch.reserve(a_start + array,
+                                            t.transferTime(page));
+            end = x_start + t.transferTime(page);
+            break;
+          }
+          case PhysOp::Kind::kPageProgram: {
+            const Tick x_start = ch.reserve(ready_at + t.tCmdOverhead,
+                                            t.transferTime(page));
+            const Tick a_start = die.reserve(x_start + t.transferTime(page),
+                                             t.tProgram);
+            end = a_start + t.tProgram;
+            break;
+          }
+          case PhysOp::Kind::kBlockErase: {
+            const Tick a_start = die.reserve(ready_at + t.tCmdOverhead,
+                                             t.tErase);
+            end = a_start + t.tErase;
+            break;
+          }
+        }
+        done = std::max(done, end);
+    }
+    return done;
+}
+
+Tick
+SsdDevice::scheduleArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at)
+{
+    const flash::FlashTiming &t = cfg_.timing;
+    Tick done = ready_at;
+    for (const auto &job : jobs) {
+        Timeline &die = planeTl(job.loc);
+        Tick ready = ready_at + t.tCmdOverhead;
+        if (job.xferInBytes > 0) {
+            Timeline &ch = channelTl(job.loc.channel);
+            const Tick x = t.transferTime(job.xferInBytes);
+            ready = ch.reserve(ready, x) + x;
+        }
+        const Tick array = t.senseTime(job.sroCount);
+        const Tick a_start = die.reserve(ready, array);
+        Tick end = a_start + array;
+        if (job.xferOutBytes > 0) {
+            Timeline &ch = channelTl(job.loc.channel);
+            const Tick x = t.transferTime(job.xferOutBytes);
+            const Tick x_start = ch.reserve(end, x);
+            end = x_start + x;
+        }
+        done = std::max(done, end);
+    }
+    return done;
+}
+
+Tick
+SsdDevice::writePages(Lpn start, const std::vector<const BitVector *> &data,
+                      Tick at)
+{
+    std::vector<PhysOp> ops;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        ftl_.writePage(start + i, data[i], ops);
+    return scheduleOps(ops, at);
+}
+
+Tick
+SsdDevice::readPages(Lpn start, std::size_t count, std::vector<BitVector> *out,
+                     Tick at)
+{
+    std::vector<PhysOp> ops;
+    for (std::size_t i = 0; i < count; ++i) {
+        BitVector page = ftl_.readPage(start + i, ops);
+        if (out)
+            out->push_back(std::move(page));
+    }
+    return scheduleOps(ops, at);
+}
+
+EnduranceStats
+SsdDevice::endurance() const
+{
+    EnduranceStats e;
+    const Bytes page = cfg_.geometry.pageBytes;
+    // ftl_ is logically const here; counters are read-only.
+    const Ftl &f = ftl_;
+    e.hostBytes = f.hostPagesWritten() * page;
+    e.reallocBytes = f.parabitPagesWritten() * page;
+    e.gcBytes = f.gcPagesWritten() * page;
+    e.blockErases = f.blockErases();
+    return e;
+}
+
+double
+SsdDevice::internalReadBandwidth() const
+{
+    // With cache read, sensing overlaps transfer; when enough chips
+    // share a channel the bus saturates and per-channel throughput is
+    // its raw rate.  A device with few chips per channel is
+    // sensing-limited instead.
+    const flash::FlashTiming &t = cfg_.timing;
+    const double page = static_cast<double>(cfg_.geometry.pageBytes);
+    const double per_chip_array =
+        page / ticks::toSec(t.msbReadTime()); // worst-case page kind
+    const double array_limit = per_chip_array *
+                               cfg_.geometry.chipsPerChannel *
+                               cfg_.geometry.diesPerChip *
+                               cfg_.geometry.planesPerDie;
+    const double bus_limit = t.channelBytesPerSec;
+    const double per_channel = std::min(array_limit, bus_limit);
+    return per_channel * cfg_.geometry.channels;
+}
+
+} // namespace parabit::ssd

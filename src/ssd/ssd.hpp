@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SsdDevice: the simulated SSD — chips, FTL and the timing model.
+ *
+ * Functional behaviour lives in the chip array and the FTL; this class
+ * adds the resource timing: one Timeline per channel (bus transfers) and
+ * one per plane (array operations — the device exploits plane-level
+ * parallelism for reads, programs and ParaBit sensing, the fourth level
+ * of SSD parallelism the paper builds on).  Operations are booked greedily in
+ * issue order, which reproduces the standard SSD pipeline effects —
+ * multi-chip interleaving on a channel, cache-read overlap of sensing
+ * with transfer, plane-level parallelism — deterministically.
+ */
+
+#ifndef PARABIT_SSD_SSD_HPP_
+#define PARABIT_SSD_SSD_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "ssd/config.hpp"
+#include "ssd/endurance.hpp"
+#include "ssd/ftl.hpp"
+#include "ssd/timeline.hpp"
+
+namespace parabit::ssd {
+
+/** An in-flash array job: a ParaBit sensing sequence with optional
+ *  buffer load-in (chained operands re-loaded from the controller
+ *  buffer, paper Section 4.2) and result transfer out. */
+struct ArrayJob
+{
+    flash::PhysPageAddr loc; ///< plane the latch circuit belongs to
+    int sroCount = 0;        ///< sensings to book on the plane
+    Bytes xferInBytes = 0;   ///< buffer reload bytes before sensing
+    Bytes xferOutBytes = 0;  ///< result bytes to move over the channel
+};
+
+/** The simulated SSD; see file comment. */
+class SsdDevice
+{
+  public:
+    explicit SsdDevice(const SsdConfig &cfg);
+
+    const SsdConfig &config() const { return cfg_; }
+    Ftl &ftl() { return ftl_; }
+    const flash::FlashGeometry &geometry() const { return cfg_.geometry; }
+
+    /** @name Timed host-level I/O. */
+    /// @{
+
+    /**
+     * Write @p data.size() consecutive logical pages starting at
+     * @p start, submitted at @p at.  Null entries write metadata only.
+     * @return completion time.
+     */
+    Tick writePages(Lpn start, const std::vector<const BitVector *> &data,
+                    Tick at);
+
+    /**
+     * Read @p count consecutive logical pages starting at @p start.
+     * @param out if non-null, receives the page contents.
+     * @return completion time.
+     */
+    Tick readPages(Lpn start, std::size_t count, std::vector<BitVector> *out,
+                   Tick at);
+    /// @}
+
+    /**
+     * Book the physical ops of an FTL call on the timing model.
+     * @return the completion time of the last op.
+     */
+    Tick scheduleOps(const std::vector<PhysOp> &ops, Tick ready_at);
+
+    /** Book in-flash array jobs (ParaBit sequences). */
+    Tick scheduleArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at);
+
+    /** Endurance/write-traffic snapshot. */
+    EnduranceStats endurance() const;
+
+    /**
+     * Peak sequential read bandwidth of the flash back-end in bytes/s
+     * (channels saturated; sensing hidden by cache read).
+     */
+    double internalReadBandwidth() const;
+
+    flash::Chip &chipAt(std::uint32_t channel, std::uint32_t chip)
+    {
+        return chips_.at(static_cast<std::size_t>(channel) *
+                             cfg_.geometry.chipsPerChannel +
+                         chip);
+    }
+
+  private:
+    Timeline &channelTl(std::uint32_t channel);
+    Timeline &planeTl(const flash::PhysPageAddr &a);
+
+    SsdConfig cfg_;
+    std::vector<flash::Chip> chips_;
+    Ftl ftl_;
+    std::vector<Timeline> channelTls_;
+    std::vector<Timeline> planeTls_;
+};
+
+} // namespace parabit::ssd
+
+#endif // PARABIT_SSD_SSD_HPP_

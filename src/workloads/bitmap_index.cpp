@@ -1,0 +1,54 @@
+#include "workloads/bitmap_index.hpp"
+
+namespace parabit::workloads {
+
+BitmapIndexWorkload::BitmapIndexWorkload(std::uint64_t users,
+                                         std::uint32_t days, double p_active,
+                                         std::uint64_t seed)
+    : users_(users), days_(days), pActive_(p_active), seed_(seed)
+{
+}
+
+BitVector
+BitmapIndexWorkload::dayBitmap(std::uint32_t day) const
+{
+    Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) * 0xD1B54A32D192ED03ull));
+    BitVector bm(users_);
+    for (std::uint64_t u = 0; u < users_; ++u)
+        bm.set(u, rng.chance(pActive_));
+    return bm;
+}
+
+BitVector
+BitmapIndexWorkload::goldenEveryday() const
+{
+    BitVector acc = dayBitmap(0);
+    for (std::uint32_t d = 1; d < days_; ++d)
+        acc &= dayBitmap(d);
+    return acc;
+}
+
+std::uint64_t
+BitmapIndexWorkload::goldenCount() const
+{
+    return goldenEveryday().popcount();
+}
+
+baselines::BulkWork
+BitmapIndexWorkload::work(std::uint64_t users, std::uint32_t days)
+{
+    baselines::BulkWork w;
+    const Bytes bitmap_bytes = users / 8;
+    w.bytesIn = bitmap_bytes * days;
+    baselines::BulkOpGroup g;
+    g.op = flash::BitwiseOp::kAnd;
+    g.operandBytes = bitmap_bytes;
+    g.chainLength = days;
+    g.instances = 1;
+    w.ops.push_back(g);
+    // Only the final result bitmap reaches the host for bit counting.
+    w.bytesOut = bitmap_bytes;
+    return w;
+}
+
+} // namespace parabit::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bitmap-index case study (paper Section 5.3.2).
+ *
+ * One bitmap per day records which of 800 million users were active; the
+ * query "users active every day for the past m months" is an AND chain
+ * over ~30.4 x m daily bitmaps followed by a host-side population count.
+ */
+
+#ifndef PARABIT_WORKLOADS_BITMAP_INDEX_HPP_
+#define PARABIT_WORKLOADS_BITMAP_INDEX_HPP_
+
+#include "baselines/pipeline.hpp"
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace parabit::workloads {
+
+/** Functional + scale descriptors for the bitmap-index case study. */
+class BitmapIndexWorkload
+{
+  public:
+    /**
+     * @param users bits per daily bitmap
+     * @param days number of daily bitmaps
+     * @param p_active per-user, per-day activity probability
+     */
+    BitmapIndexWorkload(std::uint64_t users, std::uint32_t days,
+                        double p_active = 0.99, std::uint64_t seed = 7);
+
+    std::uint64_t users() const { return users_; }
+    std::uint32_t days() const { return days_; }
+
+    /** Daily activity bitmap (deterministic per day). */
+    BitVector dayBitmap(std::uint32_t day) const;
+
+    /** Golden result: users active on every day. */
+    BitVector goldenEveryday() const;
+
+    /** Golden population count of the everyday-active set. */
+    std::uint64_t goldenCount() const;
+
+    /** Days covered by @p months of tracking (the paper's m). */
+    static std::uint32_t
+    daysForMonths(std::uint32_t months)
+    {
+        return (365u * months + 6) / 12;
+    }
+
+    /** Paper-scale BulkWork for @p users users over @p days days. */
+    static baselines::BulkWork work(std::uint64_t users, std::uint32_t days);
+
+  private:
+    std::uint64_t users_;
+    std::uint32_t days_;
+    double pActive_;
+    std::uint64_t seed_;
+};
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_BITMAP_INDEX_HPP_

@@ -1,0 +1,99 @@
+#include "workloads/bnn.hpp"
+
+#include "common/logging.hpp"
+
+namespace parabit::workloads {
+
+BnnWorkload::BnnWorkload(std::vector<std::uint32_t> layer_sizes,
+                         std::uint64_t seed)
+    : seed_(seed)
+{
+    if (layer_sizes.size() < 2)
+        fatal("BnnWorkload: need at least input and output sizes");
+    Rng rng(seed);
+    for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+        BnnLayer layer;
+        layer.inputs = layer_sizes[l];
+        layer.outputs = layer_sizes[l + 1];
+        for (std::uint32_t j = 0; j < layer.outputs; ++j) {
+            BitVector w(layer.inputs);
+            for (auto &word : w.words())
+                word = rng.next();
+            w.maskTail();
+            layer.weights.push_back(std::move(w));
+            // Thresholds near the expected half-match point keep the
+            // activations balanced through the network.
+            layer.thresholds.push_back(layer.inputs / 2 +
+                                       static_cast<std::uint32_t>(
+                                           rng.below(layer.inputs / 8 + 1)) -
+                                       layer.inputs / 16);
+        }
+        layers_.push_back(std::move(layer));
+    }
+}
+
+BitVector
+BnnWorkload::input(std::uint64_t index) const
+{
+    Rng rng(seed_ ^ (index * 0xBF58476D1CE4E5B9ull) ^ 0x1234);
+    BitVector x(layers_.front().inputs);
+    for (auto &w : x.words())
+        w = rng.next();
+    x.maskTail();
+    return x;
+}
+
+BitVector
+BnnWorkload::goldenLayer(const BnnLayer &layer, const BitVector &x) const
+{
+    BitVector out(layer.outputs);
+    for (std::uint32_t j = 0; j < layer.outputs; ++j)
+        out.set(j, neuronPopcount(x, layer.weights[j]) >=
+                       layer.thresholds[j]);
+    return out;
+}
+
+BitVector
+BnnWorkload::goldenInfer(const BitVector &x) const
+{
+    BitVector act = x;
+    for (const auto &layer : layers_)
+        act = goldenLayer(layer, act);
+    return act;
+}
+
+std::uint64_t
+BnnWorkload::weightBits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : layers_)
+        n += static_cast<std::uint64_t>(l.inputs) * l.outputs;
+    return n;
+}
+
+baselines::BulkWork
+BnnWorkload::work(std::uint64_t batch) const
+{
+    baselines::BulkWork w;
+    // Baselines must move the weights to the compute site once per
+    // working set plus activations; weights dominate.
+    w.bytesIn = weightBits() / 8;
+    for (const auto &layer : layers_) {
+        baselines::BulkOpGroup g;
+        g.op = flash::BitwiseOp::kXnor;
+        g.operandBytes = layer.inputs / 8;
+        g.chainLength = 2;
+        g.instances = static_cast<std::uint64_t>(layer.outputs) * batch;
+        w.ops.push_back(g);
+    }
+    // Per neuron, one popcount (we return the XNOR rows to the host for
+    // reduction; an in-SSD popcount would shrink this further).
+    std::uint64_t out_bytes = 0;
+    for (const auto &layer : layers_)
+        out_bytes += static_cast<std::uint64_t>(layer.outputs) *
+                     (layer.inputs / 8);
+    w.bytesOut = out_bytes * batch;
+    return w;
+}
+
+} // namespace parabit::workloads

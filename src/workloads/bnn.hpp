@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Binarized-neural-network workload (paper Section 5.3.4, second
+ * bullet).
+ *
+ * A binarized fully connected layer computes, per output neuron j,
+ *
+ *   a_j = sign( popcount( XNOR(x, w_j) ) - threshold )
+ *
+ * over +-1 activations/weights packed one bit each.  The XNOR over the
+ * weight matrix rows — by far the data-heavy part — runs inside the
+ * flash array where the (potentially >100 GB) weights live; only the
+ * popcount reductions return to the host.  The generator builds a
+ * deterministic multi-layer network plus golden inference for
+ * verification.
+ */
+
+#ifndef PARABIT_WORKLOADS_BNN_HPP_
+#define PARABIT_WORKLOADS_BNN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/pipeline.hpp"
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace parabit::workloads {
+
+/** One binarized fully connected layer. */
+struct BnnLayer
+{
+    std::uint32_t inputs = 0;
+    std::uint32_t outputs = 0;
+    /** Weight rows: weights[j] has `inputs` bits (bit = +1, clear = -1). */
+    std::vector<BitVector> weights;
+    /** Per-neuron activation thresholds on the popcount. */
+    std::vector<std::uint32_t> thresholds;
+};
+
+/** Deterministic BNN generator + golden inference; see file comment. */
+class BnnWorkload
+{
+  public:
+    /**
+     * @param layer_sizes sizes[0] = input width, sizes.back() = output
+     *        width; one layer per adjacent pair
+     */
+    BnnWorkload(std::vector<std::uint32_t> layer_sizes,
+                std::uint64_t seed = 21);
+
+    const std::vector<BnnLayer> &layers() const { return layers_; }
+
+    /** A deterministic input activation vector. */
+    BitVector input(std::uint64_t index) const;
+
+    /**
+     * One neuron's pre-activation popcount: |XNOR(x, w)| — the value the
+     * in-flash XNOR + host popcount pipeline produces.
+     */
+    static std::uint32_t
+    neuronPopcount(const BitVector &x, const BitVector &w)
+    {
+        return static_cast<std::uint32_t>((~(x ^ w)).popcount());
+    }
+
+    /** Golden layer evaluation on the host. */
+    BitVector goldenLayer(const BnnLayer &layer, const BitVector &x) const;
+
+    /** Golden full-network inference. */
+    BitVector goldenInfer(const BitVector &x) const;
+
+    /** Total weight bits across layers (the in-storage resident data). */
+    std::uint64_t weightBits() const;
+
+    /**
+     * Paper-scale BulkWork for @p batch inputs: per input, one XNOR per
+     * weight row per layer.
+     */
+    baselines::BulkWork work(std::uint64_t batch) const;
+
+  private:
+    std::vector<BnnLayer> layers_;
+    std::uint64_t seed_;
+};
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_BNN_HPP_

@@ -1,0 +1,64 @@
+#include "workloads/dedup.hpp"
+
+namespace parabit::workloads {
+
+DedupWorkload::DedupWorkload(std::uint64_t num_pages, std::size_t page_bits,
+                             double dup_ratio, double collision_ratio,
+                             std::uint64_t seed)
+    : numPages_(num_pages), pageBits_(page_bits), seed_(seed)
+{
+    Rng rng(seed);
+    contentOf_.resize(num_pages);
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        if (i > 0 && rng.chance(dup_ratio)) {
+            // Duplicate of a uniformly chosen earlier page.
+            contentOf_[i] = contentOf_[rng.below(i)];
+        } else {
+            contentOf_[i] = i;
+        }
+    }
+
+    // Candidate pairs: every true duplicate pair (page, source), plus
+    // fingerprint collisions between distinct contents.
+    for (std::uint64_t i = 1; i < num_pages; ++i) {
+        if (contentOf_[i] != i) {
+            candidates_.push_back(
+                DedupCandidate{contentOf_[i], i, true});
+        } else if (rng.chance(collision_ratio) && i > 1) {
+            std::uint64_t other = rng.below(i);
+            if (contentOf_[other] != contentOf_[i])
+                candidates_.push_back(DedupCandidate{other, i, false});
+        }
+    }
+}
+
+BitVector
+DedupWorkload::page(std::uint64_t idx) const
+{
+    Rng rng(seed_ ^ (contentOf_.at(idx) * 0xD6E8FEB86659FD93ull));
+    BitVector v(pageBits_);
+    for (auto &w : v.words())
+        w = rng.next();
+    v.maskTail();
+    return v;
+}
+
+baselines::BulkWork
+DedupWorkload::work() const
+{
+    baselines::BulkWork w;
+    const Bytes page_bytes = pageBits_ / 8;
+    // Baselines must move both pages of every candidate to the compute
+    // site; ParaBit moves only a one-bit verdict (rounded to a byte).
+    w.bytesIn = 2 * page_bytes * candidates_.size();
+    baselines::BulkOpGroup g;
+    g.op = flash::BitwiseOp::kXor;
+    g.operandBytes = page_bytes;
+    g.chainLength = 2;
+    g.instances = candidates_.size();
+    w.ops.push_back(g);
+    w.bytesOut = candidates_.size(); // one verdict byte per pair
+    return w;
+}
+
+} // namespace parabit::workloads

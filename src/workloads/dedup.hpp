@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deduplication workload (paper Section 5.3.4, first bullet).
+ *
+ * Deduplication systems compare candidate page pairs — typically
+ * produced by a weak fingerprint index — with an exact byte comparison.
+ * In-flash, that comparison is one XOR whose result is checked for
+ * all-zero, so only a single flag (or the XOR page for delta encoding)
+ * crosses the interface instead of both candidate pages.
+ *
+ * The generator produces a corpus with a controlled duplicate ratio and
+ * weak-fingerprint collisions (distinct pages that hash alike), so the
+ * verification step has real work to do.
+ */
+
+#ifndef PARABIT_WORKLOADS_DEDUP_HPP_
+#define PARABIT_WORKLOADS_DEDUP_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/pipeline.hpp"
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace parabit::workloads {
+
+/** A candidate pair flagged by the fingerprint index. */
+struct DedupCandidate
+{
+    std::uint64_t pageA;
+    std::uint64_t pageB;
+    bool trulyDuplicate; ///< ground truth
+};
+
+/** Deduplication corpus generator; see file comment. */
+class DedupWorkload
+{
+  public:
+    /**
+     * @param num_pages corpus size
+     * @param page_bits bits per page
+     * @param dup_ratio fraction of pages that duplicate an earlier page
+     * @param collision_ratio fraction of candidate pairs that are
+     *        fingerprint collisions (content differs)
+     */
+    DedupWorkload(std::uint64_t num_pages, std::size_t page_bits,
+                  double dup_ratio = 0.3, double collision_ratio = 0.2,
+                  std::uint64_t seed = 11);
+
+    std::uint64_t pages() const { return numPages_; }
+    std::size_t pageBits() const { return pageBits_; }
+
+    /** Content of page @p idx (deterministic). */
+    BitVector page(std::uint64_t idx) const;
+
+    /** Candidate pairs the fingerprint index would surface. */
+    const std::vector<DedupCandidate> &candidates() const
+    {
+        return candidates_;
+    }
+
+    /** Ground truth: is the XOR of the pair all-zero? */
+    bool
+    goldenDuplicate(const DedupCandidate &c) const
+    {
+        return (page(c.pageA) ^ page(c.pageB)).popcount() == 0;
+    }
+
+    /** Paper-scale BulkWork: one XOR + zero-check per candidate. */
+    baselines::BulkWork work() const;
+
+  private:
+    std::uint64_t numPages_;
+    std::size_t pageBits_;
+    std::uint64_t seed_;
+    /** duplicate pages map to their source's content index. */
+    std::vector<std::uint64_t> contentOf_;
+    std::vector<DedupCandidate> candidates_;
+};
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_DEDUP_HPP_

@@ -1,0 +1,59 @@
+#include "workloads/encryption.hpp"
+
+namespace parabit::workloads {
+
+EncryptionWorkload::EncryptionWorkload(std::uint32_t width,
+                                       std::uint32_t height,
+                                       std::uint64_t seed)
+    : gen_(width, height, seed)
+{
+}
+
+BitVector
+EncryptionWorkload::imageBits(std::uint64_t idx) const
+{
+    return packImageBits(gen_.generate(idx + 1));
+}
+
+BitVector
+EncryptionWorkload::keyBits() const
+{
+    // Image index 0 is reserved as the key image; a keystream with the
+    // same statistics as the plaintext is fine for the XOR workload.
+    return packImageBits(gen_.generate(0));
+}
+
+BitVector
+EncryptionWorkload::goldenCipher(std::uint64_t idx) const
+{
+    return imageBits(idx) ^ keyBits();
+}
+
+Bytes
+EncryptionWorkload::bytesPerImage() const
+{
+    return gen_.pixels() * 3; // 24 bits per pixel
+}
+
+baselines::BulkWork
+EncryptionWorkload::work(std::uint64_t num_images, bool cipher_writeback) const
+{
+    baselines::BulkWork w;
+    const Bytes img = bytesPerImage();
+    // The key image moves once; every original image moves once.
+    w.bytesIn = img * (num_images + 1);
+    baselines::BulkOpGroup g;
+    g.op = flash::BitwiseOp::kXor;
+    g.operandBytes = img;
+    g.chainLength = 2;
+    g.instances = num_images;
+    w.ops.push_back(g);
+    // Ciphertext stays in storage: nothing streams to the host, but the
+    // baselines must write the cipher back to the SSD, as must the
+    // location-free scheme (see header).
+    w.bytesOut = 0;
+    w.writebackBytes = cipher_writeback ? img * num_images : 0;
+    return w;
+}
+
+} // namespace parabit::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Image-encryption case study (paper Section 5.3.3).
+ *
+ * Cipher(x) = Ori(x) XOR Key(x) over raw 24-bit pixels (1.37 MiB per
+ * 800x600 image).  In the ParaBit and ParaBit-ReAlloc schemes the
+ * original image is re-programmed next to the key image and the cipher
+ * materialises on any later read through the XOR sensing sequence, so
+ * no separate writeback occurs; the location-free scheme senses across
+ * wordlines but must program the cipher pages explicitly.
+ */
+
+#ifndef PARABIT_WORKLOADS_ENCRYPTION_HPP_
+#define PARABIT_WORKLOADS_ENCRYPTION_HPP_
+
+#include "baselines/pipeline.hpp"
+#include "workloads/image.hpp"
+
+namespace parabit::workloads {
+
+/** Functional + scale descriptors for the encryption case study. */
+class EncryptionWorkload
+{
+  public:
+    EncryptionWorkload(std::uint32_t width, std::uint32_t height,
+                       std::uint64_t seed = 99);
+
+    /** Raw bits of image @p idx. */
+    BitVector imageBits(std::uint64_t idx) const;
+
+    /** The key image's bits. */
+    BitVector keyBits() const;
+
+    /** Golden ciphertext of image @p idx. */
+    BitVector goldenCipher(std::uint64_t idx) const;
+
+    /** Raw bytes per image (1.37 MiB at 800x600). */
+    Bytes bytesPerImage() const;
+
+    /**
+     * Paper-scale BulkWork.
+     * @param cipher_writeback true for schemes that must program the
+     *        cipher pages explicitly (location-free); the co-located
+     *        schemes persist the cipher implicitly via reallocation.
+     */
+    baselines::BulkWork work(std::uint64_t num_images,
+                             bool cipher_writeback) const;
+
+  private:
+    ImageGenerator gen_;
+};
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_ENCRYPTION_HPP_

@@ -1,0 +1,109 @@
+#include "workloads/image.hpp"
+
+#include <algorithm>
+
+namespace parabit::workloads {
+
+std::vector<ColorClass>
+defaultColorClasses()
+{
+    // Four colours with YUV ranges in the spirit of the paper's
+    // "orange" example (Section 3): a band of Y plus upper/lower bands
+    // of U and V.
+    return {
+        ColorClass{"orange", {26, 255}, {180, 255}, {180, 255}},
+        ColorClass{"sky", {102, 230}, {0, 75}, {90, 160}},
+        ColorClass{"grass", {51, 204}, {60, 130}, {0, 70}},
+        ColorClass{"skin", {77, 255}, {110, 150}, {140, 190}},
+    };
+}
+
+BitVector
+classTable(const ColorRange &range, int levels)
+{
+    BitVector t(static_cast<std::size_t>(levels));
+    for (int v = 0; v < levels; ++v)
+        t.set(static_cast<std::size_t>(v),
+              range.contains(static_cast<std::uint8_t>(v)));
+    return t;
+}
+
+ImageGenerator::ImageGenerator(std::uint32_t width, std::uint32_t height,
+                               std::uint64_t seed)
+    : width_(width), height_(height), seed_(seed)
+{
+}
+
+std::vector<YuvPixel>
+ImageGenerator::generate(std::uint64_t index) const
+{
+    Rng rng(seed_ ^ (index * 0x9E3779B97F4A7C15ull) ^ 0xABCDEF);
+    std::vector<YuvPixel> img(pixels());
+
+    // Piecewise-smooth content: a coarse grid of colour anchors with
+    // per-pixel jitter, so class planes contain contiguous regions.
+    const std::uint32_t cell = 16;
+    const std::uint32_t gw = (width_ + cell - 1) / cell;
+    const std::uint32_t gh = (height_ + cell - 1) / cell;
+    std::vector<YuvPixel> anchors(static_cast<std::size_t>(gw) * gh);
+    for (auto &a : anchors) {
+        a.y = static_cast<std::uint8_t>(rng.below(256));
+        a.u = static_cast<std::uint8_t>(rng.below(256));
+        a.v = static_cast<std::uint8_t>(rng.below(256));
+    }
+
+    for (std::uint32_t r = 0; r < height_; ++r) {
+        for (std::uint32_t c = 0; c < width_; ++c) {
+            const YuvPixel &a =
+                anchors[static_cast<std::size_t>(r / cell) * gw + c / cell];
+            auto jitter = [&](std::uint8_t base) {
+                const int j = static_cast<int>(rng.below(17)) - 8;
+                return static_cast<std::uint8_t>(
+                    std::clamp(static_cast<int>(base) + j, 0, 255));
+            };
+            YuvPixel &p = img[static_cast<std::size_t>(r) * width_ + c];
+            p.y = jitter(a.y);
+            p.u = jitter(a.u);
+            p.v = jitter(a.v);
+        }
+    }
+    return img;
+}
+
+BitVector
+channelClassPlane(const std::vector<YuvPixel> &img, int channel,
+                  const ColorClass &color)
+{
+    const ColorRange &range = color.channel(channel);
+    BitVector plane(img.size());
+    for (std::size_t i = 0; i < img.size(); ++i)
+        plane.set(i, range.contains(img[i].channel(channel)));
+    return plane;
+}
+
+BitVector
+goldenSegmentation(const std::vector<YuvPixel> &img, const ColorClass &color)
+{
+    BitVector mask(img.size());
+    for (std::size_t i = 0; i < img.size(); ++i)
+        mask.set(i, color.y.contains(img[i].y) && color.u.contains(img[i].u) &&
+                        color.v.contains(img[i].v));
+    return mask;
+}
+
+BitVector
+packImageBits(const std::vector<YuvPixel> &img)
+{
+    BitVector bits(img.size() * 24);
+    std::size_t pos = 0;
+    for (const auto &p : img) {
+        for (int ch = 0; ch < 3; ++ch) {
+            const std::uint8_t v = p.channel(ch);
+            for (int b = 0; b < 8; ++b)
+                bits.set(pos++, (v >> b) & 1);
+        }
+    }
+    return bits;
+}
+
+} // namespace parabit::workloads

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic image workload substrate.
+ *
+ * The paper evaluates on collections of 800x600 YUV images that we do
+ * not have; a seeded generator produces deterministic images with
+ * plausible colour statistics (piecewise-smooth regions, so colour
+ * classes actually match contiguous areas).  The segmentation
+ * pre-processing of Section 3 is implemented exactly: each channel value
+ * is classified against per-colour ranges, yielding one bit per
+ * (pixel, colour, channel) — the "recognised colour based YUV classes"
+ * occupying 4 bits per channel per pixel for four colours.
+ */
+
+#ifndef PARABIT_WORKLOADS_IMAGE_HPP_
+#define PARABIT_WORKLOADS_IMAGE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace parabit::workloads {
+
+/** One YUV pixel, 8 bits per channel. */
+struct YuvPixel
+{
+    std::uint8_t y = 0, u = 0, v = 0;
+
+    std::uint8_t
+    channel(int ch) const
+    {
+        return ch == 0 ? y : ch == 1 ? u : v;
+    }
+};
+
+/** Inclusive channel-value range. */
+struct ColorRange
+{
+    std::uint8_t lo = 0, hi = 255;
+
+    bool contains(std::uint8_t v) const { return v >= lo && v <= hi; }
+};
+
+/** A recognisable colour: one range per channel. */
+struct ColorClass
+{
+    std::string name;
+    ColorRange y, u, v;
+
+    const ColorRange &
+    channel(int ch) const
+    {
+        return ch == 0 ? y : ch == 1 ? u : v;
+    }
+};
+
+/** The four colours recognised in the evaluation. */
+std::vector<ColorClass> defaultColorClasses();
+
+/**
+ * The paper's class-table representation (Section 3): bit i of the
+ * returned vector says whether channel level i falls inside @p range,
+ * exactly the Y_Class[]/U_Class[]/V_Class[] arrays.
+ */
+BitVector classTable(const ColorRange &range, int levels = 256);
+
+/** Deterministic piecewise-smooth image generator; see file comment. */
+class ImageGenerator
+{
+  public:
+    ImageGenerator(std::uint32_t width, std::uint32_t height,
+                   std::uint64_t seed);
+
+    std::uint32_t width() const { return width_; }
+    std::uint32_t height() const { return height_; }
+    std::size_t pixels() const
+    {
+        return static_cast<std::size_t>(width_) * height_;
+    }
+
+    /** Generate image @p index (same index -> same image). */
+    std::vector<YuvPixel> generate(std::uint64_t index) const;
+
+  private:
+    std::uint32_t width_, height_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Pre-processing: the class bit-plane of one channel for one colour —
+ * bit p is 1 iff pixel p's channel value lies in the colour's range.
+ */
+BitVector channelClassPlane(const std::vector<YuvPixel> &img, int channel,
+                            const ColorClass &color);
+
+/** Golden segmentation mask: Y AND U AND V class planes. */
+BitVector goldenSegmentation(const std::vector<YuvPixel> &img,
+                             const ColorClass &color);
+
+/** Pack an image's raw 24-bit pixels into a bit vector (encryption). */
+BitVector packImageBits(const std::vector<YuvPixel> &img);
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_IMAGE_HPP_

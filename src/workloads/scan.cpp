@@ -1,0 +1,84 @@
+#include "workloads/scan.hpp"
+
+namespace parabit::workloads {
+
+ScanWorkload::ScanWorkload(std::uint64_t records, std::uint32_t record_bits,
+                           double selectivity, std::uint64_t seed)
+    : records_(records), recordBits_(record_bits), key_(record_bits),
+      column_(records * record_bits)
+{
+    Rng rng(seed);
+    for (std::uint32_t b = 0; b < record_bits; ++b)
+        key_.set(b, rng.chance(0.5));
+
+    for (std::uint64_t r = 0; r < records; ++r) {
+        const bool match = rng.chance(selectivity);
+        for (std::uint32_t b = 0; b < record_bits; ++b) {
+            const bool bit = match ? key_.get(b) : rng.chance(0.5);
+            column_.set(r * record_bits + b, bit);
+        }
+        // A non-match row can still equal the key by chance at tiny
+        // widths; the golden scan below is content-based, so that is
+        // handled consistently.
+    }
+}
+
+BitVector
+ScanWorkload::keyPattern(std::size_t bits) const
+{
+    BitVector pattern(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        pattern.set(i, key_.get(i % recordBits_));
+    return pattern;
+}
+
+std::vector<std::uint64_t>
+ScanWorkload::matchesFromXnor(const BitVector &xnor_bits,
+                              std::uint64_t first_record) const
+{
+    std::vector<std::uint64_t> out;
+    const std::uint64_t whole = xnor_bits.size() / recordBits_;
+    for (std::uint64_t r = 0; r < whole; ++r) {
+        if (first_record + r >= records_)
+            break;
+        bool all = true;
+        for (std::uint32_t b = 0; all && b < recordBits_; ++b)
+            all = xnor_bits.get(r * recordBits_ + b);
+        if (all)
+            out.push_back(first_record + r);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+ScanWorkload::goldenMatches() const
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t r = 0; r < records_; ++r) {
+        bool all = true;
+        for (std::uint32_t b = 0; all && b < recordBits_; ++b)
+            all = column_.get(r * recordBits_ + b) == key_.get(b);
+        if (all)
+            out.push_back(r);
+    }
+    return out;
+}
+
+baselines::BulkWork
+ScanWorkload::work() const
+{
+    baselines::BulkWork w;
+    const Bytes column_bytes = column_.size() / 8;
+    w.bytesIn = column_bytes; // baselines move the whole column
+    baselines::BulkOpGroup g;
+    g.op = flash::BitwiseOp::kXnor;
+    g.operandBytes = column_bytes;
+    g.chainLength = 2;
+    g.instances = 1;
+    w.ops.push_back(g);
+    // Match positions only: negligible vs the column.
+    w.bytesOut = (records_ + 7) / 8;
+    return w;
+}
+
+} // namespace parabit::workloads

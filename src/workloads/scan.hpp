@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fast data-scanning workload (paper Section 5.3.4, third bullet).
+ *
+ * Database scans over fixed-width columns search for records equal to a
+ * key.  In-flash, equality is XNOR against a page filled with repeated
+ * key copies followed by a per-record all-ones check, so the scan runs
+ * at array bandwidth and only match positions return to the host.
+ *
+ * The generator builds a columnar table of fixed-width records with a
+ * controlled selectivity and provides the host golden scan.
+ */
+
+#ifndef PARABIT_WORKLOADS_SCAN_HPP_
+#define PARABIT_WORKLOADS_SCAN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/pipeline.hpp"
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace parabit::workloads {
+
+/** Columnar scan workload; see file comment. */
+class ScanWorkload
+{
+  public:
+    /**
+     * @param records number of rows
+     * @param record_bits fixed column width in bits
+     * @param selectivity fraction of rows equal to the probe key
+     */
+    ScanWorkload(std::uint64_t records, std::uint32_t record_bits,
+                 double selectivity = 0.02, std::uint64_t seed = 31);
+
+    std::uint64_t records() const { return records_; }
+    std::uint32_t recordBits() const { return recordBits_; }
+
+    /** The probe key. */
+    const BitVector &key() const { return key_; }
+
+    /** Column data packed record-after-record. */
+    const BitVector &column() const { return column_; }
+
+    /** A page-sized vector of repeated key copies for in-flash XNOR. */
+    BitVector keyPattern(std::size_t bits) const;
+
+    /**
+     * Interpret @p xnor_bits (the in-flash XNOR of column data against
+     * the key pattern) as match flags: record r matches iff its
+     * record_bits slice is all ones.
+     */
+    std::vector<std::uint64_t>
+    matchesFromXnor(const BitVector &xnor_bits,
+                    std::uint64_t first_record) const;
+
+    /** Host golden scan: indices of matching records. */
+    std::vector<std::uint64_t> goldenMatches() const;
+
+    /** Paper-scale BulkWork descriptor. */
+    baselines::BulkWork work() const;
+
+  private:
+    std::uint64_t records_;
+    std::uint32_t recordBits_;
+    BitVector key_;
+    BitVector column_;
+};
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_SCAN_HPP_

@@ -1,0 +1,55 @@
+#include "workloads/segmentation.hpp"
+
+namespace parabit::workloads {
+
+SegmentationWorkload::SegmentationWorkload(std::uint32_t width,
+                                           std::uint32_t height,
+                                           std::uint64_t seed,
+                                           std::vector<ColorClass> colors)
+    : gen_(width, height, seed), colors_(std::move(colors))
+{
+}
+
+BitVector
+SegmentationWorkload::plane(std::uint64_t idx, int ch,
+                            std::size_t color) const
+{
+    return channelClassPlane(gen_.generate(idx), ch, colors_.at(color));
+}
+
+BitVector
+SegmentationWorkload::golden(std::uint64_t idx, std::size_t color) const
+{
+    return goldenSegmentation(gen_.generate(idx), colors_.at(color));
+}
+
+Bytes
+SegmentationWorkload::bytesPerImage() const
+{
+    // 3 channels x (one bit per colour per pixel).
+    return 3 * colors_.size() * gen_.pixels() / 8;
+}
+
+baselines::BulkWork
+SegmentationWorkload::work(std::uint64_t num_images) const
+{
+    baselines::BulkWork w;
+    const Bytes plane_bytes = gen_.pixels() / 8 * num_images;
+    w.bytesIn = bytesPerImage() * num_images;
+    for (std::size_t c = 0; c < colors_.size(); ++c) {
+        baselines::BulkOpGroup g;
+        g.op = flash::BitwiseOp::kAnd;
+        g.operandBytes = plane_bytes;
+        g.chainLength = 3; // Y AND U AND V
+        g.instances = 1;
+        // Class planes pack four colour bits per channel into both
+        // logical pages: no free MSBs, chain steps must re-pair.
+        g.lsbOnlyLayout = false;
+        w.ops.push_back(g);
+    }
+    // One mask per colour: a third of the class-plane volume total.
+    w.bytesOut = plane_bytes * colors_.size();
+    return w;
+}
+
+} // namespace parabit::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Image-segmentation case study (paper Sections 3, 5.3.1).
+ *
+ * Pre-processed images store, per channel, one class bit per colour per
+ * pixel (4 bits x 3 channels = 0.72 MB for an 800x600 image with four
+ * colours).  Recognition of colour c is then two bulk ANDs:
+ * Y-plane(c) AND U-plane(c) AND V-plane(c), and the output masks are a
+ * third of the class-plane volume.
+ */
+
+#ifndef PARABIT_WORKLOADS_SEGMENTATION_HPP_
+#define PARABIT_WORKLOADS_SEGMENTATION_HPP_
+
+#include "baselines/pipeline.hpp"
+#include "workloads/image.hpp"
+
+namespace parabit::workloads {
+
+/** Functional + scale descriptors for the segmentation case study. */
+class SegmentationWorkload
+{
+  public:
+    SegmentationWorkload(std::uint32_t width, std::uint32_t height,
+                         std::uint64_t seed = 42,
+                         std::vector<ColorClass> colors =
+                             defaultColorClasses());
+
+    const std::vector<ColorClass> &colors() const { return colors_; }
+    const ImageGenerator &generator() const { return gen_; }
+
+    /** Class plane for image @p idx, channel @p ch, colour @p color. */
+    BitVector plane(std::uint64_t idx, int ch, std::size_t color) const;
+
+    /** Golden mask for image @p idx, colour @p color. */
+    BitVector golden(std::uint64_t idx, std::size_t color) const;
+
+    /** Pre-processed bytes per image (the paper's 0.72 MB). */
+    Bytes bytesPerImage() const;
+
+    /**
+     * Paper-scale BulkWork: @p num_images images, all colours.
+     * Operand bytes per colour-channel plane = pixels/8 x num_images.
+     */
+    baselines::BulkWork work(std::uint64_t num_images) const;
+
+  private:
+    ImageGenerator gen_;
+    std::vector<ColorClass> colors_;
+};
+
+} // namespace parabit::workloads
+
+#endif // PARABIT_WORKLOADS_SEGMENTATION_HPP_

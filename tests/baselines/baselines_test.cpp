@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Baseline-model tests: interconnect bandwidth calibration, Ambit
+ * command-round latencies, ISC throughput, and pipeline composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/ambit.hpp"
+#include "baselines/interconnect.hpp"
+#include "baselines/isc.hpp"
+#include "baselines/pipeline.hpp"
+
+namespace parabit::baselines {
+namespace {
+
+TEST(Interconnect, DefaultBandwidthMatchesPaperFig4)
+{
+    // 144 GB of pre-processed images (200K x 0.72 MB) must take about
+    // 43.9 s on the PIM path (paper Fig 4).
+    Interconnect link;
+    const double sec = link.transferSeconds(Bytes{144'000'000'000});
+    EXPECT_NEAR(sec, 43.9, 0.5);
+}
+
+TEST(Interconnect, IscAttachmentIsSlightlyFaster)
+{
+    Interconnect pim, isc{InterconnectConfig::iscAttachment()};
+    const Bytes n = 144'000'000'000;
+    EXPECT_LT(isc.transferSeconds(n), pim.transferSeconds(n));
+    EXPECT_NEAR(isc.transferSeconds(n), 41.8, 0.5);
+}
+
+TEST(Interconnect, TransferIsLinear)
+{
+    Interconnect link;
+    EXPECT_NEAR(link.transferSeconds(2 * bytes::kGiB),
+                2 * link.transferSeconds(bytes::kGiB), 1e-12);
+}
+
+TEST(Ambit, CommandRoundsPerOp)
+{
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kAnd), 4);
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kOr), 4);
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kNand), 4);
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kNor), 4);
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kXor), 7);
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kXnor), 7);
+    EXPECT_EQ(AmbitModel::commandRounds(flash::BitwiseOp::kNotLsb), 1);
+}
+
+TEST(Ambit, RoundLatencyFromDramTiming)
+{
+    AmbitModel m;
+    EXPECT_NEAR(m.roundSeconds(), (35.0 + 13.75) * 1e-9, 1e-15);
+    EXPECT_NEAR(m.sliceSeconds(flash::BitwiseOp::kAnd), 4 * 48.75e-9,
+                1e-15);
+}
+
+TEST(Ambit, LargeOperandsSerialiseInto16KSlices)
+{
+    AmbitModel m;
+    const Bytes eight_mb = 8 * bytes::kMiB;
+    const double t = m.opSeconds(flash::BitwiseOp::kNotMsb, eight_mb);
+    // 512 slices x 1 round x 48.75 ns ~= 25 us.
+    EXPECT_NEAR(t, 512 * 48.75e-9, 1e-12);
+}
+
+TEST(Ambit, CapacityIs64GiB)
+{
+    AmbitModel m;
+    EXPECT_EQ(m.capacityBytes(), 64 * bytes::kGiB);
+}
+
+TEST(Isc, ThroughputFromLutArray)
+{
+    IscModel m;
+    EXPECT_NEAR(m.bitsPerSecond(), 218600.0 * 100e6 * 0.325, 1.0);
+}
+
+TEST(Isc, SingleSmallOpIsOnePassLatency)
+{
+    IscModel m;
+    EXPECT_DOUBLE_EQ(m.opSeconds(flash::BitwiseOp::kAnd, 8), 10e-9);
+}
+
+TEST(Isc, SerialChainsCostOnePassPerOp)
+{
+    IscModel m;
+    const Bytes n = bytes::kMiB;
+    EXPECT_NEAR(m.chainSeconds(6, n) / m.chainSeconds(3, n), 2.0, 1e-9);
+}
+
+TEST(Isc, FusedExpressionsFoldFiveOpsPerPass)
+{
+    IscModel m;
+    const Bytes n = bytes::kMiB;
+    const double five = m.fusedChainSeconds(5, n);
+    const double six = m.fusedChainSeconds(6, n);
+    EXPECT_NEAR(six / five, 2.0, 1e-9) << "6 ops need a second pass";
+    EXPECT_NEAR(m.chainSeconds(5, n) / five, 5.0, 1e-9);
+}
+
+TEST(Isc, EightMegabyteOpBeatsParaBitSense)
+{
+    // Fig 13(b): with two 8 MB operands, ISC is the fastest scheme —
+    // its streaming time must undercut even ParaBit's single 25 us SRO.
+    IscModel m;
+    EXPECT_LT(m.opSeconds(flash::BitwiseOp::kAnd, 8 * bytes::kMiB), 25e-6);
+}
+
+TEST(Isc, BitmapAnchorFromPaper)
+{
+    // 364 chained ANDs over 100 MB vectors ~= 41 ms (paper 5.3.2).
+    IscModel m;
+    const double sec = m.chainSeconds(364, Bytes{100'000'000});
+    EXPECT_NEAR(sec, 41e-3, 10e-3);
+}
+
+TEST(Pipeline, PimTotalIsSumOfStages)
+{
+    PimPipeline pim{AmbitModel{}, Interconnect{}};
+    BulkWork w;
+    w.bytesIn = 10 * bytes::kGiB;
+    w.bytesOut = bytes::kGiB;
+    w.ops.push_back(BulkOpGroup{flash::BitwiseOp::kAnd, bytes::kGiB, 3, 1});
+    const Breakdown b = pim.run(w);
+    EXPECT_GT(b.moveInSec, 0.0);
+    EXPECT_GT(b.computeSec, 0.0);
+    EXPECT_NEAR(b.totalSec,
+                b.moveInSec + b.computeSec + b.moveOutSec + b.writebackSec,
+                1e-12);
+    EXPECT_GT(b.moveInSec, b.computeSec)
+        << "movement must dominate (the paper's motivation)";
+}
+
+TEST(Pipeline, ParaBitHasNoMoveIn)
+{
+    core::CostModel cm(ssd::SsdConfig::paperSsd());
+    ParaBitPipeline pb{cm, Interconnect{}, core::Mode::kPreAllocated, false};
+    BulkWork w;
+    w.bytesIn = 10 * bytes::kGiB; // ignored: data already in flash
+    w.bytesOut = bytes::kGiB;
+    w.ops.push_back(
+        BulkOpGroup{flash::BitwiseOp::kAnd, 64 * bytes::kMiB, 2, 1});
+    const Breakdown b = pb.run(w);
+    EXPECT_EQ(b.moveInSec, 0.0);
+    EXPECT_GT(b.computeSec, 0.0);
+    EXPECT_GT(b.moveOutSec, 0.0);
+}
+
+TEST(Pipeline, PipelinedParaBitOverlapsMoveOut)
+{
+    core::CostModel cm(ssd::SsdConfig::paperSsd());
+    BulkWork w;
+    w.bytesOut = 16 * bytes::kGiB;
+    w.ops.push_back(
+        BulkOpGroup{flash::BitwiseOp::kAnd, 64 * bytes::kMiB, 2, 1});
+    ParaBitPipeline seq{cm, Interconnect{}, core::Mode::kPreAllocated, false};
+    ParaBitPipeline pipe{cm, Interconnect{}, core::Mode::kPreAllocated, true};
+    const Breakdown bs = seq.run(w);
+    const Breakdown bp = pipe.run(w);
+    EXPECT_LT(bp.totalSec, bs.totalSec);
+    EXPECT_NEAR(bp.totalSec, std::max(bs.computeSec, bs.moveOutSec), 1e-9);
+}
+
+TEST(Pipeline, ReallocModeReportsWriteTraffic)
+{
+    core::CostModel cm(ssd::SsdConfig::paperSsd());
+    ParaBitPipeline pb{cm, Interconnect{}, core::Mode::kReAllocate, false};
+    BulkWork w;
+    w.ops.push_back(
+        BulkOpGroup{flash::BitwiseOp::kXor, 8 * bytes::kMiB, 2, 10});
+    pb.run(w);
+    EXPECT_GT(pb.lastCost().reallocBytes, 0u);
+    EXPECT_GT(pb.lastCost().pagePrograms, 0u);
+}
+
+} // namespace
+} // namespace parabit::baselines

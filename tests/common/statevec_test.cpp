@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the four-state logic vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/statevec.hpp"
+
+namespace parabit {
+namespace {
+
+TEST(StateVec, DefaultIsZero)
+{
+    StateVec v;
+    EXPECT_EQ(v, statevec::kAllZero);
+    EXPECT_EQ(v.toString(), "0000");
+}
+
+TEST(StateVec, ConstructionAndAt)
+{
+    StateVec v(true, false, true, true);
+    EXPECT_TRUE(v.at(0));
+    EXPECT_FALSE(v.at(1));
+    EXPECT_TRUE(v.at(2));
+    EXPECT_TRUE(v.at(3));
+    EXPECT_EQ(v.toString(), "1011");
+}
+
+TEST(StateVec, FromString)
+{
+    EXPECT_EQ(StateVec::fromString("0111").toString(), "0111");
+    EXPECT_EQ(StateVec::fromString("0000"), statevec::kAllZero);
+    EXPECT_EQ(StateVec::fromString("1111"), statevec::kAllOne);
+}
+
+TEST(StateVec, PaperAlgebra)
+{
+    // The exact identity used throughout the paper:
+    // L(A) = L(A)_old AND NOT L(SO), with L(A)_old=1111, L(SO)=0011.
+    const StateVec a_old = statevec::kAllOne;
+    const StateVec so = StateVec::fromString("0011");
+    EXPECT_EQ((a_old & ~so).toString(), "1100");
+}
+
+TEST(StateVec, ComplementIsInvolutive)
+{
+    for (int m = 0; m < 16; ++m) {
+        StateVec v((m >> 3) & 1, (m >> 2) & 1, (m >> 1) & 1, m & 1);
+        EXPECT_EQ(~~v, v);
+    }
+}
+
+TEST(StateVec, AndOrTruthExhaustive)
+{
+    for (int a = 0; a < 16; ++a) {
+        for (int b = 0; b < 16; ++b) {
+            StateVec va((a >> 3) & 1, (a >> 2) & 1, (a >> 1) & 1, a & 1);
+            StateVec vb((b >> 3) & 1, (b >> 2) & 1, (b >> 1) & 1, b & 1);
+            for (int s = 0; s < 4; ++s) {
+                EXPECT_EQ((va & vb).at(s), va.at(s) && vb.at(s));
+                EXPECT_EQ((va | vb).at(s), va.at(s) || vb.at(s));
+            }
+        }
+    }
+}
+
+TEST(StateVec, ConstexprUsable)
+{
+    constexpr StateVec v(true, false, false, true);
+    static_assert(v.at(0) && !v.at(1) && !v.at(2) && v.at(3));
+    static_assert((~v).at(1));
+}
+
+} // namespace
+} // namespace parabit

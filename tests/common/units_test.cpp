@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit tests for time/size unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace parabit {
+namespace {
+
+TEST(Units, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(ticks::fromNs(13.75), 13750u);
+    EXPECT_EQ(ticks::fromUs(25), 25u * 1000 * 1000);
+    EXPECT_EQ(ticks::fromMs(3.5), Tick{3500} * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(ticks::toNs(ticks::fromNs(35)), 35.0);
+    EXPECT_DOUBLE_EQ(ticks::toUs(ticks::fromUs(640)), 640.0);
+    EXPECT_DOUBLE_EQ(ticks::toSec(ticks::kSecond), 1.0);
+}
+
+TEST(Units, FractionalNanosecondsPreserved)
+{
+    // DRAM timing: tRCD = 13.75 ns must not round to 13 or 14.
+    const Tick t = ticks::fromNs(13.75);
+    EXPECT_DOUBLE_EQ(ticks::toNs(t), 13.75);
+}
+
+TEST(Units, ByteHelpers)
+{
+    EXPECT_EQ(bytes::kKiB, 1024u);
+    EXPECT_EQ(bytes::kMiB, 1024u * 1024);
+    EXPECT_DOUBLE_EQ(bytes::toMiB(8 * bytes::kMiB), 8.0);
+    EXPECT_DOUBLE_EQ(bytes::toGiB(512 * bytes::kGiB), 512.0);
+}
+
+TEST(Units, LargeSimTimesFit)
+{
+    // 1000 simulated seconds in picoseconds stays well inside 64 bits.
+    const Tick t = ticks::fromSec(1000.0);
+    EXPECT_DOUBLE_EQ(ticks::toSec(t), 1000.0);
+}
+
+} // namespace
+} // namespace parabit

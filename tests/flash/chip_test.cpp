@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Chip-level functional tests: program/read round trips, both ParaBit
+ * op entry points on stored data, plane isolation, erase counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flash/chip.hpp"
+
+namespace parabit::flash {
+namespace {
+
+FlashGeometry
+tinyGeom()
+{
+    return FlashGeometry::tiny();
+}
+
+BitVector
+randomPage(const FlashGeometry &g, Rng &rng)
+{
+    BitVector v(g.pageBits());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v.set(i, rng.chance(0.5));
+    return v;
+}
+
+TEST(Chip, ProgramReadRoundTrip)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    Rng rng(1);
+    const BitVector d = randomPage(g, rng);
+    const ChipPageAddr a{0, 1, 2, 3, false};
+    chip.programPage(a, &d);
+    EXPECT_EQ(chip.pageState(a), PageState::kValid);
+    EXPECT_EQ(chip.readPage(a), d);
+}
+
+TEST(Chip, UnwrittenPageReadsAllOnes)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    const ChipPageAddr a{0, 0, 0, 0, true};
+    const BitVector v = chip.readPage(a);
+    EXPECT_EQ(v.popcount(), v.size()); // erased
+}
+
+TEST(Chip, OpCoLocatedComputesOverWordline)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    Rng rng(2);
+    const BitVector x = randomPage(g, rng);
+    const BitVector y = randomPage(g, rng);
+    const ChipPageAddr lsb{0, 0, 1, 4, false};
+    const ChipPageAddr msb{0, 0, 1, 4, true};
+    chip.programPage(lsb, &x);
+    chip.programPage(msb, &y);
+
+    int errors = -1;
+    const BitVector out = chip.opCoLocated(BitwiseOp::kXor, lsb, &errors);
+    EXPECT_EQ(out, x ^ y);
+    EXPECT_EQ(errors, 0); // ideal error model
+}
+
+TEST(Chip, OpLocationFreeAcrossWordlines)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    Rng rng(3);
+    const BitVector m = randomPage(g, rng);
+    const BitVector n = randomPage(g, rng);
+    // M in the MSB page of WL 2, N in the LSB page of WL 5, same plane.
+    const ChipPageAddr ma{0, 1, 0, 2, true};
+    const ChipPageAddr na{0, 1, 3, 5, false};
+    chip.programPage(ma, &m);
+    chip.programPage(na, &n);
+    const BitVector out =
+        chip.opLocationFree(BitwiseOp::kAnd, ma, na);
+    EXPECT_EQ(out, m & n);
+}
+
+TEST(Chip, OpLocationFreeLsbLsbVariant)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    Rng rng(4);
+    const BitVector m = randomPage(g, rng);
+    const BitVector n = randomPage(g, rng);
+    const ChipPageAddr ma{0, 0, 2, 0, false};
+    const ChipPageAddr na{0, 0, 4, 1, false};
+    chip.programPage(ma, &m);
+    chip.programPage(na, &n);
+    const BitVector out = chip.opLocationFree(
+        BitwiseOp::kXor, ma, na, nullptr, LocFreeVariant::kLsbLsb);
+    EXPECT_EQ(out, m ^ n);
+}
+
+TEST(Chip, LocationFreeAcrossPlanesDies)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    const ChipPageAddr ma{0, 0, 0, 0, true};
+    const ChipPageAddr na{0, 1, 0, 0, false};
+    chip.programPage(ma, nullptr);
+    chip.programPage(na, nullptr);
+    EXPECT_DEATH(chip.opLocationFree(BitwiseOp::kAnd, ma, na),
+                 "share a plane");
+}
+
+TEST(Chip, EraseCountTracksPerBlock)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    chip.programPage({0, 0, 3, 0, false}, nullptr);
+    chip.eraseBlock(0, 0, 3);
+    chip.eraseBlock(0, 0, 3);
+    EXPECT_EQ(chip.blockEraseCount(0, 0, 3), 2u);
+    EXPECT_EQ(chip.blockEraseCount(0, 0, 2), 0u);
+}
+
+TEST(Chip, PlanesAreIsolated)
+{
+    const FlashGeometry g = tinyGeom();
+    Chip chip(g, true);
+    Rng rng(5);
+    const BitVector d0 = randomPage(g, rng);
+    const BitVector d1 = randomPage(g, rng);
+    chip.programPage({0, 0, 0, 0, false}, &d0);
+    chip.programPage({0, 1, 0, 0, false}, &d1);
+    EXPECT_EQ(chip.readPage({0, 0, 0, 0, false}), d0);
+    EXPECT_EQ(chip.readPage({0, 1, 0, 0, false}), d1);
+}
+
+TEST(Chip, ErrorInjectionReportsBitErrors)
+{
+    const FlashGeometry g = tinyGeom();
+    // Extremely aggressive error model so flips are certain.
+    ErrorModelConfig ec;
+    ec.observedErrorsAtRef =
+        0.05 * ec.propagationSurvival * ec.refSensings * ec.wordlineBits;
+    ec.refPeCycles = 1.0;
+    ec.decadesOverLife = 0.0; // flat: same rate at 0 P/E
+    Chip chip(g, true, ec, 99);
+    const BitVector x(g.pageBits(), true);
+    const BitVector y(g.pageBits(), true);
+    chip.programPage({0, 0, 0, 0, false}, &x);
+    chip.programPage({0, 0, 0, 0, true}, &y);
+    int errors = 0;
+    chip.opCoLocated(BitwiseOp::kXor, {0, 0, 0, 0, false}, &errors);
+    EXPECT_GT(errors, 0);
+}
+
+} // namespace
+} // namespace parabit::flash

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Location-free operation correctness (paper Section 4.2, Fig 8,
+ * Tables 6/7): every op, every operand combination, every companion-bit
+ * combination — the unrelated data sharing the operand wordlines must
+ * never influence the result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/latch_circuit.hpp"
+#include "flash/op_sequences.hpp"
+#include "flash/sequence_executor.hpp"
+
+namespace parabit::flash {
+namespace {
+
+struct LocFreeCase
+{
+    BitwiseOp op;
+    LocFreeVariant variant;
+};
+
+class LocFreeOpTest
+    : public ::testing::TestWithParam<std::tuple<BitwiseOp, LocFreeVariant>>
+{
+};
+
+TEST_P(LocFreeOpTest, GoldenForAllOperandAndCompanionCombos)
+{
+    const auto [op, variant] = GetParam();
+    const MicroProgram &prog = locationFreeProgram(op, variant);
+    const bool m_in_msb = variant == LocFreeVariant::kMsbLsb;
+
+    for (int m = 0; m <= 1; ++m) {
+        for (int n = 0; n <= 1; ++n) {
+            const bool expect = isUnary(op)
+                                    ? opGolden(op, n != 0, m != 0)
+                                    : opGolden(op, n != 0, m != 0);
+            // Sweep the companion (don't-care) bit of each operand cell.
+            for (int cm = 0; cm <= 1; ++cm) {
+                for (int cn = 0; cn <= 1; ++cn) {
+                    // Operand M occupies MSB (kMsbLsb) or LSB (kLsbLsb)
+                    // of its cell; N always occupies LSB of its cell.
+                    const MlcState cell_m =
+                        m_in_msb ? mlcEncode(cm != 0, m != 0)
+                                 : mlcEncode(m != 0, cm != 0);
+                    const MlcState cell_n = mlcEncode(n != 0, cn != 0);
+                    EXPECT_EQ(runScalar(prog, MlcState::kE, cell_m, cell_n),
+                              expect)
+                        << opName(op) << " m=" << m << " n=" << n
+                        << " companions=(" << cm << "," << cn << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST_P(LocFreeOpTest, ProgramShapeIsSane)
+{
+    const auto [op, variant] = GetParam();
+    const MicroProgram &p = locationFreeProgram(op, variant);
+    ASSERT_FALSE(p.steps.empty());
+    EXPECT_TRUE(p.locationFree);
+    EXPECT_EQ(p.steps.back().kind, MicroStep::Kind::kTransfer);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsBothVariants, LocFreeOpTest,
+    ::testing::Combine(
+        ::testing::Values(BitwiseOp::kAnd, BitwiseOp::kOr, BitwiseOp::kXnor,
+                          BitwiseOp::kNand, BitwiseOp::kNor, BitwiseOp::kXor,
+                          BitwiseOp::kNotLsb, BitwiseOp::kNotMsb),
+        ::testing::Values(LocFreeVariant::kMsbLsb, LocFreeVariant::kLsbLsb)),
+    [](const auto &info) {
+        std::string n = opName(std::get<0>(info.param));
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n + "_" +
+               (std::get<1>(info.param) == flash::LocFreeVariant::kMsbLsb
+                    ? "MsbLsb" : "LsbLsb");
+    });
+
+TEST(LocFree, SenseCountsMatchPaperAnchors)
+{
+    // Section 5.8 counts seven sensings for the location-free XOR.
+    EXPECT_EQ(locationFreeProgram(BitwiseOp::kXor).senseCount(), 7);
+    // AND: MSB read (2 SROs) + LSB sense (1).
+    EXPECT_EQ(locationFreeProgram(BitwiseOp::kAnd).senseCount(), 3);
+    // OR: MSB read (2) + L1 re-init (1) + LSB sense (1).
+    EXPECT_EQ(locationFreeProgram(BitwiseOp::kOr).senseCount(), 4);
+}
+
+TEST(LocFree, LsbLsbVariantIsCheaper)
+{
+    for (int i = 0; i < kNumBitwiseOps; ++i) {
+        const auto op = static_cast<BitwiseOp>(i);
+        EXPECT_LE(locationFreeProgram(op, LocFreeVariant::kLsbLsb)
+                      .senseCount(),
+                  locationFreeProgram(op, LocFreeVariant::kMsbLsb)
+                      .senseCount())
+            << opName(op);
+    }
+}
+
+TEST(LocFree, XorUsesInverterExtension)
+{
+    // Fig 8: the second phase of XOR needs the M7 inverted-SO path; the
+    // plain AND/OR do not.
+    EXPECT_TRUE(locationFreeProgram(BitwiseOp::kXor)
+                    .needsInverterExtension());
+    EXPECT_FALSE(locationFreeProgram(BitwiseOp::kAnd)
+                     .needsInverterExtension());
+    EXPECT_FALSE(locationFreeProgram(BitwiseOp::kOr)
+                     .needsInverterExtension());
+}
+
+// ----- Paper Table 6: location-free AND row-by-row. ---------------------
+
+TEST(PaperTable6, LocationFreeAndRows)
+{
+    // After the MSB read of WL(M), L(A) holds the MSB vector 1001 over
+    // M's cell states.  The LSB sense of WL(N) then either keeps A (when
+    // the LSB is 1, SO = 0) or clears it (LSB 0, SO = 1).
+    for (int lsb = 0; lsb <= 1; ++lsb) {
+        LatchCircuit lc;
+        lc.initNormal();
+        // MSB read of WL(M): the symbolic vector ranges over M's states.
+        lc.sense(VRead::kVRead1);
+        lc.pulseM2();
+        lc.sense(VRead::kVRead3);
+        lc.pulseM1();
+        ASSERT_EQ(lc.a().toString(), "1001");
+
+        // LSB sense of WL(N): SO is a concrete broadcast bit ~lsb.
+        lc.driveSo(lsb ? statevec::kAllZero : statevec::kAllOne);
+        lc.pulseM2();
+        lc.pulseM3();
+        if (lsb) {
+            EXPECT_EQ(lc.a().toString(), "1001"); // Table 6 row 1
+            EXPECT_EQ(lc.out().toString(), "1001");
+        } else {
+            EXPECT_EQ(lc.a().toString(), "0000"); // Table 6 row 2
+            EXPECT_EQ(lc.out().toString(), "0000");
+        }
+    }
+}
+
+// ----- Paper Table 7: location-free OR row-by-row. ----------------------
+
+TEST(PaperTable7, LocationFreeOrRows)
+{
+    for (int lsb = 0; lsb <= 1; ++lsb) {
+        LatchCircuit lc;
+        lc.initNormal();
+        // Stage MSB of WL(M) into L2.
+        lc.sense(VRead::kVRead1);
+        lc.pulseM2();
+        lc.sense(VRead::kVRead3);
+        lc.pulseM1();
+        lc.pulseM3();
+        ASSERT_EQ(lc.b().toString(), "0110"); // ~MSB, as in Table 7
+        ASSERT_EQ(lc.out().toString(), "1001");
+
+        // Re-init L1 to all-ones, then the LSB sense of WL(N).
+        lc.sense(VRead::kVRead0);
+        lc.pulseM1();
+        ASSERT_EQ(lc.a().toString(), "1111");
+        lc.driveSo(lsb ? statevec::kAllZero : statevec::kAllOne);
+        lc.pulseM2();
+        lc.pulseM3();
+        if (lsb) {
+            EXPECT_EQ(lc.b().toString(), "0000"); // Table 7 row 1
+            EXPECT_EQ(lc.out().toString(), "1111");
+        } else {
+            EXPECT_EQ(lc.b().toString(), "0110"); // Table 7 row 2
+            EXPECT_EQ(lc.out().toString(), "1001");
+        }
+    }
+}
+
+} // namespace
+} // namespace parabit::flash

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the MLC state model and sensing semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/mlc.hpp"
+
+namespace parabit::flash {
+namespace {
+
+TEST(Mlc, GrayMapMatchesPaperTable1)
+{
+    // state (LSB/MSB): E (1/1), S1 (1/0), S2 (0/0), S3 (0/1).
+    EXPECT_TRUE(mlcLsb(MlcState::kE));
+    EXPECT_TRUE(mlcMsb(MlcState::kE));
+    EXPECT_TRUE(mlcLsb(MlcState::kS1));
+    EXPECT_FALSE(mlcMsb(MlcState::kS1));
+    EXPECT_FALSE(mlcLsb(MlcState::kS2));
+    EXPECT_FALSE(mlcMsb(MlcState::kS2));
+    EXPECT_FALSE(mlcLsb(MlcState::kS3));
+    EXPECT_TRUE(mlcMsb(MlcState::kS3));
+}
+
+TEST(Mlc, EncodeIsInverseOfDecode)
+{
+    for (int s = 0; s < kNumMlcStates; ++s) {
+        const auto st = static_cast<MlcState>(s);
+        EXPECT_EQ(mlcEncode(mlcLsb(st), mlcMsb(st)), st);
+    }
+}
+
+TEST(Mlc, EncodeCoversAllBitPairs)
+{
+    EXPECT_EQ(mlcEncode(true, true), MlcState::kE);
+    EXPECT_EQ(mlcEncode(true, false), MlcState::kS1);
+    EXPECT_EQ(mlcEncode(false, false), MlcState::kS2);
+    EXPECT_EQ(mlcEncode(false, true), MlcState::kS3);
+}
+
+TEST(Mlc, GrayCodeAdjacentStatesDifferInOneBit)
+{
+    // The threshold-ordered states E, S1, S2, S3 must form a Gray code
+    // so that a single threshold shift corrupts at most one bit.
+    for (int s = 0; s + 1 < kNumMlcStates; ++s) {
+        const auto a = static_cast<MlcState>(s);
+        const auto b = static_cast<MlcState>(s + 1);
+        const int diff = (mlcLsb(a) != mlcLsb(b)) + (mlcMsb(a) != mlcMsb(b));
+        EXPECT_EQ(diff, 1) << "states " << s << " and " << s + 1;
+    }
+}
+
+TEST(Mlc, SenseAboveThresholdOrdering)
+{
+    // VREAD0 < E < VREAD1 < S1 < VREAD2 < S2 < VREAD3 < S3.
+    for (int s = 0; s < kNumMlcStates; ++s) {
+        const auto st = static_cast<MlcState>(s);
+        EXPECT_TRUE(senseAbove(st, VRead::kVRead0));
+        for (int v = 1; v < 4; ++v) {
+            EXPECT_EQ(senseAbove(st, static_cast<VRead>(v)), s >= v)
+                << "state " << s << " vread " << v;
+        }
+    }
+}
+
+TEST(Mlc, SenseVectorsMatchPaper)
+{
+    EXPECT_EQ(senseVector(VRead::kVRead0).toString(), "1111");
+    EXPECT_EQ(senseVector(VRead::kVRead1).toString(), "0111");
+    EXPECT_EQ(senseVector(VRead::kVRead2).toString(), "0011");
+    EXPECT_EQ(senseVector(VRead::kVRead3).toString(), "0001");
+}
+
+} // namespace
+} // namespace parabit::flash

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Correctness of every co-located operation program: the symbolic
+ * executor must reproduce the Table 1 truth columns, and the scalar
+ * executor must produce the golden bit for every concrete cell state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/op_sequences.hpp"
+#include "flash/sequence_executor.hpp"
+
+namespace parabit::flash {
+namespace {
+
+class CoLocatedOpTest : public ::testing::TestWithParam<BitwiseOp>
+{
+};
+
+TEST_P(CoLocatedOpTest, SymbolicOutMatchesTruthColumn)
+{
+    const BitwiseOp op = GetParam();
+    EXPECT_EQ(runSymbolic(coLocatedProgram(op)), opTruth(op))
+        << opName(op) << ": " << runSymbolic(coLocatedProgram(op)).toString()
+        << " != " << opTruth(op).toString();
+}
+
+TEST_P(CoLocatedOpTest, ScalarMatchesGoldenForEveryCellState)
+{
+    const BitwiseOp op = GetParam();
+    for (int s = 0; s < kNumMlcStates; ++s) {
+        const auto st = static_cast<MlcState>(s);
+        const bool expect = opGolden(op, mlcLsb(st), mlcMsb(st));
+        EXPECT_EQ(runScalar(coLocatedProgram(op), st), expect)
+            << opName(op) << " state " << s;
+    }
+}
+
+TEST_P(CoLocatedOpTest, ProgramShapeIsSane)
+{
+    const MicroProgram &p = coLocatedProgram(GetParam());
+    ASSERT_FALSE(p.steps.empty());
+    // Programs begin with exactly one initialisation...
+    EXPECT_TRUE(p.steps.front().kind == MicroStep::Kind::kInitNormal ||
+                p.steps.front().kind == MicroStep::Kind::kInitInverted);
+    // ...and end with a transfer so the result lands in L2.
+    EXPECT_EQ(p.steps.back().kind, MicroStep::Kind::kTransfer);
+    // Co-located programs never need the M6/M7 extension.
+    EXPECT_FALSE(p.needsInverterExtension());
+    EXPECT_FALSE(p.locationFree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, CoLocatedOpTest,
+    ::testing::Values(BitwiseOp::kAnd, BitwiseOp::kOr, BitwiseOp::kXnor,
+                      BitwiseOp::kNand, BitwiseOp::kNor, BitwiseOp::kXor,
+                      BitwiseOp::kNotLsb, BitwiseOp::kNotMsb),
+    [](const auto &info) {
+        std::string n = opName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(CoLocatedOps, SenseCountsMatchPaper)
+{
+    // Section 5.2: AND is an LSB-read-shaped single sensing; OR an
+    // MSB-read-shaped double sensing; XNOR/XOR take four sensings
+    // (100 us at 25 us per SRO).
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kAnd).senseCount(), 1);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kOr).senseCount(), 2);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kXnor).senseCount(), 4);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kNand).senseCount(), 1);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kNor).senseCount(), 2);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kXor).senseCount(), 4);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kNotLsb).senseCount(), 1);
+    EXPECT_EQ(coLocatedProgram(BitwiseOp::kNotMsb).senseCount(), 2);
+}
+
+TEST(CoLocatedOps, TruthColumnsMatchPaperTable1)
+{
+    EXPECT_EQ(opTruth(BitwiseOp::kAnd).toString(), "1000");
+    EXPECT_EQ(opTruth(BitwiseOp::kOr).toString(), "1101");
+    EXPECT_EQ(opTruth(BitwiseOp::kXnor).toString(), "1010");
+    EXPECT_EQ(opTruth(BitwiseOp::kNand).toString(), "0111");
+    EXPECT_EQ(opTruth(BitwiseOp::kNor).toString(), "0010");
+    EXPECT_EQ(opTruth(BitwiseOp::kXor).toString(), "0101");
+    EXPECT_EQ(opTruth(BitwiseOp::kNotLsb).toString(), "0011");
+    EXPECT_EQ(opTruth(BitwiseOp::kNotMsb).toString(), "0110");
+}
+
+TEST(CoLocatedOps, InvertedPairsAreComplements)
+{
+    EXPECT_EQ(opTruth(BitwiseOp::kNand), ~opTruth(BitwiseOp::kAnd));
+    EXPECT_EQ(opTruth(BitwiseOp::kNor), ~opTruth(BitwiseOp::kOr));
+    EXPECT_EQ(opTruth(BitwiseOp::kXor), ~opTruth(BitwiseOp::kXnor));
+}
+
+TEST(CoLocatedOps, DescribeMentionsStepStructure)
+{
+    const std::string d = coLocatedProgram(BitwiseOp::kXor).describe();
+    EXPECT_NE(d.find("XOR"), std::string::npos);
+    EXPECT_NE(d.find("4 SROs"), std::string::npos);
+    EXPECT_NE(d.find("transfer"), std::string::npos);
+}
+
+} // namespace
+} // namespace parabit::flash

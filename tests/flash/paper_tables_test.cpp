@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Bit-for-bit verification of every latch-control sequence printed in
+ * the paper: Figures 2, 3, 5, 6 and Tables 2-5.  Each test walks the
+ * symbolic circuit through the published steps and checks the node
+ * values L(SO), L(C), L(A), L(B), L(OUT) against the published vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/latch_circuit.hpp"
+#include "flash/op_sequences.hpp"
+#include "flash/sequence_executor.hpp"
+
+namespace parabit::flash {
+namespace {
+
+StateVec
+sv(const char (&s)[5])
+{
+    return StateVec::fromString(s);
+}
+
+// ---------------------------------------------------------------- Fig 2
+
+TEST(PaperFig2, InitialisationOfLatchingCircuit)
+{
+    LatchCircuit lc;
+    lc.initNormal();
+    EXPECT_EQ(lc.c(), sv("0000"));
+    EXPECT_EQ(lc.a(), sv("1111"));
+    EXPECT_EQ(lc.out(), sv("0000"));
+    EXPECT_EQ(lc.b(), sv("1111"));
+}
+
+TEST(PaperFig7, InvertedInitialisation)
+{
+    LatchCircuit lc;
+    lc.initInverted();
+    EXPECT_EQ(lc.a(), sv("0000"));
+    EXPECT_EQ(lc.c(), sv("1111"));
+    EXPECT_EQ(lc.out(), sv("0000"));
+    EXPECT_EQ(lc.b(), sv("1111"));
+}
+
+// ---------------------------------------------------------------- Fig 3
+
+TEST(PaperFig3, LsbRead)
+{
+    LatchCircuit lc;
+    lc.initNormal();
+    lc.sense(VRead::kVRead2);
+    EXPECT_EQ(lc.so(), sv("0011")); // step 1.1
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("1100")); // step 1.3: the LSB bit value
+    lc.pulseM3();
+    EXPECT_EQ(lc.out(), sv("1100")); // cache-read staging
+}
+
+TEST(PaperFig3, MsbRead)
+{
+    LatchCircuit lc;
+    lc.initNormal();
+    lc.sense(VRead::kVRead1);
+    EXPECT_EQ(lc.so(), sv("0111")); // step 1.1
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("1000")); // step 1.3
+    EXPECT_EQ(lc.c(), sv("0111")); // step 1.4
+    lc.sense(VRead::kVRead3);
+    EXPECT_EQ(lc.so(), sv("0001")); // step 2.1
+    lc.pulseM1();
+    EXPECT_EQ(lc.c(), sv("0110")); // step 2.3
+    EXPECT_EQ(lc.a(), sv("1001")); // step 2.4: the MSB bit value
+    lc.pulseM3();
+    EXPECT_EQ(lc.out(), sv("1001"));
+}
+
+// --------------------------------------------------------------- Fig 5a
+
+TEST(PaperFig5a, AndOperation)
+{
+    LatchCircuit lc;
+    lc.initNormal();
+    lc.sense(VRead::kVRead1);
+    EXPECT_EQ(lc.so(), sv("0111")); // step 1.1
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("1000")); // step 1.3
+    lc.pulseM3();
+    EXPECT_EQ(lc.out(), sv("1000")); // step 2.3: AND truth column
+}
+
+// --------------------------------------------------------------- Fig 5b
+
+TEST(PaperFig5b, OrOperation)
+{
+    LatchCircuit lc;
+    lc.initNormal();
+    lc.sense(VRead::kVRead2);
+    EXPECT_EQ(lc.so(), sv("0011")); // step 1.1
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("1100")); // step 1.3
+    EXPECT_EQ(lc.c(), sv("0011")); // step 1.4
+    lc.sense(VRead::kVRead3);
+    EXPECT_EQ(lc.so(), sv("0001")); // step 2.1
+    lc.pulseM1();
+    EXPECT_EQ(lc.c(), sv("0010")); // step 2.3
+    EXPECT_EQ(lc.a(), sv("1101")); // step 2.4: OR truth column
+    lc.pulseM3();
+    EXPECT_EQ(lc.out(), sv("1101")); // step 3.3
+}
+
+// ---------------------------------------------------------------- Fig 6
+
+TEST(PaperFig6, XnorOperationSixSteps)
+{
+    LatchCircuit lc;
+    lc.initNormal();
+
+    // Step 1: VREAD1 + M2.
+    lc.sense(VRead::kVRead1);
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("1000")); // step 1.3
+    EXPECT_EQ(lc.c(), sv("0111")); // step 1.4
+
+    // Step 2: transfer.
+    lc.pulseM3();
+    EXPECT_EQ(lc.out(), sv("1000"));
+
+    // Step 3: VREAD0 + M2 resets L1 (SO always high).
+    lc.sense(VRead::kVRead0);
+    EXPECT_EQ(lc.so(), sv("1111"));
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("0000")); // step 3.3
+    EXPECT_EQ(lc.c(), sv("1111")); // step 3.4
+
+    // Step 4: VREAD2 + M1.
+    lc.sense(VRead::kVRead2);
+    lc.pulseM1();
+    EXPECT_EQ(lc.c(), sv("1100")); // step 4.3
+    EXPECT_EQ(lc.a(), sv("0011")); // step 4.4
+
+    // Step 5: VREAD3 + M2.
+    lc.sense(VRead::kVRead3);
+    EXPECT_EQ(lc.so(), sv("0001"));
+    lc.pulseM2();
+    EXPECT_EQ(lc.a(), sv("0010")); // step 5.3
+
+    // Step 6: transfer merges with the step-2 content of L2.
+    lc.pulseM3();
+    EXPECT_EQ(lc.b(), sv("0101")); // step 6.2
+    EXPECT_EQ(lc.out(), sv("1010")); // step 6.3: XNOR truth column
+}
+
+// --------------------------------------------------------------- Table 2
+
+TEST(PaperTable2, NandRows)
+{
+    std::vector<SymbolicTraceRow> trace;
+    runSymbolicTraced(coLocatedProgram(BitwiseOp::kNand), trace);
+    ASSERT_EQ(trace.size(), 3u);
+
+    // Row 1: initialisation.
+    EXPECT_EQ(trace[0].c, sv("1111"));
+    EXPECT_EQ(trace[0].a, sv("0000"));
+    EXPECT_EQ(trace[0].b, sv("1111"));
+    EXPECT_EQ(trace[0].out, sv("0000"));
+
+    // Row 2: VREAD1 / M1.
+    EXPECT_EQ(trace[1].so, sv("0111"));
+    EXPECT_EQ(trace[1].c, sv("1000"));
+    EXPECT_EQ(trace[1].a, sv("0111"));
+    EXPECT_EQ(trace[1].b, sv("1111"));
+    EXPECT_EQ(trace[1].out, sv("0000"));
+
+    // Row 3: L1 to L2.
+    EXPECT_EQ(trace[2].b, sv("1000"));
+    EXPECT_EQ(trace[2].out, sv("0111"));
+}
+
+// --------------------------------------------------------------- Table 3
+
+TEST(PaperTable3, NorRows)
+{
+    std::vector<SymbolicTraceRow> trace;
+    runSymbolicTraced(coLocatedProgram(BitwiseOp::kNor), trace);
+    ASSERT_EQ(trace.size(), 4u);
+
+    EXPECT_EQ(trace[0].c, sv("1111"));
+    EXPECT_EQ(trace[0].a, sv("0000"));
+
+    // VREAD2 / M1.
+    EXPECT_EQ(trace[1].so, sv("0011"));
+    EXPECT_EQ(trace[1].c, sv("1100"));
+    EXPECT_EQ(trace[1].a, sv("0011"));
+
+    // VREAD3 / M2.
+    EXPECT_EQ(trace[2].so, sv("0001"));
+    EXPECT_EQ(trace[2].c, sv("1101"));
+    EXPECT_EQ(trace[2].a, sv("0010"));
+
+    // L1 to L2.
+    EXPECT_EQ(trace[3].b, sv("1101"));
+    EXPECT_EQ(trace[3].out, sv("0010"));
+}
+
+// --------------------------------------------------------------- Table 4
+
+TEST(PaperTable4, XorRows)
+{
+    std::vector<SymbolicTraceRow> trace;
+    runSymbolicTraced(coLocatedProgram(BitwiseOp::kXor), trace);
+    ASSERT_EQ(trace.size(), 7u);
+
+    // Row 1: initialisation.
+    EXPECT_EQ(trace[0].c, sv("1111"));
+    EXPECT_EQ(trace[0].a, sv("0000"));
+    EXPECT_EQ(trace[0].b, sv("1111"));
+    EXPECT_EQ(trace[0].out, sv("0000"));
+
+    // Row 2: VREAD3 / M1.
+    EXPECT_EQ(trace[1].so, sv("0001"));
+    EXPECT_EQ(trace[1].c, sv("1110"));
+    EXPECT_EQ(trace[1].a, sv("0001"));
+
+    // Row 3: L1 to L2.
+    EXPECT_EQ(trace[2].b, sv("1110"));
+    EXPECT_EQ(trace[2].out, sv("0001"));
+
+    // Row 4: VREAD0 / M2 (L1 re-initialisation).
+    EXPECT_EQ(trace[3].so, sv("1111"));
+    EXPECT_EQ(trace[3].c, sv("1111"));
+    EXPECT_EQ(trace[3].a, sv("0000"));
+    EXPECT_EQ(trace[3].out, sv("0001")); // L2 untouched
+
+    // Row 5: VREAD1 / M1.
+    EXPECT_EQ(trace[4].so, sv("0111"));
+    EXPECT_EQ(trace[4].c, sv("1000"));
+    EXPECT_EQ(trace[4].a, sv("0111"));
+
+    // Row 6: VREAD2 / M2.
+    EXPECT_EQ(trace[5].so, sv("0011"));
+    EXPECT_EQ(trace[5].c, sv("1011"));
+    EXPECT_EQ(trace[5].a, sv("0100"));
+
+    // Row 7: L1 to L2.
+    EXPECT_EQ(trace[6].b, sv("1010"));
+    EXPECT_EQ(trace[6].out, sv("0101"));
+}
+
+// --------------------------------------------------------------- Table 5
+
+TEST(PaperTable5, NotLsbRows)
+{
+    std::vector<SymbolicTraceRow> trace;
+    runSymbolicTraced(coLocatedProgram(BitwiseOp::kNotLsb), trace);
+    ASSERT_EQ(trace.size(), 3u);
+
+    EXPECT_EQ(trace[1].so, sv("0011")); // VREAD2 / M1
+    EXPECT_EQ(trace[1].c, sv("1100"));
+    EXPECT_EQ(trace[1].a, sv("0011"));
+
+    EXPECT_EQ(trace[2].b, sv("1100"));
+    EXPECT_EQ(trace[2].out, sv("0011"));
+}
+
+TEST(PaperTable5, NotMsbRows)
+{
+    std::vector<SymbolicTraceRow> trace;
+    runSymbolicTraced(coLocatedProgram(BitwiseOp::kNotMsb), trace);
+    ASSERT_EQ(trace.size(), 4u);
+
+    EXPECT_EQ(trace[1].so, sv("0111")); // VREAD1 / M1
+    EXPECT_EQ(trace[1].c, sv("1000"));
+    EXPECT_EQ(trace[1].a, sv("0111"));
+
+    EXPECT_EQ(trace[2].so, sv("0001")); // VREAD3 / M2
+    EXPECT_EQ(trace[2].c, sv("1001"));
+    EXPECT_EQ(trace[2].a, sv("0110"));
+
+    EXPECT_EQ(trace[3].b, sv("1001"));
+    EXPECT_EQ(trace[3].out, sv("0110"));
+}
+
+} // namespace
+} // namespace parabit::flash

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * TLC extension tests: Gray map, the paper's single-sensing AND3, and
+ * the run-decomposition synthesizer over all 256 possible truth vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/tlc.hpp"
+
+namespace parabit::flash::tlc {
+namespace {
+
+TEST(Tlc, GrayMapMatchesPaperSection441)
+{
+    // E=111, S1=110, S2=100, S3=101, S4=001, S5=000, S6=010, S7=011
+    const std::uint8_t expect[8] = {0b111, 0b110, 0b100, 0b101,
+                                    0b001, 0b000, 0b010, 0b011};
+    for (int s = 0; s < kNumTlcStates; ++s) {
+        const std::uint8_t got =
+            static_cast<std::uint8_t>((tlcBit(s, 0) << 2) |
+                                      (tlcBit(s, 1) << 1) | tlcBit(s, 2));
+        EXPECT_EQ(got, expect[s]) << "state " << s;
+    }
+}
+
+TEST(Tlc, EncodeIsInverse)
+{
+    for (int s = 0; s < kNumTlcStates; ++s)
+        EXPECT_EQ(tlcEncode(tlcBit(s, 0), tlcBit(s, 1), tlcBit(s, 2)), s);
+}
+
+TEST(Tlc, SenseVectors)
+{
+    EXPECT_EQ(senseVector(0).toString(), "11111111");
+    EXPECT_EQ(senseVector(1).toString(), "01111111");
+    EXPECT_EQ(senseVector(4).toString(), "00001111");
+    EXPECT_EQ(senseVector(7).toString(), "00000001");
+}
+
+TEST(Tlc, And3IsSingleSensingAtVread1)
+{
+    // Paper Section 4.4.1: AND over the three TLC pages needs just the
+    // VREAD1 sensing that isolates state E.
+    const TlcProgram p = synthesize(and3Truth());
+    EXPECT_EQ(p.senseCount(), 1);
+    EXPECT_EQ(runSymbolic(p), and3Truth());
+    EXPECT_EQ(and3Truth().toString(), "10000000");
+}
+
+TEST(Tlc, Nand3IsSingleSensing)
+{
+    const TlcProgram p = synthesize(nand3Truth());
+    EXPECT_EQ(p.senseCount(), 1);
+    EXPECT_EQ(runSymbolic(p), nand3Truth());
+}
+
+TEST(Tlc, NamedTruthVectors)
+{
+    // Only state S5 stores 000, so OR3 is 0 exactly there (position 5).
+    EXPECT_EQ(or3Truth().toString(), "11111011");
+    EXPECT_EQ(nor3Truth().toString(), "00000100");
+    EXPECT_EQ(xor3Truth(), ~xnor3Truth());
+    // Majority: at least two 1-bits among (lsb, csb, msb).
+    for (int s = 0; s < kNumTlcStates; ++s) {
+        const int ones = tlcBit(s, 0) + tlcBit(s, 1) + tlcBit(s, 2);
+        EXPECT_EQ(majority3Truth().at(s), ones >= 2) << "state " << s;
+    }
+}
+
+TEST(Tlc, SynthesizerIsExhaustivelyCorrect)
+{
+    // Every possible 8-state truth vector must synthesize and execute
+    // to itself.
+    for (int mask = 0; mask < 256; ++mask) {
+        const TlcVec target(static_cast<std::uint8_t>(mask));
+        const TlcProgram p = synthesize(target);
+        EXPECT_EQ(runSymbolic(p), target) << "mask " << mask;
+    }
+}
+
+TEST(Tlc, SynthesizerSenseCountIsRunBased)
+{
+    // k runs of consecutive 1s cost at most 3k-1 sensings (2 bounds per
+    // run plus re-inits between runs) and at least 1 (unless trivial).
+    for (int mask = 1; mask < 256; ++mask) {
+        const TlcVec target(static_cast<std::uint8_t>(mask));
+        int runs = 0;
+        for (int s = 0; s < 8; ++s)
+            if (target.at(s) && (s == 0 || !target.at(s - 1)))
+                ++runs;
+        const TlcProgram p = synthesize(target);
+        EXPECT_LE(p.senseCount(), 3 * runs) << "mask " << mask;
+        if (mask != 0xFF) {
+            EXPECT_GE(p.senseCount(), 1) << "mask " << mask;
+        }
+    }
+}
+
+TEST(Tlc, ConstantVectorsSynthesize)
+{
+    EXPECT_EQ(runSymbolic(synthesize(TlcVec::allZero())), TlcVec::allZero());
+    EXPECT_EQ(runSymbolic(synthesize(TlcVec::allOnes())), TlcVec::allOnes());
+}
+
+TEST(Tlc, Xor3CostReflectsAlternation)
+{
+    // XOR3 = 10101010 has four single-state runs: the most expensive
+    // shape for the synthesizer.
+    const TlcProgram p = synthesize(xor3Truth());
+    EXPECT_EQ(runSymbolic(p), xor3Truth());
+    EXPECT_GE(p.senseCount(), 8);
+}
+
+TEST(Tlc, DescribePrintsSteps)
+{
+    const std::string d = synthesize(and3Truth()).describe();
+    EXPECT_NE(d.find("VREAD1"), std::string::npos);
+    EXPECT_NE(d.find("transfer"), std::string::npos);
+}
+
+} // namespace
+} // namespace parabit::flash::tlc

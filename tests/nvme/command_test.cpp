@@ -1,0 +1,123 @@
+/**
+ * @file
+ * NVMe command field-packing tests (paper Fig 10): every ParaBit
+ * semantic must round-trip through the reserved DWord fields without
+ * clobbering the standard NVMe fields or each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvme/command.hpp"
+
+namespace parabit::nvme {
+namespace {
+
+TEST(NvmeCommand, FreshCommandIsZeroed)
+{
+    NvmeCommand c;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(c.dword(i), 0u);
+    EXPECT_FALSE(c.operandTag());
+    EXPECT_FALSE(c.hasExtraOp());
+    EXPECT_FALSE(c.hasPartner());
+}
+
+TEST(NvmeCommand, StandardFieldsRoundTrip)
+{
+    NvmeCommand c;
+    c.setOpcode(Opcode::kRead);
+    c.setNamespaceId(3);
+    c.setSlba(0x1234567890ABCDEFull >> 8); // 56-bit LBA
+    c.setNlb(15);
+    EXPECT_EQ(c.opcode(), Opcode::kRead);
+    EXPECT_EQ(c.namespaceId(), 3u);
+    EXPECT_EQ(c.slba(), 0x1234567890ABCDEFull >> 8);
+    EXPECT_EQ(c.nlb(), 15u);
+}
+
+TEST(NvmeCommand, OperandTagIsBit0OfDword13)
+{
+    NvmeCommand c;
+    c.setOperandTag(true);
+    EXPECT_TRUE(c.operandTag());
+    EXPECT_EQ(c.dword(13) & 1u, 1u);
+    c.setOperandTag(false);
+    EXPECT_FALSE(c.operandTag());
+}
+
+TEST(NvmeCommand, IntraOpRoundTripsAllEightTypes)
+{
+    for (int i = 0; i < flash::kNumBitwiseOps; ++i) {
+        NvmeCommand c;
+        c.setIntraOp(static_cast<flash::BitwiseOp>(i));
+        EXPECT_EQ(c.intraOp(), static_cast<flash::BitwiseOp>(i));
+    }
+}
+
+TEST(NvmeCommand, ExtraOpHasExplicitPresence)
+{
+    NvmeCommand c;
+    EXPECT_FALSE(c.extraOp().has_value());
+    c.setExtraOp(flash::BitwiseOp::kAnd); // op code 0 must still be seen
+    ASSERT_TRUE(c.extraOp().has_value());
+    EXPECT_EQ(*c.extraOp(), flash::BitwiseOp::kAnd);
+}
+
+TEST(NvmeCommand, FieldsDoNotInterfere)
+{
+    NvmeCommand c;
+    c.setOperandTag(true);
+    c.setIntraOp(flash::BitwiseOp::kXor);
+    c.setExtraOp(flash::BitwiseOp::kNor);
+    c.setBatchOrder(0xAB);
+    c.setPageOffsetSectors(7);
+    c.setSizeSectors(9);
+    EXPECT_TRUE(c.operandTag());
+    EXPECT_EQ(c.intraOp(), flash::BitwiseOp::kXor);
+    EXPECT_EQ(*c.extraOp(), flash::BitwiseOp::kNor);
+    EXPECT_EQ(c.batchOrder(), 0xAB);
+    EXPECT_EQ(c.pageOffsetSectors(), 7);
+    EXPECT_EQ(c.sizeSectors(), 9);
+    // Overwrite one field; the others must survive.
+    c.setBatchOrder(0x11);
+    EXPECT_TRUE(c.operandTag());
+    EXPECT_EQ(c.intraOp(), flash::BitwiseOp::kXor);
+    EXPECT_EQ(c.pageOffsetSectors(), 7);
+}
+
+TEST(NvmeCommand, PartnerLbaLivesInDwords2And3)
+{
+    NvmeCommand c;
+    const std::uint64_t lba = 0x00345678ull << 16;
+    c.setPartnerLba(lba);
+    EXPECT_TRUE(c.hasPartner());
+    EXPECT_EQ(c.partnerLba(), lba);
+    EXPECT_NE(c.dword(2), 0u);
+    c.setHasPartner(false);
+    EXPECT_FALSE(c.hasPartner());
+}
+
+TEST(NvmeCommand, ParaBitFieldsStayInsideReservedSpace)
+{
+    // The ParaBit semantics must never spill into the standard fields:
+    // opcode (DW0), NSID (DW1), SLBA (DW10/11), NLB (DW12).
+    NvmeCommand c;
+    c.setOpcode(Opcode::kRead);
+    c.setSlba(42);
+    c.setNlb(7);
+    c.setOperandTag(true);
+    c.setIntraOp(flash::BitwiseOp::kXnor);
+    c.setExtraOp(flash::BitwiseOp::kXor);
+    c.setBatchOrder(200);
+    c.setPageOffsetSectors(255);
+    c.setSizeSectors(255);
+    c.setPartnerLba((1ull << 40) | 5);
+    EXPECT_EQ(c.opcode(), Opcode::kRead);
+    EXPECT_EQ(c.slba(), 42u);
+    EXPECT_EQ(c.nlb(), 7u);
+    EXPECT_EQ(c.dword(10), 42u);
+    EXPECT_EQ(c.dword(12) & 0xFFFFu, 7u);
+}
+
+} // namespace
+} // namespace parabit::nvme

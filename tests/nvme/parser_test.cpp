@@ -1,0 +1,159 @@
+/**
+ * @file
+ * CMD Parse tests (paper Figs 10-12): host encode -> device parse must
+ * reconstruct the batch structure, including page-spanning operands
+ * (sub-operations) and chained batches with previous-result operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvme/parser.hpp"
+
+namespace parabit::nvme {
+namespace {
+
+constexpr Bytes kPage = 8 * bytes::kKiB;
+
+Formula
+singleOp(flash::BitwiseOp op, Lpn x, Lpn y, std::uint32_t pages)
+{
+    Formula f;
+    f.terms.push_back(Formula::Term{OperandRef::logical(x, pages),
+                                    OperandRef::logical(y, pages), op});
+    return f;
+}
+
+TEST(CmdParser, SectorsPerPage)
+{
+    CmdParser p(kPage);
+    EXPECT_EQ(p.sectorsPerPage(), 16u);
+}
+
+TEST(CmdParser, SinglePageOpEncodesTwoCommands)
+{
+    CmdParser p(kPage);
+    const auto cmds = p.encode(singleOp(flash::BitwiseOp::kAnd, 4, 9, 1));
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_FALSE(cmds[0].operandTag());
+    EXPECT_TRUE(cmds[1].operandTag());
+    EXPECT_EQ(cmds[0].intraOp(), flash::BitwiseOp::kAnd);
+    EXPECT_EQ(cmds[0].slba(), 4u * 16);
+    EXPECT_EQ(cmds[1].slba(), 9u * 16);
+    // First command binds to the second via the partner LBA.
+    EXPECT_TRUE(cmds[0].hasPartner());
+    EXPECT_EQ(cmds[0].partnerLba(), cmds[1].slba());
+    // Last sub-operation: no forward chain.
+    EXPECT_FALSE(cmds[1].hasPartner());
+}
+
+TEST(CmdParser, ParseReconstructsSingleBatch)
+{
+    CmdParser p(kPage);
+    const auto cmds = p.encode(singleOp(flash::BitwiseOp::kXor, 2, 5, 1));
+    const auto batches = p.parse(cmds);
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].intraOp, flash::BitwiseOp::kXor);
+    ASSERT_EQ(batches[0].subOps.size(), 1u);
+    EXPECT_EQ(batches[0].subOps[0].first.lpn, 2u);
+    EXPECT_EQ(batches[0].subOps[0].second.lpn, 5u);
+    EXPECT_FALSE(batches[0].extraOp.has_value());
+}
+
+TEST(CmdParser, MultiPageOperandSplitsIntoSubOperations)
+{
+    // Paper Fig 11: operands twice the page size -> two sub-operations
+    // bound through the second command's partner field.
+    CmdParser p(kPage);
+    const auto cmds = p.encode(singleOp(flash::BitwiseOp::kOr, 0, 100, 2));
+    ASSERT_EQ(cmds.size(), 4u);
+    // CMD1 (second operand of sub-op 0) chains to CMD2 (first operand of
+    // sub-op 1).
+    EXPECT_TRUE(cmds[1].hasPartner());
+    EXPECT_EQ(cmds[1].partnerLba(), cmds[2].slba());
+    EXPECT_FALSE(cmds[3].hasPartner());
+
+    const auto batches = p.parse(cmds);
+    ASSERT_EQ(batches.size(), 1u);
+    ASSERT_EQ(batches[0].subOps.size(), 2u);
+    EXPECT_EQ(batches[0].subOps[1].first.lpn, 1u);
+    EXPECT_EQ(batches[0].subOps[1].second.lpn, 101u);
+}
+
+TEST(CmdParser, ChainedFormulaSynthesisesResultBatches)
+{
+    // (a AND b) AND c AND d: three explicit-operand batches plus the
+    // Fig 12-style synthesised combinations is folded as chain() does —
+    // verify parse() mirrors buildBatches().
+    const Formula f =
+        Formula::chain(flash::BitwiseOp::kAnd, {10, 20, 30, 40}, 1);
+    ASSERT_EQ(f.terms.size(), 3u);
+    EXPECT_EQ(f.terms[1].first.kind, OperandRef::Kind::kBatchResult);
+
+    CmdParser p(kPage);
+    const auto direct = p.buildBatches(f);
+    ASSERT_EQ(direct.size(), 3u);
+    EXPECT_EQ(direct[1].firstOperand.kind, OperandRef::Kind::kBatchResult);
+    EXPECT_EQ(direct[1].firstOperand.batchId, 0u);
+    EXPECT_EQ(direct[2].firstOperand.batchId, 1u);
+    EXPECT_EQ(direct[2].secondOperand.lpn, 40u);
+}
+
+TEST(CmdParser, EncodeParseRoundTripMatchesBuildBatches)
+{
+    // Two independent explicit batches with a chain op between them.
+    Formula f;
+    f.terms.push_back(Formula::Term{OperandRef::logical(0, 2),
+                                    OperandRef::logical(10, 2),
+                                    flash::BitwiseOp::kAnd});
+    f.terms.push_back(Formula::Term{OperandRef::logical(20, 2),
+                                    OperandRef::logical(30, 2),
+                                    flash::BitwiseOp::kOr});
+    f.chainOps.push_back(flash::BitwiseOp::kXor);
+
+    CmdParser p(kPage);
+    const auto parsed = p.parse(p.encode(f));
+    // Two explicit batches + one synthesised combination batch.
+    ASSERT_EQ(parsed.size(), 3u);
+    EXPECT_EQ(parsed[0].intraOp, flash::BitwiseOp::kAnd);
+    EXPECT_EQ(parsed[1].intraOp, flash::BitwiseOp::kOr);
+    EXPECT_EQ(parsed[2].intraOp, flash::BitwiseOp::kXor);
+    EXPECT_EQ(parsed[2].firstOperand.kind, OperandRef::Kind::kBatchResult);
+    EXPECT_EQ(parsed[2].firstOperand.batchId, 0u);
+    EXPECT_EQ(parsed[2].secondOperand.batchId, 1u);
+    EXPECT_EQ(parsed[0].subOps.size(), 2u);
+}
+
+TEST(CmdParser, MismatchedOperandSizesDie)
+{
+    Formula f;
+    f.terms.push_back(Formula::Term{OperandRef::logical(0, 2),
+                                    OperandRef::logical(10, 3),
+                                    flash::BitwiseOp::kAnd});
+    CmdParser p(kPage);
+    EXPECT_DEATH(p.encode(f), "differ");
+}
+
+TEST(CmdParser, DanglingCommandDies)
+{
+    CmdParser p(kPage);
+    auto cmds = p.encode(singleOp(flash::BitwiseOp::kAnd, 0, 1, 1));
+    cmds.pop_back();
+    EXPECT_DEATH(p.parse(cmds), "dangling");
+}
+
+TEST(CmdParser, BrokenPartnerBindingDies)
+{
+    CmdParser p(kPage);
+    auto cmds = p.encode(singleOp(flash::BitwiseOp::kAnd, 0, 1, 1));
+    cmds[0].setPartnerLba(999 * 16);
+    EXPECT_DEATH(p.parse(cmds), "partner");
+}
+
+TEST(Formula, ChainNeedsTwoOperands)
+{
+    EXPECT_DEATH(Formula::chain(flash::BitwiseOp::kAnd, {1}, 1),
+                 "two operands");
+}
+
+} // namespace
+} // namespace parabit::nvme

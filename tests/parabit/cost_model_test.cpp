@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cost-model tests: latency anchors from the paper and cross-validation
+ * against the event-driven simulator on small configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "parabit/cost_model.hpp"
+#include "parabit/device.hpp"
+
+namespace parabit::core {
+namespace {
+
+TEST(CostModel, StripeMatchesPaperEightMegabytePairs)
+{
+    // 128 chips x 2 dies x 4 planes x 8 KiB pages = 8 MiB per stripe
+    // page: one maximally parallel operation consumes two 8 MiB operand
+    // stripes (LSB + MSB of every active wordline), exactly the paper's
+    // "parallel bitwise operation with two 8 MB operands".
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    EXPECT_EQ(cm.stripeBytes(), 8 * bytes::kMiB);
+}
+
+TEST(CostModel, PreAllocatedOpLatencyIsSenseOnly)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    // Fig 13a anchors: AND = 25 us, OR = 50 us, XNOR/XOR = 100 us.
+    const Bytes one_stripe = cm.stripeBytes();
+    EXPECT_NEAR(cm.binaryOp(flash::BitwiseOp::kAnd, one_stripe,
+                            Mode::kPreAllocated).seconds, 25e-6, 1e-9);
+    EXPECT_NEAR(cm.binaryOp(flash::BitwiseOp::kOr, one_stripe,
+                            Mode::kPreAllocated).seconds, 50e-6, 1e-9);
+    EXPECT_NEAR(cm.binaryOp(flash::BitwiseOp::kXnor, one_stripe,
+                            Mode::kPreAllocated).seconds, 100e-6, 1e-9);
+    EXPECT_NEAR(cm.binaryOp(flash::BitwiseOp::kXor, one_stripe,
+                            Mode::kPreAllocated).seconds, 100e-6, 1e-9);
+}
+
+TEST(CostModel, ReAllocDominatedByPrograms)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    const BulkCost c = cm.binaryOp(flash::BitwiseOp::kAnd, cm.stripeBytes(),
+                                   Mode::kReAllocate);
+    // 2 reads (25 us each) + 2 programs (640 us each) + 1 SRO (25 us).
+    EXPECT_NEAR(c.seconds, (2 * 25 + 2 * 640 + 25) * 1e-6, 1e-9);
+    EXPECT_EQ(c.pagePrograms, 2u * 1024); // every plane programs a pair
+    EXPECT_EQ(c.reallocBytes, 2u * 1024 * 8 * bytes::kKiB);
+}
+
+TEST(CostModel, LocationFreeSenseCounts)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    // MsbLsb XOR: 7 SROs = 175 us; LsbLsb XOR: 5 SROs = 125 us.
+    EXPECT_NEAR(cm.binaryOp(flash::BitwiseOp::kXor, cm.stripeBytes(),
+                            Mode::kLocationFree, core::ChainStep::kNone, true,
+                            flash::LocFreeVariant::kMsbLsb).seconds,
+                175e-6, 1e-9);
+    EXPECT_NEAR(cm.binaryOp(flash::BitwiseOp::kXor, cm.stripeBytes(),
+                            Mode::kLocationFree, core::ChainStep::kNone, true,
+                            flash::LocFreeVariant::kLsbLsb).seconds,
+                125e-6, 1e-9);
+}
+
+TEST(CostModel, LargeOperandsScaleLinearlyInRounds)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    const Bytes stripe = cm.stripeBytes();
+    const double one = cm.binaryOp(flash::BitwiseOp::kAnd, stripe,
+                                   Mode::kPreAllocated).seconds;
+    const double ten = cm.binaryOp(flash::BitwiseOp::kAnd, 10 * stripe,
+                                   Mode::kPreAllocated).seconds;
+    EXPECT_NEAR(ten, 10 * one, 1e-12);
+}
+
+TEST(CostModel, ChainChargesPreAllocOnlyOnFirstOp)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    const Bytes stripe = cm.stripeBytes();
+    const BulkCost chain3 = cm.chain(flash::BitwiseOp::kAnd, 3, stripe,
+                                     Mode::kPreAllocated, false);
+    // Op 1: sense only (25 us).  Op 2: program result into the next
+    // operand's free MSB (640 us) + sense (25 us).
+    EXPECT_NEAR(chain3.seconds, (25 + 640 + 25) * 1e-6, 1e-9);
+    EXPECT_EQ(chain3.pagePrograms, 1024u);
+}
+
+TEST(CostModel, NotOpChargesReallocOnlyInReallocMode)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    const Bytes stripe = cm.stripeBytes();
+    const BulkCost pre = cm.notOp(true, stripe, Mode::kPreAllocated);
+    const BulkCost re = cm.notOp(true, stripe, Mode::kReAllocate);
+    EXPECT_NEAR(pre.seconds, 50e-6, 1e-9); // NOT-MSB: 2 SROs
+    EXPECT_NEAR(re.seconds, (25 + 640 + 50) * 1e-6, 1e-9);
+    EXPECT_EQ(pre.reallocBytes, 0u);
+    EXPECT_GT(re.reallocBytes, 0u);
+}
+
+TEST(CostModel, CrossValidatesAgainstEventSimulator)
+{
+    // The closed-form model and the event-driven device must agree on
+    // in-flash computation time for a single-stripe pre-allocated op.
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.storeData = false;
+    CostModel cm(cfg);
+    ParaBitDevice dev(cfg);
+
+    const std::uint32_t pages =
+        cfg.geometry.planesTotal(); // one full stripe
+    dev.writeMetaOperandPair(0, 500, pages);
+    const Tick before = dev.now();
+    const ExecResult r = dev.bitwise(flash::BitwiseOp::kXor, 0, 500, pages,
+                                     Mode::kPreAllocated,
+                                     /*transfer_results=*/false);
+    const double sim_sec = ticks::toSec(r.stats.end - before);
+    const double model_sec =
+        cm.binaryOp(flash::BitwiseOp::kXor, cm.stripeBytes(),
+                    Mode::kPreAllocated, core::ChainStep::kNone, false)
+            .seconds;
+    // The event simulator adds command overhead (200 ns per op); allow
+    // a tight tolerance above the analytic number.
+    EXPECT_GE(sim_sec, model_sec);
+    EXPECT_NEAR(sim_sec, model_sec, 5e-6);
+}
+
+TEST(CostModel, CrossValidatesReallocAgainstEventSimulator)
+{
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.storeData = false;
+    CostModel cm(cfg);
+    ParaBitDevice dev(cfg);
+
+    // One page per plane, arbitrary placement.
+    const std::uint32_t pages = cfg.geometry.planesTotal();
+    dev.writeMeta(0, pages);
+    dev.writeMeta(500, pages);
+    const Tick before = dev.now();
+    const ExecResult r = dev.bitwise(flash::BitwiseOp::kAnd, 0, 500, pages,
+                                     Mode::kReAllocate, false);
+    const double sim_sec = ticks::toSec(r.stats.end - before);
+    const double model_sec =
+        cm.binaryOp(flash::BitwiseOp::kAnd, cm.stripeBytes(),
+                    Mode::kReAllocate, core::ChainStep::kNone, false)
+            .seconds;
+    // Reads/programs contend on shared channels in the simulator, so it
+    // can only be slower than the array-path analytic bound; they must
+    // still agree within a small factor.
+    EXPECT_GE(sim_sec, model_sec * 0.99);
+    EXPECT_LT(sim_sec, model_sec * 2.0);
+}
+
+TEST(CostModel, EnergyScalesWithSenses)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    const Bytes stripe = cm.stripeBytes();
+    const double e_and = cm.binaryOp(flash::BitwiseOp::kAnd, stripe,
+                                     Mode::kPreAllocated, core::ChainStep::kNone, false)
+                             .energyJ;
+    const double e_xor = cm.binaryOp(flash::BitwiseOp::kXor, stripe,
+                                     Mode::kPreAllocated, core::ChainStep::kNone, false)
+                             .energyJ;
+    EXPECT_NEAR(e_xor / e_and, 4.0, 1e-9); // 4 SROs vs 1
+}
+
+TEST(CostModel, HostWriteBoundedByArrayOrBus)
+{
+    CostModel cm(ssd::SsdConfig::paperSsd());
+    const BulkCost c = cm.hostWrite(bytes::kGiB);
+    EXPECT_GT(c.seconds, 0.0);
+    EXPECT_EQ(c.pagePrograms, bytes::kGiB / (8 * bytes::kKiB));
+}
+
+} // namespace
+} // namespace parabit::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the Section 5.3.4 application workloads: deduplication
+ * (XOR + zero check) and binarized neural networks (XNOR + popcount),
+ * including full in-flash execution against the golden models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parabit/device.hpp"
+#include "workloads/bnn.hpp"
+#include "workloads/dedup.hpp"
+
+namespace parabit::workloads {
+namespace {
+
+// ---------------------------------------------------------------- dedup
+
+TEST(Dedup, CorpusIsDeterministic)
+{
+    DedupWorkload a(100, 256), b(100, 256);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(a.page(i), b.page(i)) << "page " << i;
+    EXPECT_EQ(a.candidates().size(), b.candidates().size());
+}
+
+TEST(Dedup, GroundTruthMatchesContentEquality)
+{
+    DedupWorkload w(200, 256);
+    ASSERT_FALSE(w.candidates().empty());
+    int dups = 0, collisions = 0;
+    for (const auto &c : w.candidates()) {
+        EXPECT_EQ(w.goldenDuplicate(c), c.trulyDuplicate);
+        dups += c.trulyDuplicate;
+        collisions += !c.trulyDuplicate;
+    }
+    EXPECT_GT(dups, 0) << "corpus must contain duplicates";
+    EXPECT_GT(collisions, 0) << "corpus must contain fingerprint collisions";
+}
+
+TEST(Dedup, InFlashXorVerifiesCandidates)
+{
+    core::ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const std::size_t page_bits = dev.ssd().geometry().pageBits();
+    DedupWorkload w(40, page_bits, 0.4, 0.3);
+
+    // Store the corpus, one logical page per corpus page.
+    for (std::uint64_t i = 0; i < w.pages(); ++i)
+        dev.writeDataLsbOnly(i, {w.page(i)});
+
+    int checked = 0;
+    for (const auto &c : w.candidates()) {
+        const auto r = dev.bitwise(flash::BitwiseOp::kXor, c.pageA, c.pageB,
+                                   1, core::Mode::kReAllocate);
+        const bool is_dup = r.pages[0].popcount() == 0;
+        EXPECT_EQ(is_dup, c.trulyDuplicate)
+            << "pair (" << c.pageA << "," << c.pageB << ")";
+        ++checked;
+        if (checked >= 10)
+            break; // enough pairs; keep the test fast
+    }
+    EXPECT_GE(checked, 3);
+}
+
+TEST(Dedup, WorkMovesOnlyVerdictsForParaBit)
+{
+    DedupWorkload w(500, 8 * 1024 * 8);
+    const auto bulk = w.work();
+    EXPECT_EQ(bulk.bytesIn,
+              2ull * 8 * 1024 * w.candidates().size());
+    EXPECT_EQ(bulk.bytesOut, w.candidates().size());
+    EXPECT_LT(bulk.bytesOut * 1000, bulk.bytesIn)
+        << "the verdict traffic must be negligible";
+}
+
+// ------------------------------------------------------------------ BNN
+
+TEST(Bnn, NetworkShapeFollowsSizes)
+{
+    BnnWorkload net({256, 128, 64});
+    ASSERT_EQ(net.layers().size(), 2u);
+    EXPECT_EQ(net.layers()[0].inputs, 256u);
+    EXPECT_EQ(net.layers()[0].outputs, 128u);
+    EXPECT_EQ(net.layers()[1].inputs, 128u);
+    EXPECT_EQ(net.layers()[1].outputs, 64u);
+    EXPECT_EQ(net.weightBits(), 256u * 128 + 128u * 64);
+}
+
+TEST(Bnn, NeuronPopcountIsXnorPopcount)
+{
+    const BitVector x = BitVector::fromString("1100");
+    const BitVector w = BitVector::fromString("1010");
+    // XNOR = 1001 -> popcount 2.
+    EXPECT_EQ(BnnWorkload::neuronPopcount(x, w), 2u);
+    // Perfect match: popcount = width.
+    EXPECT_EQ(BnnWorkload::neuronPopcount(x, x), 4u);
+}
+
+TEST(Bnn, GoldenInferenceIsDeterministic)
+{
+    BnnWorkload a({64, 32, 16}), b({64, 32, 16});
+    EXPECT_EQ(a.goldenInfer(a.input(3)), b.goldenInfer(b.input(3)));
+}
+
+TEST(Bnn, ActivationsStayBalanced)
+{
+    // Thresholds are placed near the half-match point, so activations
+    // through a deep stack must not saturate to all-0/all-1.
+    BnnWorkload net({512, 256, 256, 128});
+    const BitVector out = net.goldenInfer(net.input(1));
+    const double density =
+        static_cast<double>(out.popcount()) / out.size();
+    EXPECT_GT(density, 0.1);
+    EXPECT_LT(density, 0.9);
+}
+
+TEST(Bnn, InFlashLayerMatchesGolden)
+{
+    core::ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const std::size_t page_bits = dev.ssd().geometry().pageBits();
+    // One layer whose input width equals the flash page size: each
+    // weight row occupies one page.
+    BnnWorkload net({static_cast<std::uint32_t>(page_bits), 8});
+    const BnnLayer &layer = net.layers()[0];
+    const BitVector x = net.input(0);
+
+    // Weights live in flash; the activation vector is written once.
+    dev.writeDataLsbOnly(0, {x});
+    for (std::uint32_t j = 0; j < layer.outputs; ++j)
+        dev.writeDataLsbOnly(100 + j, {layer.weights[j]});
+
+    BitVector out(layer.outputs);
+    for (std::uint32_t j = 0; j < layer.outputs; ++j) {
+        const auto r = dev.bitwise(flash::BitwiseOp::kXnor, 0, 100 + j, 1,
+                                   core::Mode::kReAllocate);
+        const auto pc =
+            static_cast<std::uint32_t>(r.pages[0].popcount());
+        EXPECT_EQ(pc, BnnWorkload::neuronPopcount(x, layer.weights[j]))
+            << "neuron " << j;
+        out.set(j, pc >= layer.thresholds[j]);
+    }
+    EXPECT_EQ(out, net.goldenLayer(layer, x));
+}
+
+TEST(Bnn, WorkVolumeDominatedByWeights)
+{
+    BnnWorkload net({8192, 4096, 1024});
+    const auto bulk = net.work(1);
+    EXPECT_EQ(bulk.bytesIn, net.weightBits() / 8);
+    ASSERT_EQ(bulk.ops.size(), 2u);
+    EXPECT_EQ(bulk.ops[0].op, flash::BitwiseOp::kXnor);
+    EXPECT_EQ(bulk.ops[0].instances, 4096u);
+}
+
+} // namespace
+} // namespace parabit::workloads

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fast data-scanning workload tests: golden scan, selectivity, and the
+ * full in-flash XNOR scan against the golden results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parabit/device.hpp"
+#include "workloads/scan.hpp"
+
+namespace parabit::workloads {
+namespace {
+
+TEST(Scan, GoldenMatchesContentEquality)
+{
+    ScanWorkload w(500, 32, 0.05);
+    const auto matches = w.goldenMatches();
+    // Every reported match equals the key; every other row differs.
+    std::vector<bool> is_match(500, false);
+    for (auto r : matches)
+        is_match[r] = true;
+    for (std::uint64_t r = 0; r < 500; ++r) {
+        bool eq = true;
+        for (std::uint32_t b = 0; eq && b < 32; ++b)
+            eq = w.column().get(r * 32 + b) == w.key().get(b);
+        EXPECT_EQ(eq, is_match[r]) << "record " << r;
+    }
+}
+
+TEST(Scan, SelectivityIsRespected)
+{
+    ScanWorkload w(20000, 64, 0.1);
+    const double rate =
+        static_cast<double>(w.goldenMatches().size()) / 20000.0;
+    EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(Scan, KeyPatternRepeatsKey)
+{
+    ScanWorkload w(10, 16, 0.5);
+    const BitVector p = w.keyPattern(64);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(p.get(i), w.key().get(i % 16)) << "bit " << i;
+}
+
+TEST(Scan, MatchesFromXnorDecodesAllOnesRuns)
+{
+    ScanWorkload w(4, 4, 0.0, 777);
+    // Hand-craft an XNOR result: record 1 and 3 all-ones.
+    BitVector xnor(16);
+    for (int b = 4; b < 8; ++b)
+        xnor.set(static_cast<std::size_t>(b), true);
+    for (int b = 12; b < 16; ++b)
+        xnor.set(static_cast<std::size_t>(b), true);
+    xnor.set(0, true); // partial run: not a match
+    const auto m = w.matchesFromXnor(xnor, 0);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0], 1u);
+    EXPECT_EQ(m[1], 3u);
+}
+
+TEST(Scan, InFlashScanMatchesGolden)
+{
+    core::ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const std::size_t page_bits = dev.ssd().geometry().pageBits();
+    const std::uint32_t record_bits = 32;
+    const std::uint64_t records_per_page = page_bits / record_bits;
+    const std::uint64_t records = records_per_page * 3; // 3 pages
+
+    ScanWorkload w(records, record_bits, 0.15, 99);
+
+    // Column pages + matching key-pattern pages.
+    std::vector<std::uint64_t> found;
+    for (std::uint64_t p = 0; p < 3; ++p) {
+        BitVector col_page(page_bits);
+        col_page.assign(0, w.column().slice(p * page_bits, page_bits));
+        dev.writeDataLsbOnly(p, {col_page});
+        dev.writeDataLsbOnly(100 + p, {w.keyPattern(page_bits)});
+
+        const auto r = dev.bitwise(flash::BitwiseOp::kXnor, p, 100 + p, 1,
+                                   core::Mode::kReAllocate);
+        const auto page_matches =
+            w.matchesFromXnor(r.pages[0], p * records_per_page);
+        found.insert(found.end(), page_matches.begin(), page_matches.end());
+    }
+    EXPECT_EQ(found, w.goldenMatches());
+}
+
+TEST(Scan, WorkMovesOnlyMatchBitmap)
+{
+    ScanWorkload w(1'000'000, 64, 0.01);
+    const auto bulk = w.work();
+    EXPECT_EQ(bulk.bytesIn, 1'000'000ull * 64 / 8);
+    EXPECT_EQ(bulk.bytesOut, 125'000u);
+    EXPECT_EQ(bulk.ops[0].op, flash::BitwiseOp::kXnor);
+}
+
+} // namespace
+} // namespace parabit::workloads

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Workload-model tests: determinism, golden functions, and the
+ * paper-scale volume arithmetic (0.72 MB/image class planes, 1.37 MiB
+ * raw images, 33.99 GiB of daily bitmaps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/bitmap_index.hpp"
+#include "workloads/encryption.hpp"
+#include "workloads/image.hpp"
+#include "workloads/segmentation.hpp"
+
+namespace parabit::workloads {
+namespace {
+
+TEST(Image, GeneratorIsDeterministic)
+{
+    ImageGenerator g(64, 48, 1);
+    const auto a = g.generate(5);
+    const auto b = g.generate(5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].y, b[i].y);
+        EXPECT_EQ(a[i].u, b[i].u);
+        EXPECT_EQ(a[i].v, b[i].v);
+    }
+}
+
+TEST(Image, DifferentIndicesDiffer)
+{
+    ImageGenerator g(64, 48, 1);
+    const auto a = g.generate(1);
+    const auto b = g.generate(2);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].y == b[i].y;
+    EXPECT_LT(same, static_cast<int>(a.size()));
+}
+
+TEST(Image, ClassTableMatchesPaperRepresentation)
+{
+    // The paper's example: a range over the upper levels sets exactly
+    // those table bits.
+    const BitVector t = classTable(ColorRange{7, 9}, 10);
+    EXPECT_EQ(t.toString(), "0000000111");
+}
+
+TEST(Image, ClassPlaneMatchesPerPixelCheck)
+{
+    ImageGenerator g(32, 32, 3);
+    const auto img = g.generate(0);
+    const ColorClass c = defaultColorClasses()[0];
+    const BitVector plane = channelClassPlane(img, 1, c);
+    for (std::size_t i = 0; i < img.size(); ++i)
+        EXPECT_EQ(plane.get(i), c.u.contains(img[i].u)) << "pixel " << i;
+}
+
+TEST(Image, GoldenSegmentationIsAndOfPlanes)
+{
+    ImageGenerator g(40, 30, 4);
+    const auto img = g.generate(7);
+    for (const auto &c : defaultColorClasses()) {
+        const BitVector expect = channelClassPlane(img, 0, c) &
+                                 channelClassPlane(img, 1, c) &
+                                 channelClassPlane(img, 2, c);
+        EXPECT_EQ(goldenSegmentation(img, c), expect) << c.name;
+    }
+}
+
+TEST(Image, PackImageBitsRoundTripsChannels)
+{
+    ImageGenerator g(8, 8, 5);
+    const auto img = g.generate(0);
+    const BitVector bits = packImageBits(img);
+    ASSERT_EQ(bits.size(), img.size() * 24);
+    // Spot-check pixel 3's U channel.
+    std::uint8_t u = 0;
+    for (int b = 0; b < 8; ++b)
+        u |= static_cast<std::uint8_t>(bits.get(3 * 24 + 8 + b) << b);
+    EXPECT_EQ(u, img[3].u);
+}
+
+TEST(Segmentation, BytesPerImageMatchesPaper)
+{
+    // 800x600, 4 colours: 3 channels x 4 bits/pixel = 0.72 MB.
+    SegmentationWorkload w(800, 600);
+    EXPECT_EQ(w.bytesPerImage(), 720000u);
+}
+
+TEST(Segmentation, WorkVolumesMatchPaper)
+{
+    SegmentationWorkload w(800, 600);
+    const auto bulk = w.work(200000);
+    EXPECT_EQ(bulk.bytesIn, Bytes{144'000'000'000});
+    // Output masks are one third of the class-plane volume.
+    EXPECT_EQ(bulk.bytesOut * 3, bulk.bytesIn);
+    ASSERT_EQ(bulk.ops.size(), 4u);
+    for (const auto &g : bulk.ops) {
+        EXPECT_EQ(g.chainLength, 3u);
+        EXPECT_EQ(g.op, flash::BitwiseOp::kAnd);
+    }
+}
+
+TEST(Segmentation, PlanesAndGoldenAgree)
+{
+    SegmentationWorkload w(64, 48);
+    const BitVector y = w.plane(3, 0, 1);
+    const BitVector u = w.plane(3, 1, 1);
+    const BitVector v = w.plane(3, 2, 1);
+    EXPECT_EQ(y & u & v, w.golden(3, 1));
+}
+
+TEST(BitmapIndex, DayBitmapsDeterministicAndDistinct)
+{
+    BitmapIndexWorkload w(1000, 5, 0.9, 1);
+    EXPECT_EQ(w.dayBitmap(2), w.dayBitmap(2));
+    EXPECT_NE(w.dayBitmap(1), w.dayBitmap(2));
+}
+
+TEST(BitmapIndex, GoldenIsAndOfDays)
+{
+    BitmapIndexWorkload w(500, 4, 0.8, 2);
+    BitVector expect = w.dayBitmap(0);
+    for (std::uint32_t d = 1; d < 4; ++d)
+        expect &= w.dayBitmap(d);
+    EXPECT_EQ(w.goldenEveryday(), expect);
+    EXPECT_EQ(w.goldenCount(), expect.popcount());
+}
+
+TEST(BitmapIndex, ActivityRateIsRespected)
+{
+    BitmapIndexWorkload w(20000, 1, 0.75, 3);
+    const double rate =
+        static_cast<double>(w.dayBitmap(0).popcount()) / 20000.0;
+    EXPECT_NEAR(rate, 0.75, 0.02);
+}
+
+TEST(BitmapIndex, DaysForMonthsMatchesPaperScale)
+{
+    EXPECT_EQ(BitmapIndexWorkload::daysForMonths(12), 365u);
+    EXPECT_EQ(BitmapIndexWorkload::daysForMonths(1), 30u);
+}
+
+TEST(BitmapIndex, WorkVolumesMatchPaper)
+{
+    // 800M users, 12 months: 365 bitmaps x 95.37 MiB = 33.99 GiB.
+    const auto bulk = BitmapIndexWorkload::work(800'000'000, 365);
+    EXPECT_NEAR(bytes::toGiB(bulk.bytesIn), 33.99, 0.05);
+    ASSERT_EQ(bulk.ops.size(), 1u);
+    EXPECT_EQ(bulk.ops[0].chainLength, 365u);
+    EXPECT_EQ(bulk.bytesOut, Bytes{100'000'000});
+}
+
+TEST(Encryption, GoldenCipherIsXor)
+{
+    EncryptionWorkload w(16, 16);
+    const BitVector img = w.imageBits(3);
+    const BitVector key = w.keyBits();
+    EXPECT_EQ(w.goldenCipher(3), img ^ key);
+    // Decryption: XOR with the key again restores the plaintext.
+    EXPECT_EQ(w.goldenCipher(3) ^ key, img);
+}
+
+TEST(Encryption, BytesPerImageMatchesPaper)
+{
+    EncryptionWorkload w(800, 600);
+    EXPECT_EQ(w.bytesPerImage(), 1'440'000u);
+    EXPECT_NEAR(bytes::toMiB(w.bytesPerImage()), 1.37, 0.01);
+}
+
+TEST(Encryption, WorkVolumesAndWritebackFlag)
+{
+    EncryptionWorkload w(800, 600);
+    const auto co = w.work(100000, /*cipher_writeback=*/false);
+    const auto lf = w.work(100000, /*cipher_writeback=*/true);
+    EXPECT_NEAR(bytes::toGiB(co.bytesIn), 134.1, 0.5); // ~140 GB decimal
+    EXPECT_EQ(co.bytesOut, 0u);
+    EXPECT_EQ(co.writebackBytes, 0u);
+    EXPECT_EQ(lf.writebackBytes, Bytes{144'000'000'000});
+    ASSERT_EQ(co.ops.size(), 1u);
+    EXPECT_EQ(co.ops[0].instances, 100000u);
+    EXPECT_EQ(co.ops[0].op, flash::BitwiseOp::kXor);
+}
+
+} // namespace
+} // namespace parabit::workloads
