@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_casestudies.dir/bench_fig14_casestudies.cpp.o"
+  "CMakeFiles/bench_fig14_casestudies.dir/bench_fig14_casestudies.cpp.o.d"
+  "bench_fig14_casestudies"
+  "bench_fig14_casestudies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_locfree.dir/bench_fig15_locfree.cpp.o"
+  "CMakeFiles/bench_fig15_locfree.dir/bench_fig15_locfree.cpp.o.d"
+  "bench_fig15_locfree"
+  "bench_fig15_locfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_locfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_errors.dir/bench_fig17_errors.cpp.o"
+  "CMakeFiles/bench_fig17_errors.dir/bench_fig17_errors.cpp.o.d"
+  "bench_fig17_errors"
+  "bench_fig17_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

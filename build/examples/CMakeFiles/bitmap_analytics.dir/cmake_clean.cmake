@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_analytics.dir/bitmap_analytics.cpp.o"
+  "CMakeFiles/bitmap_analytics.dir/bitmap_analytics.cpp.o.d"
+  "bitmap_analytics"
+  "bitmap_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_encryption.dir/image_encryption.cpp.o"
+  "CMakeFiles/image_encryption.dir/image_encryption.cpp.o.d"
+  "image_encryption"
+  "image_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

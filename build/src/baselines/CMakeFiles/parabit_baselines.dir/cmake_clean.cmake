@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_baselines.dir/ambit.cpp.o"
+  "CMakeFiles/parabit_baselines.dir/ambit.cpp.o.d"
+  "CMakeFiles/parabit_baselines.dir/pipeline.cpp.o"
+  "CMakeFiles/parabit_baselines.dir/pipeline.cpp.o.d"
+  "libparabit_baselines.a"
+  "libparabit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_common.dir/bitvector.cpp.o"
+  "CMakeFiles/parabit_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/parabit_common.dir/logging.cpp.o"
+  "CMakeFiles/parabit_common.dir/logging.cpp.o.d"
+  "CMakeFiles/parabit_common.dir/stats.cpp.o"
+  "CMakeFiles/parabit_common.dir/stats.cpp.o.d"
+  "libparabit_common.a"
+  "libparabit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/block.cpp" "src/flash/CMakeFiles/parabit_flash.dir/block.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/block.cpp.o.d"
+  "/root/repo/src/flash/chip.cpp" "src/flash/CMakeFiles/parabit_flash.dir/chip.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/chip.cpp.o.d"
+  "/root/repo/src/flash/error_model.cpp" "src/flash/CMakeFiles/parabit_flash.dir/error_model.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/error_model.cpp.o.d"
+  "/root/repo/src/flash/geometry.cpp" "src/flash/CMakeFiles/parabit_flash.dir/geometry.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/geometry.cpp.o.d"
+  "/root/repo/src/flash/latch_array.cpp" "src/flash/CMakeFiles/parabit_flash.dir/latch_array.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/latch_array.cpp.o.d"
+  "/root/repo/src/flash/latch_circuit.cpp" "src/flash/CMakeFiles/parabit_flash.dir/latch_circuit.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/latch_circuit.cpp.o.d"
+  "/root/repo/src/flash/op_sequences.cpp" "src/flash/CMakeFiles/parabit_flash.dir/op_sequences.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/op_sequences.cpp.o.d"
+  "/root/repo/src/flash/plane.cpp" "src/flash/CMakeFiles/parabit_flash.dir/plane.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/plane.cpp.o.d"
+  "/root/repo/src/flash/read_retry.cpp" "src/flash/CMakeFiles/parabit_flash.dir/read_retry.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/read_retry.cpp.o.d"
+  "/root/repo/src/flash/sequence_executor.cpp" "src/flash/CMakeFiles/parabit_flash.dir/sequence_executor.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/sequence_executor.cpp.o.d"
+  "/root/repo/src/flash/tlc.cpp" "src/flash/CMakeFiles/parabit_flash.dir/tlc.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/tlc.cpp.o.d"
+  "/root/repo/src/flash/tlc_array.cpp" "src/flash/CMakeFiles/parabit_flash.dir/tlc_array.cpp.o" "gcc" "src/flash/CMakeFiles/parabit_flash.dir/tlc_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parabit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

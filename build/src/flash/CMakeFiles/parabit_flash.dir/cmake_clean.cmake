@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_flash.dir/block.cpp.o"
+  "CMakeFiles/parabit_flash.dir/block.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/chip.cpp.o"
+  "CMakeFiles/parabit_flash.dir/chip.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/error_model.cpp.o"
+  "CMakeFiles/parabit_flash.dir/error_model.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/geometry.cpp.o"
+  "CMakeFiles/parabit_flash.dir/geometry.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/latch_array.cpp.o"
+  "CMakeFiles/parabit_flash.dir/latch_array.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/latch_circuit.cpp.o"
+  "CMakeFiles/parabit_flash.dir/latch_circuit.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/op_sequences.cpp.o"
+  "CMakeFiles/parabit_flash.dir/op_sequences.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/plane.cpp.o"
+  "CMakeFiles/parabit_flash.dir/plane.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/read_retry.cpp.o"
+  "CMakeFiles/parabit_flash.dir/read_retry.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/sequence_executor.cpp.o"
+  "CMakeFiles/parabit_flash.dir/sequence_executor.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/tlc.cpp.o"
+  "CMakeFiles/parabit_flash.dir/tlc.cpp.o.d"
+  "CMakeFiles/parabit_flash.dir/tlc_array.cpp.o"
+  "CMakeFiles/parabit_flash.dir/tlc_array.cpp.o.d"
+  "libparabit_flash.a"
+  "libparabit_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

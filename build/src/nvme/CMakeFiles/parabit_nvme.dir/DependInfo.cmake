@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/command.cpp" "src/nvme/CMakeFiles/parabit_nvme.dir/command.cpp.o" "gcc" "src/nvme/CMakeFiles/parabit_nvme.dir/command.cpp.o.d"
+  "/root/repo/src/nvme/parser.cpp" "src/nvme/CMakeFiles/parabit_nvme.dir/parser.cpp.o" "gcc" "src/nvme/CMakeFiles/parabit_nvme.dir/parser.cpp.o.d"
+  "/root/repo/src/nvme/queue.cpp" "src/nvme/CMakeFiles/parabit_nvme.dir/queue.cpp.o" "gcc" "src/nvme/CMakeFiles/parabit_nvme.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/parabit_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parabit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_nvme.dir/command.cpp.o"
+  "CMakeFiles/parabit_nvme.dir/command.cpp.o.d"
+  "CMakeFiles/parabit_nvme.dir/parser.cpp.o"
+  "CMakeFiles/parabit_nvme.dir/parser.cpp.o.d"
+  "CMakeFiles/parabit_nvme.dir/queue.cpp.o"
+  "CMakeFiles/parabit_nvme.dir/queue.cpp.o.d"
+  "libparabit_nvme.a"
+  "libparabit_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

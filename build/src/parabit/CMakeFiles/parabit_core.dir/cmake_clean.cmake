@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_core.dir/controller.cpp.o"
+  "CMakeFiles/parabit_core.dir/controller.cpp.o.d"
+  "CMakeFiles/parabit_core.dir/cost_model.cpp.o"
+  "CMakeFiles/parabit_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/parabit_core.dir/device.cpp.o"
+  "CMakeFiles/parabit_core.dir/device.cpp.o.d"
+  "CMakeFiles/parabit_core.dir/host_interface.cpp.o"
+  "CMakeFiles/parabit_core.dir/host_interface.cpp.o.d"
+  "libparabit_core.a"
+  "libparabit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparabit_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/allocator.cpp" "src/ssd/CMakeFiles/parabit_ssd.dir/allocator.cpp.o" "gcc" "src/ssd/CMakeFiles/parabit_ssd.dir/allocator.cpp.o.d"
+  "/root/repo/src/ssd/event_engine.cpp" "src/ssd/CMakeFiles/parabit_ssd.dir/event_engine.cpp.o" "gcc" "src/ssd/CMakeFiles/parabit_ssd.dir/event_engine.cpp.o.d"
+  "/root/repo/src/ssd/ftl.cpp" "src/ssd/CMakeFiles/parabit_ssd.dir/ftl.cpp.o" "gcc" "src/ssd/CMakeFiles/parabit_ssd.dir/ftl.cpp.o.d"
+  "/root/repo/src/ssd/scrambler.cpp" "src/ssd/CMakeFiles/parabit_ssd.dir/scrambler.cpp.o" "gcc" "src/ssd/CMakeFiles/parabit_ssd.dir/scrambler.cpp.o.d"
+  "/root/repo/src/ssd/ssd.cpp" "src/ssd/CMakeFiles/parabit_ssd.dir/ssd.cpp.o" "gcc" "src/ssd/CMakeFiles/parabit_ssd.dir/ssd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/parabit_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parabit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_ssd.dir/allocator.cpp.o"
+  "CMakeFiles/parabit_ssd.dir/allocator.cpp.o.d"
+  "CMakeFiles/parabit_ssd.dir/event_engine.cpp.o"
+  "CMakeFiles/parabit_ssd.dir/event_engine.cpp.o.d"
+  "CMakeFiles/parabit_ssd.dir/ftl.cpp.o"
+  "CMakeFiles/parabit_ssd.dir/ftl.cpp.o.d"
+  "CMakeFiles/parabit_ssd.dir/scrambler.cpp.o"
+  "CMakeFiles/parabit_ssd.dir/scrambler.cpp.o.d"
+  "CMakeFiles/parabit_ssd.dir/ssd.cpp.o"
+  "CMakeFiles/parabit_ssd.dir/ssd.cpp.o.d"
+  "libparabit_ssd.a"
+  "libparabit_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parabit_ssd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitmap_index.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/bitmap_index.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/bitmap_index.cpp.o.d"
+  "/root/repo/src/workloads/bnn.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/bnn.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/bnn.cpp.o.d"
+  "/root/repo/src/workloads/dedup.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/dedup.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/dedup.cpp.o.d"
+  "/root/repo/src/workloads/encryption.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/encryption.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/encryption.cpp.o.d"
+  "/root/repo/src/workloads/image.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/image.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/image.cpp.o.d"
+  "/root/repo/src/workloads/scan.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/scan.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/scan.cpp.o.d"
+  "/root/repo/src/workloads/segmentation.cpp" "src/workloads/CMakeFiles/parabit_workloads.dir/segmentation.cpp.o" "gcc" "src/workloads/CMakeFiles/parabit_workloads.dir/segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/parabit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/parabit/CMakeFiles/parabit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parabit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/parabit_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/parabit_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/parabit_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parabit_workloads.dir/bitmap_index.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/bitmap_index.cpp.o.d"
+  "CMakeFiles/parabit_workloads.dir/bnn.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/bnn.cpp.o.d"
+  "CMakeFiles/parabit_workloads.dir/dedup.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/dedup.cpp.o.d"
+  "CMakeFiles/parabit_workloads.dir/encryption.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/encryption.cpp.o.d"
+  "CMakeFiles/parabit_workloads.dir/image.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/image.cpp.o.d"
+  "CMakeFiles/parabit_workloads.dir/scan.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/scan.cpp.o.d"
+  "CMakeFiles/parabit_workloads.dir/segmentation.cpp.o"
+  "CMakeFiles/parabit_workloads.dir/segmentation.cpp.o.d"
+  "libparabit_workloads.a"
+  "libparabit_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parabit_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

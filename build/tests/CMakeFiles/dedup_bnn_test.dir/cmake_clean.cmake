@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_bnn_test.dir/workloads/dedup_bnn_test.cpp.o"
+  "CMakeFiles/dedup_bnn_test.dir/workloads/dedup_bnn_test.cpp.o.d"
+  "dedup_bnn_test"
+  "dedup_bnn_test.pdb"
+  "dedup_bnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_bnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_engine_test.dir/ssd/event_engine_test.cpp.o"
+  "CMakeFiles/event_engine_test.dir/ssd/event_engine_test.cpp.o.d"
+  "event_engine_test"
+  "event_engine_test.pdb"
+  "event_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_interplay_test.dir/integration/gc_interplay_test.cpp.o"
+  "CMakeFiles/gc_interplay_test.dir/integration/gc_interplay_test.cpp.o.d"
+  "gc_interplay_test"
+  "gc_interplay_test.pdb"
+  "gc_interplay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_interplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

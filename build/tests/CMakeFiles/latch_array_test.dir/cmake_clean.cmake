@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_array_test.dir/flash/latch_array_test.cpp.o"
+  "CMakeFiles/latch_array_test.dir/flash/latch_array_test.cpp.o.d"
+  "latch_array_test"
+  "latch_array_test.pdb"
+  "latch_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_circuit_test.dir/flash/latch_circuit_test.cpp.o"
+  "CMakeFiles/latch_circuit_test.dir/flash/latch_circuit_test.cpp.o.d"
+  "latch_circuit_test"
+  "latch_circuit_test.pdb"
+  "latch_circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locfree_test.dir/flash/locfree_test.cpp.o"
+  "CMakeFiles/locfree_test.dir/flash/locfree_test.cpp.o.d"
+  "locfree_test"
+  "locfree_test.pdb"
+  "locfree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locfree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_command_test.dir/nvme/command_test.cpp.o"
+  "CMakeFiles/nvme_command_test.dir/nvme/command_test.cpp.o.d"
+  "nvme_command_test"
+  "nvme_command_test.pdb"
+  "nvme_command_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_command_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_parser_test.dir/nvme/parser_test.cpp.o"
+  "CMakeFiles/nvme_parser_test.dir/nvme/parser_test.cpp.o.d"
+  "nvme_parser_test"
+  "nvme_parser_test.pdb"
+  "nvme_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

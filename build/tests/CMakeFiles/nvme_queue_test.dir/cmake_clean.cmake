@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_queue_test.dir/nvme/queue_test.cpp.o"
+  "CMakeFiles/nvme_queue_test.dir/nvme/queue_test.cpp.o.d"
+  "nvme_queue_test"
+  "nvme_queue_test.pdb"
+  "nvme_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

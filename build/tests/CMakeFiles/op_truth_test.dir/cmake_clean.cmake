@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_truth_test.dir/flash/op_truth_test.cpp.o"
+  "CMakeFiles/op_truth_test.dir/flash/op_truth_test.cpp.o.d"
+  "op_truth_test"
+  "op_truth_test.pdb"
+  "op_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

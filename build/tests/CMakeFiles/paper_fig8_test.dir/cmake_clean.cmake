@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_fig8_test.dir/flash/paper_fig8_test.cpp.o"
+  "CMakeFiles/paper_fig8_test.dir/flash/paper_fig8_test.cpp.o.d"
+  "paper_fig8_test"
+  "paper_fig8_test.pdb"
+  "paper_fig8_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_fig8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

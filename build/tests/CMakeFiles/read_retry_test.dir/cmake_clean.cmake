@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_retry_test.dir/flash/read_retry_test.cpp.o"
+  "CMakeFiles/read_retry_test.dir/flash/read_retry_test.cpp.o.d"
+  "read_retry_test"
+  "read_retry_test.pdb"
+  "read_retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrambler_test.dir/ssd/scrambler_test.cpp.o"
+  "CMakeFiles/scrambler_test.dir/ssd/scrambler_test.cpp.o.d"
+  "scrambler_test"
+  "scrambler_test.pdb"
+  "scrambler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrambler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statevec_test.dir/common/statevec_test.cpp.o"
+  "CMakeFiles/statevec_test.dir/common/statevec_test.cpp.o.d"
+  "statevec_test"
+  "statevec_test.pdb"
+  "statevec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statevec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

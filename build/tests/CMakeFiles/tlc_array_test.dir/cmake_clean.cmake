@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlc_array_test.dir/flash/tlc_array_test.cpp.o"
+  "CMakeFiles/tlc_array_test.dir/flash/tlc_array_test.cpp.o.d"
+  "tlc_array_test"
+  "tlc_array_test.pdb"
+  "tlc_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlc_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

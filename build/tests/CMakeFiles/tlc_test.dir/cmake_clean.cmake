@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlc_test.dir/flash/tlc_test.cpp.o"
+  "CMakeFiles/tlc_test.dir/flash/tlc_test.cpp.o.d"
+  "tlc_test"
+  "tlc_test.pdb"
+  "tlc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

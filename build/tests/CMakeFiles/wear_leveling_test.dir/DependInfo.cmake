@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ssd/wear_leveling_test.cpp" "tests/CMakeFiles/wear_leveling_test.dir/ssd/wear_leveling_test.cpp.o" "gcc" "tests/CMakeFiles/wear_leveling_test.dir/ssd/wear_leveling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/parabit_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/parabit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/parabit/CMakeFiles/parabit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/parabit_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/parabit_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/parabit_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parabit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_leveling_test.dir/ssd/wear_leveling_test.cpp.o"
+  "CMakeFiles/wear_leveling_test.dir/ssd/wear_leveling_test.cpp.o.d"
+  "wear_leveling_test"
+  "wear_leveling_test.pdb"
+  "wear_leveling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_leveling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
