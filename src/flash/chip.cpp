@@ -39,10 +39,15 @@ Chip::blockAt(const ChipPageAddr &a)
     return plane(a.die, a.plane).block(a.block);
 }
 
-void
+bool
 Chip::programPage(const ChipPageAddr &a, const BitVector *data)
 {
+    if (plane(a.die, a.plane).dead())
+        return false;
+    if (faults_.programFails && faults_.programFails(a))
+        return false;
     blockAt(a).program(a.wordline, a.msb, data);
+    return true;
 }
 
 BitVector
@@ -55,28 +60,37 @@ Chip::readPage(const ChipPageAddr &a)
     return d ? *d : BitVector(geom_.pageBits(), true);
 }
 
-void
+bool
 Chip::eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
                  std::uint32_t block)
 {
+    if (plane(die, plane_idx).dead())
+        return false;
+    if (faults_.eraseFails &&
+        faults_.eraseFails(ChipPageAddr{die, plane_idx, block, 0, false}))
+        return false;
     plane(die, plane_idx).block(block).erase();
+    return true;
 }
 
-namespace {
-
-/**
- * Run @p prog twice — once clean, once with the noise hook — and report
- * the output bit errors as the difference.  The clean run is skipped
- * when the error model is disabled.
- */
 BitVector
-runWithErrors(const MicroProgram &prog, const WordlineData &self,
-              const WordlineData &wl_m, const WordlineData &wl_n,
-              const ErrorModel &em, std::uint32_t pe, Rng &rng,
-              std::size_t width, int *bit_errors)
+Chip::runOp(const MicroProgram &prog, const ChipPageAddr &sense_addr,
+            const WordlineData &self, const WordlineData &wl_m,
+            const WordlineData &wl_n, std::uint32_t pe_cycles,
+            int *bit_errors)
 {
+    const Plane &pl = plane(sense_addr.die, sense_addr.plane);
+    if (pl.dead())
+        panic("Chip::runOp: operation issued to a dead plane "
+              "(callers must check planeOperational() first)");
+
+    const double mult =
+        faults_.rberMultiplier ? faults_.rberMultiplier(sense_addr) : 1.0;
+    const bool noisy_rber = errorModel_.enabled() && mult > 0.0;
+    const std::size_t width = geom_.pageBits();
+
     LatchArray la(width);
-    if (!em.enabled()) {
+    if (!noisy_rber && !pl.hasStuckBitlines()) {
         la.execute(prog, self, wl_m, wl_n);
         if (bit_errors)
             *bit_errors = 0;
@@ -84,7 +98,9 @@ runWithErrors(const MicroProgram &prog, const WordlineData &self,
     }
 
     SenseNoiseHook noise = [&](BitVector &so, int) {
-        em.inject(so, pe, rng);
+        if (noisy_rber)
+            errorModel_.inject(so, pe_cycles, rng_, mult);
+        pl.applyStuckBits(so);
     };
     la.execute(prog, self, wl_m, wl_n, noise);
     BitVector noisy = la.out();
@@ -96,16 +112,13 @@ runWithErrors(const MicroProgram &prog, const WordlineData &self,
     return noisy;
 }
 
-} // namespace
-
 BitVector
 Chip::opCoLocated(BitwiseOp op, const ChipPageAddr &a, int *bit_errors)
 {
     Block &blk = blockAt(a);
     const WordlineData wl = blk.wordlineData(a.wordline);
-    return runWithErrors(coLocatedProgram(op), wl, {}, {}, errorModel_,
-                         blk.eraseCount(), rng_, geom_.pageBits(),
-                         bit_errors);
+    return runOp(coLocatedProgram(op), a, wl, {}, {}, blk.eraseCount(),
+                 bit_errors);
 }
 
 BitVector
@@ -120,8 +133,8 @@ Chip::opLocationFree(BitwiseOp op, const ChipPageAddr &m,
     const WordlineData wm = bm.wordlineData(m.wordline);
     const WordlineData wn = bn.wordlineData(n.wordline);
     const std::uint32_t pe = std::max(bm.eraseCount(), bn.eraseCount());
-    return runWithErrors(locationFreeProgram(op, variant), {}, wm, wn,
-                         errorModel_, pe, rng_, geom_.pageBits(), bit_errors);
+    return runOp(locationFreeProgram(op, variant), n, {}, wm, wn, pe,
+                 bit_errors);
 }
 
 BitVector
@@ -134,9 +147,8 @@ Chip::opBufferedOperand(BitwiseOp op, const BitVector &m_buffer,
     // sensings can err, but the shared noise hook is close enough at
     // the rates involved (the buffer path has no sense amplifier).
     const WordlineData wm{&m_buffer, nullptr};
-    return runWithErrors(
-        locationFreeProgram(op, LocFreeVariant::kLsbLsb), {}, wm, wn,
-        errorModel_, bn.eraseCount(), rng_, geom_.pageBits(), bit_errors);
+    return runOp(locationFreeProgram(op, LocFreeVariant::kLsbLsb), n, {}, wm,
+                 wn, bn.eraseCount(), bit_errors);
 }
 
 PageState

@@ -14,6 +14,7 @@
 #define PARABIT_FLASH_CHIP_HPP_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/bitvector.hpp"
@@ -37,6 +38,24 @@ struct ChipPageAddr
     bool operator==(const ChipPageAddr &) const = default;
 };
 
+/**
+ * Fault hooks a reliability layer (ssd::FaultInjector) can install on a
+ * chip.  All hooks are optional; an empty hook means "no fault".  The
+ * per-plane fault state (dead planes, stuck bitlines) lives on the Plane
+ * itself; these hooks cover the per-operation decisions that need the
+ * injector's schedule.
+ */
+struct ChipFaultHooks
+{
+    /** Multiplier applied to the RBER of every sensing of this page's
+     *  wordline (elevated-RBER regions). */
+    std::function<double(const ChipPageAddr &)> rberMultiplier;
+    /** Whether this page program fails (consumed from the schedule). */
+    std::function<bool(const ChipPageAddr &)> programFails;
+    /** Whether this block erase fails (consumed from the schedule). */
+    std::function<bool(const ChipPageAddr &)> eraseFails;
+};
+
 /** One flash chip; see file comment. */
 class Chip
 {
@@ -56,11 +75,27 @@ class Chip
     Plane &plane(std::uint32_t die, std::uint32_t plane_idx);
     const Plane &plane(std::uint32_t die, std::uint32_t plane_idx) const;
 
+    /** Install reliability fault hooks (see ChipFaultHooks). */
+    void setFaultHooks(ChipFaultHooks hooks) { faults_ = std::move(hooks); }
+
+    /** Whether the plane holding @p die/@p plane_idx accepts operations
+     *  (false once a dead-plane/dead-chip fault was injected). */
+    bool
+    planeOperational(std::uint32_t die, std::uint32_t plane_idx) const
+    {
+        return !plane(die, plane_idx).dead();
+    }
+
     /** @name Functional command set. */
     /// @{
 
-    /** Program a free page.  @p data may be null in timing-only mode. */
-    void programPage(const ChipPageAddr &a, const BitVector *data);
+    /**
+     * Program a free page.  @p data may be null in timing-only mode.
+     * @return false on a program failure (injected fault or dead
+     *         plane); the page stays free and the caller (FTL) must
+     *         retire the block and remap.
+     */
+    bool programPage(const ChipPageAddr &a, const BitVector *data);
 
     /**
      * Read a valid page through the normal (ECC-protected) path.  The
@@ -69,7 +104,12 @@ class Chip
      */
     BitVector readPage(const ChipPageAddr &a);
 
-    void eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
+    /**
+     * Erase a block.  @return false on an erase failure (injected fault
+     * or dead plane); the block keeps its contents and the caller must
+     * retire it.
+     */
+    bool eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
                     std::uint32_t block);
 
     /**
@@ -116,9 +156,21 @@ class Chip
   private:
     Block &blockAt(const ChipPageAddr &a);
 
+    /**
+     * Execute @p prog with the error model and any plane-level faults
+     * applied to every sensing; @p sense_addr locates the plane whose
+     * latch column runs the program (and the wordline whose region may
+     * carry an elevated-RBER fault).
+     */
+    BitVector runOp(const MicroProgram &prog, const ChipPageAddr &sense_addr,
+                    const WordlineData &self, const WordlineData &wl_m,
+                    const WordlineData &wl_n, std::uint32_t pe_cycles,
+                    int *bit_errors);
+
     FlashGeometry geom_;
     ErrorModel errorModel_;
     Rng rng_;
+    ChipFaultHooks faults_;
     std::vector<Plane> planes_; ///< dies x planes, row-major
 };
 

@@ -22,9 +22,10 @@ ErrorModel::rberPerSense(std::uint32_t pe_cycles) const
 }
 
 int
-ErrorModel::inject(BitVector &so, std::uint32_t pe_cycles, Rng &rng) const
+ErrorModel::inject(BitVector &so, std::uint32_t pe_cycles, Rng &rng,
+                   double rate_multiplier) const
 {
-    const double p = rberPerSense(pe_cycles);
+    const double p = rberPerSense(pe_cycles) * rate_multiplier;
     if (p <= 0.0 || so.empty())
         return 0;
 

@@ -86,9 +86,12 @@ class ErrorModel
      * @p pe_cycles.  The number of flips is drawn once (Poisson) and
      * positions are uniform, which is statistically equivalent to
      * independent per-bit draws at these tiny rates but runs in O(flips).
+     * @param rate_multiplier scales the per-sensing rate (elevated-RBER
+     *        fault regions; 1.0 = nominal).
      * @return the number of bits flipped.
      */
-    int inject(BitVector &so, std::uint32_t pe_cycles, Rng &rng) const;
+    int inject(BitVector &so, std::uint32_t pe_cycles, Rng &rng,
+               double rate_multiplier = 1.0) const;
 
     bool enabled() const { return cfg_.rberAtRef() > 0.0; }
     const ErrorModelConfig &config() const { return cfg_; }

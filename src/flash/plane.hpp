@@ -14,12 +14,22 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bitvector.hpp"
 #include "flash/block.hpp"
 #include "flash/geometry.hpp"
 
 namespace parabit::flash {
+
+/** A bitline whose sense amplifier is stuck at a fixed value. */
+struct StuckBitline
+{
+    std::size_t bitline = 0;
+    bool value = false;
+
+    bool operator==(const StuckBitline &) const = default;
+};
 
 /** One plane; see file comment. */
 class Plane
@@ -45,6 +55,42 @@ class Plane
 
     bool storesData() const { return storeData_; }
 
+    /** @name Fault state (driven by ssd::FaultInjector). */
+    /// @{
+
+    /** A dead plane rejects every array operation (sense/program/erase). */
+    void setDead(bool dead) { dead_ = dead; }
+    bool dead() const { return dead_; }
+
+    /** Pin @p bitline's sense amplifier output to @p value. */
+    void
+    addStuckBitline(std::size_t bitline, bool value)
+    {
+        if (bitline < pageBits_)
+            stuck_.push_back(StuckBitline{bitline, value});
+    }
+
+    /** Replace the stuck set wholesale (out-of-range entries dropped). */
+    void
+    setStuckBitlines(const std::vector<StuckBitline> &lines)
+    {
+        stuck_.clear();
+        for (const StuckBitline &s : lines)
+            addStuckBitline(s.bitline, s.value);
+    }
+
+    bool hasStuckBitlines() const { return !stuck_.empty(); }
+    const std::vector<StuckBitline> &stuckBitlines() const { return stuck_; }
+
+    /** Force stuck bitlines onto a freshly sensed SO vector. */
+    void
+    applyStuckBits(BitVector &so) const
+    {
+        for (const StuckBitline &s : stuck_)
+            so.set(s.bitline, s.value);
+    }
+    /// @}
+
   private:
     // Geometry fields are held by value so Plane (and its owning Chip)
     // stays safely movable inside containers.
@@ -52,6 +98,8 @@ class Plane
     std::uint32_t wordlinesPerBlock_;
     std::size_t pageBits_;
     bool storeData_;
+    bool dead_ = false;
+    std::vector<StuckBitline> stuck_;
     std::unordered_map<std::uint32_t, Block> blocks_;
 };
 

@@ -1,16 +1,37 @@
 #include "flash/read_retry.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
 #include "common/logging.hpp"
 
 namespace parabit::flash {
 
+namespace {
+
+/** Shared precondition checks for the voting helpers. */
+void
+checkRuns(const std::vector<BitVector> &runs, const char *who)
+{
+    if (runs.empty())
+        panic(std::string(who) + ": no runs");
+    if (runs.size() % 2 == 0)
+        panic(std::string(who) + ": vote count must be odd, got " +
+              std::to_string(runs.size()));
+    for (const auto &r : runs)
+        if (r.size() != runs[0].size())
+            panic(std::string(who) + ": mismatched run sizes (" +
+                  std::to_string(r.size()) + " vs " +
+                  std::to_string(runs[0].size()) + ")");
+}
+
+} // namespace
+
 BitVector
 majorityVote(const std::vector<BitVector> &runs)
 {
-    if (runs.empty())
-        panic("majorityVote: no runs");
-    if (runs.size() % 2 == 0)
-        panic("majorityVote: vote count must be odd");
+    checkRuns(runs, "majorityVote");
     if (runs.size() == 1)
         return runs[0];
 
@@ -35,6 +56,42 @@ majorityVote(const std::vector<BitVector> &runs)
     }
     out.maskTail();
     return out;
+}
+
+std::size_t
+lowMarginCount(const std::vector<BitVector> &runs, int min_margin)
+{
+    checkRuns(runs, "lowMarginCount");
+    const int k = static_cast<int>(runs.size());
+    std::size_t low = 0;
+    const std::size_t words = runs[0].words().size();
+    for (std::size_t w = 0; w < words; ++w) {
+        // Skip words where every run agrees: margin there is k.
+        bool uniform = true;
+        for (const auto &r : runs)
+            if (r.words()[w] != runs[0].words()[w]) {
+                uniform = false;
+                break;
+            }
+        if (uniform) {
+            if (k < min_margin)
+                low += 64; // every bit is low-margin (k==1 edge case)
+            continue;
+        }
+        for (int bit = 0; bit < 64; ++bit) {
+            const std::uint64_t mask = std::uint64_t{1} << bit;
+            int ones = 0;
+            for (const auto &r : runs)
+                ones += (r.words()[w] & mask) ? 1 : 0;
+            const int margin = std::abs(2 * ones - k);
+            if (margin < min_margin)
+                ++low;
+        }
+    }
+    // The tail beyond size() is masked identically in every run, so the
+    // uniform-word fast path already excluded it except when k itself is
+    // below the margin; clamp to the logical width in that case.
+    return std::min(low, runs[0].size());
 }
 
 namespace {

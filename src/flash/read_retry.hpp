@@ -44,8 +44,21 @@ VotedResult opLocationFreeVoted(Chip &chip, BitwiseOp op,
                                 LocFreeVariant variant =
                                     LocFreeVariant::kMsbLsb);
 
-/** Per-bitline majority of an odd number of equal-size vectors. */
+/**
+ * Per-bitline majority of an odd number of equal-size vectors.
+ * Panics (clear diagnostic, no UB) on an empty run set, an even vote
+ * count, or mismatched vector sizes.
+ */
 BitVector majorityVote(const std::vector<BitVector> &runs);
+
+/**
+ * Number of bitlines whose vote margin (|ones - zeros| across the runs)
+ * is below @p min_margin.  A low-margin bit was decided by a near-tie,
+ * so its majority value is suspect; the reliability ladder escalates
+ * while any remain.  Preconditions as majorityVote().
+ */
+std::size_t lowMarginCount(const std::vector<BitVector> &runs,
+                           int min_margin);
 
 } // namespace parabit::flash
 

@@ -4,6 +4,18 @@
 
 namespace parabit::nvme {
 
+const char *
+statusName(std::uint16_t status)
+{
+    switch (status) {
+      case kSuccess: return "success";
+      case kInternalError: return "internal-error";
+      case kCommandAborted: return "command-aborted";
+      case kUnrecoveredReadError: return "unrecovered-read-error";
+    }
+    return "?";
+}
+
 QueuePair::QueuePair(std::uint16_t qid, std::uint16_t depth)
     : qid_(qid), depth_(depth), sq_(depth), cq_(depth)
 {

@@ -24,6 +24,27 @@
 
 namespace parabit::nvme {
 
+/**
+ * Completion status codes (NVMe status-field encoding, SCT in bits
+ * 10:8, SC in bits 7:0).  The reliability layer reports ParaBit
+ * execution failures through these so a host never mistakes a degraded
+ * result for a clean one.
+ */
+enum Status : std::uint16_t
+{
+    kSuccess = 0x0000,
+    /** Generic-command-status: internal device error (the reliability
+     *  ladder could not produce a result it vouches for). */
+    kInternalError = 0x0006,
+    /** Generic-command-status: command aborted (host timeout/requeue). */
+    kCommandAborted = 0x0007,
+    /** Media-error status type: unrecovered read error (operand data is
+     *  gone — its plane or chip died). */
+    kUnrecoveredReadError = 0x0281,
+};
+
+const char *statusName(std::uint16_t status);
+
 /** Completion-queue entry (the fields this model needs). */
 struct Completion
 {
@@ -33,6 +54,7 @@ struct Completion
     Tick submittedAt = 0;
     Tick completedAt = 0;
 
+    bool ok() const { return status == kSuccess; }
     Tick latency() const { return completedAt - submittedAt; }
 };
 

@@ -1,9 +1,13 @@
 #include "parabit/controller.hpp"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "flash/latch_array.hpp"
+#include "flash/read_retry.hpp"
 #include "nvme/parser.hpp"
 
 namespace parabit::core {
@@ -15,6 +19,17 @@ modeName(Mode m)
       case Mode::kPreAllocated: return "ParaBit";
       case Mode::kReAllocate: return "ParaBit-ReAlloc";
       case Mode::kLocationFree: return "ParaBit-LocFree";
+    }
+    return "?";
+}
+
+const char *
+execStatusName(ExecStatus s)
+{
+    switch (s) {
+      case ExecStatus::kOk: return "ok";
+      case ExecStatus::kUncorrectable: return "uncorrectable";
+      case ExecStatus::kDataLoss: return "data-loss";
     }
     return "?";
 }
@@ -32,13 +47,259 @@ chipAddr(const flash::PhysPageAddr &a)
     return flash::ChipPageAddr{a.die, a.plane, a.block, a.wordline, a.msb};
 }
 
+/** Host-CPU reference computation for the fallback path. */
+BitVector
+cpuBitwise(flash::BitwiseOp op, const BitVector &x, const BitVector &y)
+{
+    switch (op) {
+      case flash::BitwiseOp::kAnd: return x & y;
+      case flash::BitwiseOp::kOr: return x | y;
+      case flash::BitwiseOp::kXor: return x ^ y;
+      case flash::BitwiseOp::kXnor: return ~(x ^ y);
+      case flash::BitwiseOp::kNand: return ~(x & y);
+      case flash::BitwiseOp::kNor: return ~(x | y);
+      case flash::BitwiseOp::kNotLsb:
+      case flash::BitwiseOp::kNotMsb: return ~x;
+    }
+    return {};
+}
+
+bool
+oddParity(const BitVector &v)
+{
+    return (v.popcount() & 1) != 0;
+}
+
 } // namespace
 
-flash::PhysPageAddr
+bool
+Controller::planeComputeTrusted(const flash::PhysPageAddr &loc, Tick &ready,
+                                ExecStats &stats)
+{
+    const ssd::PlaneIndex p = ssd::planeIndex(
+        ssd_->geometry(), {loc.channel, loc.chip, loc.die, loc.plane});
+    auto it = planeTrust_.find(p);
+    if (it != planeTrust_.end())
+        return it->second;
+
+    ++stats.selfTests;
+    ssd::Ftl &ftl = ssd_->ftl();
+    const std::size_t bits = ssd_->geometry().pageBits();
+
+    // Deterministic known-answer patterns for this plane.
+    Rng rng(ssd_->config().seed ^ (0x5E1F7E57ull + p));
+    BitVector a(bits), b(bits);
+    for (auto &w : a.words())
+        w = rng.next();
+    for (auto &w : b.words())
+        w = rng.next();
+    a.maskTail();
+    b.maskTail();
+
+    std::vector<ssd::PhysOp> ops;
+    const nvme::Lpn sx = scratchLpn_--;
+    const nvme::Lpn sy = scratchLpn_--;
+    const auto pair = ftl.writePair(sx, sy, &a, &b, ops, p);
+    stats.pagePrograms += 2;
+    ready = ssd_->scheduleOps(ops, ready);
+    if (!pair) {
+        // Cannot even place the test pattern there; don't compute there.
+        planeTrust_[p] = false;
+        return false;
+    }
+
+    // XOR and XNOR of the pair check every bitline against both an
+    // expected 0 and an expected 1, so a stuck column must show in one
+    // of them no matter which value it is pinned to.  Each is 3-vote
+    // majority so random sensing errors don't condemn a healthy plane.
+    const flash::ChipPageAddr ca = chipAddr(pair->lsb);
+    flash::Chip &chip = ssd_->chipAt(pair->lsb.channel, pair->lsb.chip);
+    int sense_total = 0;
+    auto voted = [&](flash::BitwiseOp op) {
+        std::vector<BitVector> runs;
+        for (int k = 0; k < 3; ++k) {
+            int e = 0;
+            runs.push_back(chip.opCoLocated(op, ca, &e));
+            stats.bitErrors += static_cast<std::uint64_t>(e);
+        }
+        sense_total += 3 * flash::coLocatedProgram(op).senseCount();
+        return flash::majorityVote(runs);
+    };
+    const BitVector vx = voted(flash::BitwiseOp::kXor);
+    const BitVector vn = voted(flash::BitwiseOp::kXnor);
+    stats.senseOps += static_cast<std::uint64_t>(sense_total);
+    ready = ssd_->scheduleArrayJobs(
+        {ssd::ArrayJob{pair->lsb, sense_total, 0, 0}}, ready);
+
+    const BitVector ex = a ^ b;
+    const bool ok = vx == ex && vn == ~ex;
+    if (!ok) {
+        ++stats.detections;
+        logWarn("ParaBit: plane " + std::to_string(p) +
+                " failed the compute self-test; using host fallback");
+    }
+    planeTrust_[p] = ok;
+    ftl.trim(sx); // the test pages are garbage now
+    ftl.trim(sy);
+    return ok;
+}
+
+Controller::SenseOutcome
+Controller::runSense(const SenseRequest &req, Tick ready, ExecStats &stats)
+{
+    SenseOutcome out;
+    const bool functional = ssd_->config().storeData;
+
+    auto book = [&](int executions, bool xfer_result) {
+        stats.senseOps +=
+            static_cast<std::uint64_t>(req.senseCount) * executions;
+        const Bytes rx = xfer_result ? req.resultXfer : 0;
+        const Tick done = ssd_->scheduleArrayJobs(
+            {ssd::ArrayJob{req.loc, req.senseCount * executions,
+                           req.xferIn * executions, rx}},
+            ready);
+        stats.resultBytes += rx;
+        return done;
+    };
+
+    if (!policy_.enabled || !functional) {
+        // Legacy single execution.  Timing-only runs with the policy on
+        // still book initialVotes executions, so redundancy ladders can
+        // be timed without payloads.
+        const int execs =
+            policy_.enabled ? std::max(1, policy_.initialVotes) : 1;
+        if (functional && req.execute) {
+            int errors = 0;
+            out.data = req.execute(&errors);
+            stats.bitErrors += static_cast<std::uint64_t>(errors);
+        }
+        out.done = book(execs, true);
+        return out;
+    }
+
+    if (!req.execute) {
+        // Nothing to verify (no payload producer); book and move on.
+        out.done = book(std::max(1, policy_.initialVotes), true);
+        return out;
+    }
+
+    // Consistent faults (stuck bitlines) make every redundant run agree
+    // on the same wrong answer; the known-answer self-test screens them
+    // out before any voting is trusted.
+    if (!planeComputeTrusted(req.loc, ready, stats)) {
+        if (policy_.hostFallback && req.fallback) {
+            if (auto fb = req.fallback(ready)) {
+                ++stats.hostFallbacks;
+                out.data = std::move(*fb);
+                out.done = ready;
+                return out;
+            }
+            out.status = ExecStatus::kDataLoss;
+            out.done = ready;
+            return out;
+        }
+        out.status = ExecStatus::kUncorrectable;
+        out.done = ready;
+        return out;
+    }
+
+    auto run = [&] {
+        int errors = 0;
+        BitVector r = req.execute(&errors);
+        stats.bitErrors += static_cast<std::uint64_t>(errors);
+        return r;
+    };
+    auto parity_ok = [&](const BitVector &v) {
+        if (!req.expectedParity)
+            return true;
+        ++stats.parityChecks;
+        return oddParity(v) == *req.expectedParity;
+    };
+
+    const int max_votes =
+        policy_.maxVotes % 2 == 0 ? policy_.maxVotes - 1 : policy_.maxVotes;
+    int rung = std::clamp(policy_.initialVotes, 1, std::max(1, max_votes));
+    if (rung % 2 == 0)
+        ++rung;
+    std::vector<BitVector> runs;
+    int retries = 0;
+    int executions = 0;
+    std::optional<BitVector> accepted;
+
+    while (true) {
+        while (static_cast<int>(runs.size()) < rung) {
+            runs.push_back(run());
+            ++executions;
+        }
+        bool pass;
+        BitVector candidate;
+        if (rung == 1) {
+            candidate = runs[0];
+            pass = parity_ok(candidate);
+            if (pass) {
+                // Duplicate-execution compare: one more run must agree
+                // bit for bit (catches what parity alone cannot).
+                runs.push_back(run());
+                ++executions;
+                ++stats.parityChecks;
+                pass = runs[1] == runs[0];
+            }
+        } else {
+            candidate = flash::majorityVote(runs);
+            pass = flash::lowMarginCount(runs, policy_.minMargin) == 0 &&
+                   parity_ok(candidate);
+        }
+        if (pass) {
+            accepted = std::move(candidate);
+            break;
+        }
+        ++stats.detections;
+        if (rung < max_votes) {
+            // Escalate; earlier runs stay in the ballot.
+            rung = std::min(rung + 2, max_votes);
+            ++stats.voteEscalations;
+            continue;
+        }
+        if (retries < policy_.maxRetries) {
+            ++retries;
+            ++stats.retries;
+            runs.clear();
+            ready += policy_.retryBackoff * static_cast<Tick>(retries);
+            continue;
+        }
+        break;
+    }
+
+    const Tick sensed = book(executions, accepted.has_value());
+    if (accepted) {
+        out.data = std::move(*accepted);
+        out.done = sensed;
+        return out;
+    }
+
+    // Ladder exhausted: degrade to the host path or report.
+    ready = sensed;
+    if (policy_.hostFallback && req.fallback) {
+        if (auto fb = req.fallback(ready)) {
+            ++stats.hostFallbacks;
+            out.data = std::move(*fb);
+            out.done = ready;
+            return out;
+        }
+        out.status = ExecStatus::kDataLoss;
+        out.done = ready;
+        return out;
+    }
+    out.status = ExecStatus::kUncorrectable;
+    out.done = ready;
+    return out;
+}
+
+std::optional<flash::PhysPageAddr>
 Controller::reallocatePair(std::optional<nvme::Lpn> x_lpn,
                            const BitVector *x_buf, nvme::Lpn y_lpn,
                            bool read_x, Tick at, ExecStats &stats,
-                           Tick &ready)
+                           Tick &ready, BitVector *x_out, BitVector *y_out)
 {
     ssd::Ftl &ftl = ssd_->ftl();
     const Bytes page = ssd_->geometry().pageBytes;
@@ -55,6 +316,10 @@ Controller::reallocatePair(std::optional<nvme::Lpn> x_lpn,
     y_data = ftl.readPage(y_lpn, read_ops);
     ++stats.pageReads;
     const Tick reads_done = ssd_->scheduleOps(read_ops, at);
+    if (x_out)
+        *x_out = x_data;
+    if (y_out)
+        *y_out = y_data;
 
     // Phase 2: program both pages onto one fresh wordline.  The pair
     // claims two scratch LPNs so the FTL tracks the copies.
@@ -62,13 +327,15 @@ Controller::reallocatePair(std::optional<nvme::Lpn> x_lpn,
     const nvme::Lpn sx = scratchLpn_--;
     const nvme::Lpn sy = scratchLpn_--;
     const bool functional = ssd_->config().storeData;
-    const ssd::PagePair pair =
+    const auto pair =
         ftl.writePair(sx, sy, functional ? &x_data : nullptr,
                       functional ? &y_data : nullptr, prog_ops);
     stats.pagePrograms += 2;
     stats.reallocBytes += 2 * page;
     ready = ssd_->scheduleOps(prog_ops, reads_done);
-    return pair.lsb;
+    if (!pair)
+        return std::nullopt;
+    return pair->lsb;
 }
 
 Controller::PageOpOutcome
@@ -90,7 +357,59 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
         fatal("ParaBit: first operand LPN is unmapped");
 
     PageOpOutcome out;
+    out.senseLoc = *y_addr;
     Tick ready = at;
+
+    // A dead plane takes its resident operands with it: no execution
+    // path, in-flash or host-side, can reach that data any more.
+    if (!ftl.pageAccessible(y_lpn) ||
+        (x_lpn && !ftl.pageAccessible(*x_lpn))) {
+        out.status = ExecStatus::kDataLoss;
+        out.done = at;
+        return out;
+    }
+
+    // Host-side fallback: conventional ECC-protected reads of both
+    // operands plus CPU bitwise compute — bit-exact by construction.
+    auto host_fallback = [this, &ftl, &stats, x_lpn, x_buf, y_lpn, op,
+                          functional](Tick &rdy) -> std::optional<BitVector> {
+        if (!functional)
+            return std::nullopt;
+        std::vector<ssd::PhysOp> ops;
+        BitVector x;
+        if (x_buf) {
+            x = *x_buf;
+        } else if (x_lpn && ftl.pageAccessible(*x_lpn)) {
+            x = ftl.readPage(*x_lpn, ops);
+            ++stats.pageReads;
+        } else {
+            return std::nullopt;
+        }
+        if (!ftl.pageAccessible(y_lpn))
+            return std::nullopt;
+        BitVector y = ftl.readPage(y_lpn, ops);
+        ++stats.pageReads;
+        rdy = ssd_->scheduleOps(ops, rdy);
+        return cpuBitwise(op, x, y);
+    };
+
+    // Graceful degradation when operands cannot be staged/paired for
+    // in-flash execution at all.
+    auto degrade = [&](Tick rdy) {
+        PageOpOutcome o;
+        o.senseLoc = *y_addr;
+        if (policy_.enabled && policy_.hostFallback) {
+            if (auto fb = host_fallback(rdy)) {
+                ++stats.hostFallbacks;
+                o.result = std::move(*fb);
+                o.done = rdy;
+                return o;
+            }
+        }
+        o.status = ExecStatus::kUncorrectable;
+        o.done = rdy;
+        return o;
+    };
 
     // ----- Location-free: sense across wordlines, no reallocation. ----
     if (mode == Mode::kLocationFree) {
@@ -101,21 +420,21 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
             // program, no staging.
             const flash::MicroProgram &prog = flash::locationFreeProgram(
                 op, flash::LocFreeVariant::kLsbLsb);
-            if (functional && x_buf != nullptr) {
-                int errors = 0;
-                out.result =
-                    ssd_->chipAt(y_addr->channel, y_addr->chip)
-                        .opBufferedOperand(op, *x_buf, chipAddr(*y_addr),
-                                           &errors);
-                stats.bitErrors += static_cast<std::uint64_t>(errors);
-            }
-            stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
-            out.senseLoc = *y_addr;
-            out.done = ssd_->scheduleArrayJobs(
-                {ssd::ArrayJob{*y_addr, prog.senseCount(), page,
-                               result_xfer}},
-                ready);
-            stats.resultBytes += result_xfer;
+            SenseRequest req;
+            req.loc = *y_addr;
+            req.senseCount = prog.senseCount();
+            req.xferIn = page;
+            req.resultXfer = result_xfer;
+            if (functional && x_buf != nullptr)
+                req.execute = [this, op, x_buf, loc = *y_addr](int *e) {
+                    return ssd_->chipAt(loc.channel, loc.chip)
+                        .opBufferedOperand(op, *x_buf, chipAddr(loc), e);
+                };
+            req.fallback = host_fallback;
+            SenseOutcome so = runSense(req, ready, stats);
+            out.result = std::move(so.data);
+            out.status = so.status;
+            out.done = so.done;
             return out;
         }
         // Stage a timing-only chain result or a cross-plane operand
@@ -138,6 +457,8 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
             ++stats.pagePrograms;
             stats.reallocBytes += page;
             ready = ssd_->scheduleOps(ops, ready);
+            if (!x_addr)
+                return degrade(ready); // could not stage into Y's plane
         }
 
         // Pick the program variant from the physical placement; the
@@ -160,34 +481,43 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
             ++stats.pageReads;
             const ssd::PlaneIndex target = ssd::planeIndex(
                 ssd_->geometry(), {n.channel, n.chip, n.die, n.plane});
-            m = ftl.writeLsbOnly(sx, functional ? &staged : nullptr, ops,
+            const auto staged_m =
+                ftl.writeLsbOnly(sx, functional ? &staged : nullptr, ops,
                                  target);
             ++stats.pagePrograms;
             stats.reallocBytes += page;
             ready = ssd_->scheduleOps(ops, ready);
+            if (!staged_m)
+                return degrade(ready);
+            m = *staged_m;
             variant = flash::LocFreeVariant::kLsbLsb;
         }
 
         const flash::MicroProgram &prog = flash::locationFreeProgram(
             op, variant);
-        if (functional) {
-            int errors = 0;
-            out.result = ssd_->chipAt(m.channel, m.chip)
-                             .opLocationFree(op, chipAddr(m), chipAddr(n),
-                                             &errors, variant);
-            stats.bitErrors += static_cast<std::uint64_t>(errors);
-        }
-        stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
+        SenseRequest req;
+        req.loc = n;
+        req.senseCount = prog.senseCount();
+        req.resultXfer = result_xfer;
+        if (functional)
+            req.execute = [this, op, m, n, variant](int *e) {
+                return ssd_->chipAt(m.channel, m.chip)
+                    .opLocationFree(op, chipAddr(m), chipAddr(n), e,
+                                    variant);
+            };
+        req.fallback = host_fallback;
+        SenseOutcome so = runSense(req, ready, stats);
+        out.result = std::move(so.data);
+        out.status = so.status;
         out.senseLoc = n;
-        out.done = ssd_->scheduleArrayJobs(
-            {ssd::ArrayJob{n, prog.senseCount(), result_xfer}}, ready);
-        stats.resultBytes += result_xfer;
+        out.done = so.done;
         return out;
     }
 
     // ----- Co-located modes. ------------------------------------------
     flash::PhysPageAddr wl_addr{};
     bool need_realloc = true;
+    BitVector x_known, y_known; ///< operand payloads read along the way
 
     if (mode == Mode::kPreAllocated) {
         if (x_addr && x_addr->sameWordline(*y_addr)) {
@@ -214,11 +544,16 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
                 wl_addr = *y_addr;
                 need_realloc = false;
             } else if (!ops.empty()) {
-                // The read happened but the MSB was taken; fall through
-                // to full reallocation without re-reading.
+                // The read happened but the MSB was taken (or its block
+                // just got retired); fall through to full reallocation
+                // without re-reading.
                 ready = ssd_->scheduleOps(ops, ready);
-                wl_addr = reallocatePair(x_lpn, functional ? &x_data : nullptr,
-                                         y_lpn, false, ready, stats, ready);
+                const auto re = reallocatePair(
+                    x_lpn, functional ? &x_data : nullptr, y_lpn, false,
+                    ready, stats, ready, &x_known, &y_known);
+                if (!re)
+                    return degrade(ready);
+                wl_addr = *re;
                 need_realloc = false;
             }
         }
@@ -227,22 +562,46 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
     if (need_realloc) {
         // ParaBit-ReAlloc (and PreAllocated fallback): read both
         // operands, re-pair them on a fresh wordline.
-        wl_addr = reallocatePair(x_lpn, x_buf, y_lpn, x_lpn.has_value(), at,
-                                 stats, ready);
+        const auto re =
+            reallocatePair(x_lpn, x_buf, y_lpn, x_lpn.has_value(), at, stats,
+                           ready, &x_known, &y_known);
+        if (!re)
+            return degrade(ready);
+        wl_addr = *re;
     }
 
+    const bool have_operands =
+        functional && !x_known.empty() && !y_known.empty();
     const flash::MicroProgram &prog = flash::coLocatedProgram(op);
-    if (functional) {
-        int errors = 0;
-        out.result = ssd_->chipAt(wl_addr.channel, wl_addr.chip)
-                         .opCoLocated(op, chipAddr(wl_addr), &errors);
-        stats.bitErrors += static_cast<std::uint64_t>(errors);
+    SenseRequest req;
+    req.loc = wl_addr;
+    req.senseCount = prog.senseCount();
+    req.resultXfer = result_xfer;
+    if (functional)
+        req.execute = [this, op, wl_addr](int *e) {
+            return ssd_->chipAt(wl_addr.channel, wl_addr.chip)
+                .opCoLocated(op, chipAddr(wl_addr), e);
+        };
+    if (have_operands) {
+        // Operand payloads are in hand: the XOR/XNOR parities are
+        // predictable, and the fallback is a free exact recompute.
+        if (op == flash::BitwiseOp::kXor)
+            req.expectedParity = oddParity(x_known) != oddParity(y_known);
+        else if (op == flash::BitwiseOp::kXnor)
+            req.expectedParity = (oddParity(x_known) != oddParity(y_known)) !=
+                                 ((x_known.size() & 1) != 0);
+        req.fallback = [op, x_known,
+                        y_known](Tick &) -> std::optional<BitVector> {
+            return cpuBitwise(op, x_known, y_known);
+        };
+    } else {
+        req.fallback = host_fallback;
     }
-    stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
+    SenseOutcome so = runSense(req, ready, stats);
+    out.result = std::move(so.data);
+    out.status = so.status;
     out.senseLoc = wl_addr;
-    out.done = ssd_->scheduleArrayJobs(
-        {ssd::ArrayJob{wl_addr, prog.senseCount(), result_xfer}}, ready);
-    stats.resultBytes += result_xfer;
+    out.done = so.done;
     return out;
 }
 
@@ -256,6 +615,7 @@ Controller::executeBatches(const std::vector<nvme::Batch> &batches, Mode mode,
     res.stats.end = at;
     const Bytes page = ssd_->geometry().pageBytes;
     const bool functional = ssd_->config().storeData;
+    const std::uint64_t retired_before = ssd_->ftl().retiredBlocks();
 
     // Per-batch results: the data pages (functional mode) and, for
     // chain continuations, the logical scratch homes if programmed.
@@ -300,6 +660,7 @@ Controller::executeBatches(const std::vector<nvme::Batch> &batches, Mode mode,
                                             sub.second.lpn, mode, ready, xfer,
                                             res.stats);
             bo.done = std::max(bo.done, o.done);
+            res.status = std::max(res.status, o.status);
             if (functional)
                 bo.pages.push_back(o.result ? std::move(*o.result)
                                             : BitVector());
@@ -317,13 +678,19 @@ Controller::executeBatches(const std::vector<nvme::Batch> &batches, Mode mode,
                  ++p) {
                 const BitVector *d =
                     functional ? &last.pages.at(p) : nullptr;
-                ssd_->ftl().writePage(*result_lpn + p, d, ops);
+                if (!ssd_->ftl().writePage(*result_lpn + p, d, ops)) {
+                    logWarn("ParaBit: result write-back failed at LPN " +
+                            std::to_string(*result_lpn + p));
+                    res.status =
+                        std::max(res.status, ExecStatus::kUncorrectable);
+                }
             }
             res.stats.end = std::max(res.stats.end,
                                      ssd_->scheduleOps(ops, res.stats.end));
         }
         res.pages = std::move(last.pages);
     }
+    res.stats.retiredBlocks += ssd_->ftl().retiredBlocks() - retired_before;
     return res;
 }
 
@@ -358,35 +725,74 @@ Controller::executeNot(bool msb_page, nvme::Lpn x, std::uint32_t pages,
         msb_page ? flash::BitwiseOp::kNotMsb : flash::BitwiseOp::kNotLsb;
     const flash::MicroProgram &prog = flash::coLocatedProgram(op);
 
+    const std::uint64_t retired_before = ftl.retiredBlocks();
     for (std::uint32_t p = 0; p < pages; ++p) {
         auto addr = ftl.lookup(x + p);
         if (!addr)
             fatal("ParaBit NOT: operand LPN unmapped");
+        if (!ftl.pageAccessible(x + p)) {
+            // The operand's plane died: nothing left to invert.
+            res.status = std::max(res.status, ExecStatus::kDataLoss);
+            if (functional)
+                res.pages.emplace_back();
+            continue;
+        }
         Tick ready = at;
+        BitVector data; ///< payload, when a reallocation read it
+        bool have_data = false;
         if (mode == Mode::kReAllocate) {
             std::vector<ssd::PhysOp> ops;
-            BitVector data = ftl.readPage(x + p, ops);
+            data = ftl.readPage(x + p, ops);
+            have_data = functional;
             ++res.stats.pageReads;
             const nvme::Lpn sx = scratchLpn_--;
-            addr = ftl.writeLsbOnly(sx, functional ? &data : nullptr, ops);
+            const auto moved =
+                ftl.writeLsbOnly(sx, functional ? &data : nullptr, ops);
             ++res.stats.pagePrograms;
             res.stats.reallocBytes += page;
             ready = ssd_->scheduleOps(ops, ready);
+            // If the copy could not be placed, sense the original in
+            // place — NOT never needed the move for correctness.
+            if (moved)
+                addr = *moved;
         }
-        if (functional) {
-            int errors = 0;
-            BitVector out = ssd_->chipAt(addr->channel, addr->chip)
-                                .opCoLocated(op, chipAddr(*addr), &errors);
-            res.stats.bitErrors += static_cast<std::uint64_t>(errors);
-            res.pages.push_back(std::move(out));
-        }
-        res.stats.senseOps += static_cast<std::uint64_t>(prog.senseCount());
         const Bytes xfer = transfer_results ? page : 0;
-        const Tick done = ssd_->scheduleArrayJobs(
-            {ssd::ArrayJob{*addr, prog.senseCount(), xfer}}, ready);
-        res.stats.resultBytes += xfer;
-        res.stats.end = std::max(res.stats.end, done);
+        SenseRequest req;
+        req.loc = *addr;
+        req.senseCount = prog.senseCount();
+        req.resultXfer = xfer;
+        if (functional)
+            req.execute = [this, op, loc = *addr](int *e) {
+                return ssd_->chipAt(loc.channel, loc.chip)
+                    .opCoLocated(op, chipAddr(loc), e);
+            };
+        if (have_data) {
+            // parity(~x) = parity(x) ^ (bits & 1); the payload is in
+            // hand, so the fallback is a free exact recompute.
+            req.expectedParity =
+                oddParity(data) != ((data.size() & 1) != 0);
+            req.fallback = [data](Tick &) -> std::optional<BitVector> {
+                return ~data;
+            };
+        } else {
+            req.fallback = [this, &ftl, &res, lpn = x + p, functional](
+                               Tick &rdy) -> std::optional<BitVector> {
+                if (!functional || !ftl.pageAccessible(lpn))
+                    return std::nullopt;
+                std::vector<ssd::PhysOp> ops;
+                BitVector v = ftl.readPage(lpn, ops);
+                ++res.stats.pageReads;
+                rdy = ssd_->scheduleOps(ops, rdy);
+                return ~v;
+            };
+        }
+        SenseOutcome so = runSense(req, ready, res.stats);
+        res.status = std::max(res.status, so.status);
+        if (functional)
+            res.pages.push_back(so.data ? std::move(*so.data) : BitVector());
+        res.stats.end = std::max(res.stats.end, so.done);
     }
+    res.stats.retiredBlocks += ftl.retiredBlocks() - retired_before;
     return res;
 }
 

@@ -26,7 +26,9 @@
 #define PARABIT_PARABIT_CONTROLLER_HPP_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitvector.hpp"
@@ -45,6 +47,60 @@ enum class Mode : std::uint8_t
 
 const char *modeName(Mode m);
 
+/**
+ * Typed outcome of an execution — the reliability contract is that a
+ * formula either completes bit-exact or reports one of these; it never
+ * silently returns corrupt data.  Ordered by severity so the worst
+ * status of a multi-page formula is just std::max.
+ */
+enum class ExecStatus : std::uint8_t
+{
+    kOk = 0,
+    /** The ladder (votes, retries, fallback) could not produce a result
+     *  it can vouch for. */
+    kUncorrectable,
+    /** An operand page is gone (its plane died); no path to the data. */
+    kDataLoss,
+};
+
+const char *execStatusName(ExecStatus s);
+
+/**
+ * Detect-and-escalate policy for ParaBit executions (paper Section 5.8:
+ * results bypass ECC, so sensing errors must be handled by the
+ * controller).  The ladder:
+ *
+ *  1. one execution, checked cheaply — a parity prediction when the
+ *     operand payloads are in hand (XOR/XNOR make parities checkable),
+ *     plus a duplicate execution compared bit-for-bit;
+ *  2. 3-vote majority (flash::majorityVote), accepted only when every
+ *     bitline's vote margin reaches minMargin;
+ *  3. 5-vote majority, same acceptance;
+ *  4. up to maxRetries repeats of the top rung, each delayed by
+ *     retryBackoff;
+ *  5. host-side fallback: conventional ECC-protected page reads plus
+ *     CPU bitwise compute — always bit-exact, never fast.
+ *
+ * Consistent faults (stuck bitlines) defeat redundant execution — every
+ * run is wrong the same way — so each plane's compute path is first
+ * qualified by a known-answer self-test; planes that fail it go
+ * straight to the host fallback.
+ */
+struct ReliabilityPolicy
+{
+    bool enabled = false; ///< off = the legacy single-execution path
+    /** Rung the ladder starts at (1, 3 or 5; benches pin 3/5 to
+     *  measure a fixed-redundancy configuration). */
+    int initialVotes = 1;
+    int maxVotes = 5;
+    /** Minimum per-bitline vote margin (|ones - zeros|) for a voted
+     *  rung to be accepted. */
+    int minMargin = 3;
+    int maxRetries = 2;
+    Tick retryBackoff = 100 * ticks::kMicrosecond;
+    bool hostFallback = true;
+};
+
 /** Instrumentation of one executed formula/op. */
 struct ExecStats
 {
@@ -56,6 +112,17 @@ struct ExecStats
     Bytes reallocBytes = 0;         ///< bytes re-programmed for alignment
     Bytes resultBytes = 0;          ///< result bytes transferred to host
     std::uint64_t bitErrors = 0;    ///< sensing errors in ParaBit outputs
+
+    /** @name Reliability-ladder counters (ReliabilityPolicy). */
+    /// @{
+    std::uint64_t selfTests = 0;       ///< plane known-answer self-tests
+    std::uint64_t parityChecks = 0;    ///< cheap checks (parity/duplicate)
+    std::uint64_t detections = 0;      ///< checks or votes that flagged
+    std::uint64_t voteEscalations = 0; ///< rung promotions (1→3, 3→5)
+    std::uint64_t retries = 0;         ///< top-rung repeats (with backoff)
+    std::uint64_t hostFallbacks = 0;   ///< ops completed host-side
+    std::uint64_t retiredBlocks = 0;   ///< blocks retired while executing
+    /// @}
 
     Tick elapsed() const { return end - start; }
 
@@ -69,15 +136,25 @@ struct ExecStats
         reallocBytes += o.reallocBytes;
         resultBytes += o.resultBytes;
         bitErrors += o.bitErrors;
+        selfTests += o.selfTests;
+        parityChecks += o.parityChecks;
+        detections += o.detections;
+        voteEscalations += o.voteEscalations;
+        retries += o.retries;
+        hostFallbacks += o.hostFallbacks;
+        retiredBlocks += o.retiredBlocks;
     }
 };
 
 /** Result of a formula execution. */
 struct ExecResult
 {
-    /** Result pages (empty in timing-only mode). */
+    /** Result pages (empty in timing-only mode).  A page whose status
+     *  was not kOk is present but empty — never silently corrupt. */
     std::vector<BitVector> pages;
     ExecStats stats;
+    /** Worst per-page status of the execution. */
+    ExecStatus status = ExecStatus::kOk;
 };
 
 /** The in-SSD ParaBit execution engine; see file comment. */
@@ -116,13 +193,57 @@ class Controller
 
     ssd::SsdDevice &ssd() { return *ssd_; }
 
+    const ReliabilityPolicy &reliability() const { return policy_; }
+    void
+    setReliability(const ReliabilityPolicy &p)
+    {
+        policy_ = p;
+    }
+
+    /** Drop cached plane self-test verdicts (after injecting faults). */
+    void invalidatePlaneTrust() { planeTrust_.clear(); }
+
   private:
     struct PageOpOutcome
     {
         std::optional<BitVector> result;
         flash::PhysPageAddr senseLoc; ///< wordline that was sensed
         Tick done;
+        ExecStatus status = ExecStatus::kOk;
     };
+
+    /** One sensing site, wrapped for the reliability ladder. */
+    struct SenseRequest
+    {
+        flash::PhysPageAddr loc; ///< plane whose latch column runs it
+        int senseCount = 0;      ///< SROs per execution
+        Bytes xferIn = 0;        ///< buffer reload bytes per execution
+        Bytes resultXfer = 0;    ///< result bytes out (once, on success)
+        /** One fresh execution; arg receives injected bit errors. */
+        std::function<BitVector(int *)> execute;
+        /** Host-side recompute; books its own timing; nullopt = the
+         *  operands are unreachable. */
+        std::function<std::optional<BitVector>(Tick &)> fallback;
+        /** Predicted result parity when the operand payloads are known
+         *  (XOR/XNOR/NOT). */
+        std::optional<bool> expectedParity;
+    };
+
+    struct SenseOutcome
+    {
+        std::optional<BitVector> data;
+        Tick done = 0;
+        ExecStatus status = ExecStatus::kOk;
+    };
+
+    /** Run @p req through the escalation ladder (see ReliabilityPolicy);
+     *  the legacy single execution when the policy is disabled. */
+    SenseOutcome runSense(const SenseRequest &req, Tick ready,
+                          ExecStats &stats);
+
+    /** Known-answer self-test verdict for @p loc's plane (cached). */
+    bool planeComputeTrusted(const flash::PhysPageAddr &loc, Tick &ready,
+                             ExecStats &stats);
 
     /**
      * Execute one page-pair operation.  @p prev_result, when set, is the
@@ -136,14 +257,24 @@ class Controller
                                 Mode mode, Tick at, Bytes result_xfer,
                                 ExecStats &stats);
 
-    /** Operands ReAllocation: pair (x, y) onto one wordline. */
-    flash::PhysPageAddr reallocatePair(std::optional<nvme::Lpn> x_lpn,
-                                       const BitVector *x_buf, nvme::Lpn y_lpn,
-                                       bool read_x, Tick at, ExecStats &stats,
-                                       Tick &ready);
+    /**
+     * Operands ReAllocation: pair (x, y) onto one wordline.  @return
+     * nullopt when the pair could not be placed (program retries
+     * exhausted).  @p x_out / @p y_out, when non-null, receive the
+     * operand payloads read along the way (for parity prediction and a
+     * free host fallback).
+     */
+    std::optional<flash::PhysPageAddr>
+    reallocatePair(std::optional<nvme::Lpn> x_lpn, const BitVector *x_buf,
+                   nvme::Lpn y_lpn, bool read_x, Tick at, ExecStats &stats,
+                   Tick &ready, BitVector *x_out = nullptr,
+                   BitVector *y_out = nullptr);
 
     ssd::SsdDevice *ssd_;
     nvme::Lpn scratchLpn_; ///< internal LPNs for reallocated copies
+    ReliabilityPolicy policy_;
+    /** Per-plane self-test verdicts (flat plane index -> trusted). */
+    std::unordered_map<ssd::PlaneIndex, bool> planeTrust_;
 };
 
 } // namespace parabit::core

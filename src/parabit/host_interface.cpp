@@ -1,5 +1,8 @@
 #include "parabit/host_interface.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.hpp"
 
 namespace parabit::core {
@@ -15,7 +18,24 @@ HostInterface::HostInterface(ParaBitDevice &dev, std::uint16_t num_queues,
         qps_.emplace_back(q, depth);
     tickets_.resize(num_queues);
     results_.resize(num_queues);
+    requeuedCids_.resize(num_queues);
 }
+
+namespace {
+
+/** Map a controller execution status onto the NVMe completion field. */
+std::uint16_t
+toNvmeStatus(ExecStatus s)
+{
+    switch (s) {
+      case ExecStatus::kOk: return nvme::kSuccess;
+      case ExecStatus::kUncorrectable: return nvme::kInternalError;
+      case ExecStatus::kDataLoss: return nvme::kUnrecoveredReadError;
+    }
+    return nvme::kInternalError;
+}
+
+} // namespace
 
 std::optional<std::uint16_t>
 HostInterface::submitRead(std::uint16_t qid, nvme::Lpn lpn)
@@ -68,10 +88,14 @@ HostInterface::reap(std::uint16_t qid)
     out.qid = qid;
     out.cid = c->cid;
     out.latency = c->latency();
-    // Attach result pages if this cid finished a formula.
+    out.status = c->status;
+    // Attach result pages if this cid finished a formula.  Pages of a
+    // failed formula are dropped here: an errored completion must never
+    // hand data to the host.
     auto &pending = results_.at(qid);
     if (!pending.empty() && pending.front().cid == c->cid) {
-        out.pages = std::move(pending.front().pages);
+        if (out.ok())
+            out.pages = std::move(pending.front().pages);
         pending.pop_front();
     }
     return out;
@@ -80,73 +104,136 @@ HostInterface::reap(std::uint16_t qid)
 std::size_t
 HostInterface::pump()
 {
-    // Round-robin fetch: one command per queue per turn until all SQs
-    // drain, preserving NVMe's per-queue FIFO order.
     struct Pending
     {
         std::uint16_t qid;
         nvme::QueuePair::Fetched f;
     };
-    std::vector<Pending> order;
-    bool any = true;
-    while (any) {
-        any = false;
-        for (std::uint16_t q = 0; q < queues(); ++q) {
-            if (auto f = qps_[q].fetch()) {
-                order.push_back(Pending{q, std::move(*f)});
-                any = true;
-            }
-        }
-    }
 
-    // Execute in arbitration order.  ParaBit command groups are
-    // re-assembled per queue using the formula tickets.
     std::size_t retired = 0;
-    std::vector<std::vector<nvme::NvmeCommand>> groups(queues());
-    for (auto &p : order) {
-        const auto op = p.f.cmd.opcode();
-        auto &ticketq = tickets_.at(p.qid);
-        const bool in_formula =
-            !ticketq.empty() &&
-            (p.f.cmd.hasPartner() || p.f.cmd.operandTag() ||
-             !groups[p.qid].empty());
-        if (in_formula) {
-            groups[p.qid].push_back(p.f.cmd);
-            if (groups[p.qid].size() == ticketq.front().cmdCount) {
-                // Formula complete: parse and execute.
-                const FormulaTicket t = ticketq.front();
-                ticketq.pop_front();
-                const auto batches = parser_.parse(groups[p.qid]);
-                groups[p.qid].clear();
-                const ExecResult r =
-                    dev_->controller().executeBatches(batches, mode_,
-                                                      dev_->now());
-                QueuedCompletion qc;
-                qc.qid = p.qid;
-                qc.cid = t.finalCid;
-                qc.pages = std::move(const_cast<ExecResult &>(r).pages);
-                results_.at(p.qid).push_back(std::move(qc));
-                qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
-                                     r.stats.end);
-                ++retired;
+    bool more = true;
+    while (more) {
+        more = false;
+
+        // Round-robin fetch: one command per queue per turn until all
+        // SQs drain, preserving NVMe's per-queue FIFO order.
+        std::vector<Pending> order;
+        bool any = true;
+        while (any) {
+            any = false;
+            for (std::uint16_t q = 0; q < queues(); ++q) {
+                if (auto f = qps_[q].fetch()) {
+                    order.push_back(Pending{q, std::move(*f)});
+                    any = true;
+                }
             }
-            continue;
         }
 
-        // Plain I/O path.
-        const nvme::Lpn lpn = p.f.cmd.slba() / parser_.sectorsPerPage();
-        Tick done = dev_->now();
-        if (op == nvme::Opcode::kRead) {
-            std::vector<ssd::PhysOp> ops;
-            dev_->ssd().ftl().readPage(lpn, ops);
-            done = dev_->ssd().scheduleOps(ops, dev_->now());
-        } else {
-            std::vector<ssd::PhysOp> ops;
-            dev_->ssd().ftl().writePage(lpn, nullptr, ops);
-            done = dev_->ssd().scheduleOps(ops, dev_->now());
+        // Execute in arbitration order.  ParaBit command groups are
+        // re-assembled per queue using the formula tickets.
+        std::vector<std::vector<nvme::NvmeCommand>> groups(queues());
+        for (auto &p : order) {
+            const auto op = p.f.cmd.opcode();
+            auto &ticketq = tickets_.at(p.qid);
+            const bool in_formula =
+                !ticketq.empty() &&
+                (p.f.cmd.hasPartner() || p.f.cmd.operandTag() ||
+                 !groups[p.qid].empty());
+            if (in_formula) {
+                groups[p.qid].push_back(p.f.cmd);
+                if (groups[p.qid].size() == ticketq.front().cmdCount) {
+                    // Formula complete: parse and execute.
+                    const FormulaTicket t = ticketq.front();
+                    ticketq.pop_front();
+                    std::vector<nvme::NvmeCommand> group =
+                        std::move(groups[p.qid]);
+                    groups[p.qid].clear();
+                    const auto batches = parser_.parse(group);
+                    ExecResult r = dev_->controller().executeBatches(
+                        batches, mode_, dev_->now());
+                    const Tick deadline = p.f.submittedAt + commandTimeout_;
+                    if (commandTimeout_ > 0 && !t.requeued &&
+                        r.stats.end > deadline) {
+                        // The host's watchdog fires before the device
+                        // would finish: abort at the deadline and
+                        // re-issue the whole formula once.
+                        ++timeouts_;
+                        qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
+                                             deadline,
+                                             nvme::kCommandAborted);
+                        std::uint16_t last = 0;
+                        for (const auto &c : group) {
+                            const auto cid = qps_[p.qid].submit(c,
+                                                                r.stats.end);
+                            if (!cid)
+                                panic("HostInterface: ring full on requeue");
+                            last = *cid;
+                        }
+                        tickets_.at(p.qid).push_back(FormulaTicket{
+                            p.qid, last, group.size(), true});
+                        ++requeues_;
+                        more = true;
+                        ++retired;
+                        continue;
+                    }
+                    const std::uint16_t status = toNvmeStatus(r.status);
+                    QueuedCompletion qc;
+                    qc.qid = p.qid;
+                    qc.cid = t.finalCid;
+                    qc.status = status;
+                    qc.pages = std::move(r.pages);
+                    results_.at(p.qid).push_back(std::move(qc));
+                    qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
+                                         r.stats.end, status);
+                    ++retired;
+                }
+                continue;
+            }
+
+            // Plain I/O path.  Reads gate on page accessibility — a
+            // dead plane surfaces as a media error, not silent data.
+            const nvme::Lpn lpn = p.f.cmd.slba() / parser_.sectorsPerPage();
+            Tick done = dev_->now();
+            std::uint16_t status = nvme::kSuccess;
+            if (op == nvme::Opcode::kRead) {
+                if (!dev_->ssd().ftl().pageAccessible(lpn)) {
+                    status = nvme::kUnrecoveredReadError;
+                } else {
+                    std::vector<ssd::PhysOp> ops;
+                    dev_->ssd().ftl().readPage(lpn, ops);
+                    done = dev_->ssd().scheduleOps(ops, dev_->now());
+                }
+            } else {
+                std::vector<ssd::PhysOp> ops;
+                const bool wrote =
+                    dev_->ssd().ftl().writePage(lpn, nullptr, ops);
+                done = dev_->ssd().scheduleOps(ops, dev_->now());
+                if (!wrote)
+                    status = nvme::kInternalError;
+            }
+            auto &requeued = requeuedCids_.at(p.qid);
+            const auto rit =
+                std::find(requeued.begin(), requeued.end(), p.f.cid);
+            const bool second_attempt = rit != requeued.end();
+            if (second_attempt)
+                requeued.erase(rit);
+            const Tick deadline = p.f.submittedAt + commandTimeout_;
+            if (commandTimeout_ > 0 && !second_attempt && done > deadline) {
+                ++timeouts_;
+                qps_[p.qid].complete(p.f.cid, p.f.submittedAt, deadline,
+                                     nvme::kCommandAborted);
+                const auto cid = qps_[p.qid].submit(p.f.cmd, done);
+                if (!cid)
+                    panic("HostInterface: ring full on requeue");
+                requeued.push_back(*cid);
+                ++requeues_;
+                more = true;
+                ++retired;
+                continue;
+            }
+            qps_[p.qid].complete(p.f.cid, p.f.submittedAt, done, status);
+            ++retired;
         }
-        qps_[p.qid].complete(p.f.cid, p.f.submittedAt, done);
-        ++retired;
     }
     return retired;
 }

@@ -34,8 +34,13 @@ struct QueuedCompletion
     std::uint16_t qid = 0;
     std::uint16_t cid = 0; ///< cid of the formula's final command
     Tick latency = 0;      ///< submit -> completion
+    /** NVMe completion status (nvme::Status); 0 = success.  Non-zero
+     *  means @p pages must not be trusted. */
+    std::uint16_t status = 0;
     /** Result pages for ParaBit formulas (empty for plain I/O). */
     std::vector<BitVector> pages;
+
+    bool ok() const { return status == 0; }
 };
 
 /** Queue-fronted ParaBit device; see file comment. */
@@ -75,8 +80,10 @@ class HostInterface
 
     /**
      * Device side: fetch every pending command (round-robin one command
-     * per queue per turn), execute, and post completions.
-     * @return number of commands retired.
+     * per queue per turn), execute, and post completions.  Commands the
+     * timeout policy re-queued are pumped again in the same call, so
+     * every submitted command has a completion when this returns.
+     * @return number of commands retired (aborted ones included).
      */
     std::size_t pump();
 
@@ -85,12 +92,31 @@ class HostInterface
         return static_cast<std::uint16_t>(qps_.size());
     }
 
+    /** @name Command timeout policy. */
+    /// @{
+
+    /**
+     * Abort-and-requeue threshold; 0 (default) disables.  A command
+     * whose device-side completion would land later than submit +
+     * timeout is completed as nvme::kCommandAborted at the deadline and
+     * re-submitted once (fresh cid, fresh submission time).  The second
+     * attempt runs to completion whatever its latency, so a degraded
+     * device still makes forward progress.
+     */
+    void setCommandTimeout(Tick t) { commandTimeout_ = t; }
+    Tick commandTimeout() const { return commandTimeout_; }
+
+    std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t requeues() const { return requeues_; }
+    /// @}
+
   private:
     struct FormulaTicket
     {
         std::uint16_t qid;
         std::uint16_t finalCid;
         std::size_t cmdCount;
+        bool requeued = false; ///< second attempt; no further requeue
     };
 
     ParaBitDevice *dev_;
@@ -101,6 +127,11 @@ class HostInterface
     std::vector<std::deque<FormulaTicket>> tickets_;
     /** Result pages held until the host reaps, keyed per queue FIFO. */
     std::vector<std::deque<QueuedCompletion>> results_;
+    Tick commandTimeout_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t requeues_ = 0;
+    /** cids of re-submitted plain commands (per queue): run-to-completion. */
+    std::vector<std::vector<std::uint16_t>> requeuedCids_;
 };
 
 } // namespace parabit::core

@@ -60,7 +60,34 @@ Allocator::freeBlocks(PlaneIndex plane) const
 void
 Allocator::noteErased(PlaneIndex plane, std::uint32_t block)
 {
+    if (isRetired(plane, block))
+        return;
     planes_.at(plane).freePool.push_back(block);
+}
+
+void
+Allocator::retireBlock(PlaneIndex plane, std::uint32_t block)
+{
+    PlaneState &ps = planes_.at(plane);
+    if (ps.retired.empty())
+        ps.retired.assign(geom_.blocksPerPlane, false);
+    if (ps.retired.at(block))
+        return;
+    ps.retired.at(block) = true;
+    ++retiredCount_;
+    std::erase(ps.freePool, block);
+    const auto sb = static_cast<std::int64_t>(block);
+    if (ps.interleaved.block == sb)
+        ps.interleaved.block = -1;
+    if (ps.lsbOnly.block == sb)
+        ps.lsbOnly.block = -1;
+}
+
+bool
+Allocator::isRetired(PlaneIndex plane, std::uint32_t block) const
+{
+    const PlaneState &ps = planes_.at(plane);
+    return !ps.retired.empty() && ps.retired.at(block);
 }
 
 bool

@@ -66,8 +66,21 @@ class Allocator
     /** Free blocks currently pooled in @p plane. */
     std::uint32_t freeBlocks(PlaneIndex plane) const;
 
-    /** Return an erased block to @p plane's pool. */
+    /** Return an erased block to @p plane's pool (no-op if retired). */
     void noteErased(PlaneIndex plane, std::uint32_t block);
+
+    /**
+     * Permanently remove @p block from circulation (bad-block
+     * retirement after a program or erase failure).  The block leaves
+     * the free pool, any write cursor parked on it is abandoned, and
+     * noteErased() will never re-pool it.
+     */
+    void retireBlock(PlaneIndex plane, std::uint32_t block);
+
+    bool isRetired(PlaneIndex plane, std::uint32_t block) const;
+
+    /** Blocks retired across the whole device. */
+    std::uint64_t retiredBlocks() const { return retiredCount_; }
 
     /**
      * Allocate the next page in @p plane in interleaved order.
@@ -100,6 +113,7 @@ class Allocator
         std::deque<std::uint32_t> freePool;
         Cursor interleaved; ///< shared by interleaved + paired modes
         Cursor lsbOnly;
+        std::vector<bool> retired; ///< lazily sized to blocksPerPlane
     };
 
     bool ensureBlock(PlaneState &ps, Cursor &cur);
@@ -109,6 +123,7 @@ class Allocator
     flash::FlashGeometry geom_;
     std::vector<PlaneState> planes_;
     PlaneIndex rrCursor_ = 0;
+    std::uint64_t retiredCount_ = 0;
 };
 
 } // namespace parabit::ssd

@@ -1,0 +1,177 @@
+#include "ssd/fault_injector.hpp"
+
+namespace parabit::ssd {
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::kElevatedRber: return "elevated-rber";
+      case FaultClass::kStuckBitline: return "stuck-bitline";
+      case FaultClass::kProgramFailure: return "program-failure";
+      case FaultClass::kEraseFailure: return "erase-failure";
+      case FaultClass::kDeadPlane: return "dead-plane";
+      case FaultClass::kDeadChip: return "dead-chip";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const flash::FlashGeometry &geom,
+                             std::uint64_t seed)
+    : geom_(geom), seed_(seed), rng_(seed)
+{
+}
+
+void
+FaultInjector::addFault(const FaultSpec &spec)
+{
+    Active f;
+    f.spec = spec;
+    if (spec.cls == FaultClass::kStuckBitline) {
+        const std::size_t bits = geom_.pageBits();
+        for (std::uint32_t i = 0; i < spec.stuckCount; ++i)
+            f.stuck.push_back(flash::StuckBitline{
+                static_cast<std::size_t>(rng_.below(bits)),
+                spec.stuckValue});
+    }
+    active_.push_back(std::move(f));
+    specs_.push_back(spec);
+}
+
+std::vector<FaultSpec>
+FaultInjector::randomSchedule(const flash::FlashGeometry &geom,
+                              std::uint64_t seed, std::size_t count)
+{
+    Rng rng(seed);
+    std::vector<FaultSpec> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        FaultSpec s;
+        s.cls = static_cast<FaultClass>(rng.below(6));
+        s.plane = static_cast<PlaneIndex>(rng.below(geom.planesTotal()));
+        if (rng.chance(0.5))
+            s.block = static_cast<std::uint32_t>(
+                rng.below(geom.blocksPerPlane));
+        s.rberMultiplier = 10.0 * static_cast<double>(1 + rng.below(100));
+        s.stuckCount = static_cast<std::uint32_t>(1 + rng.below(8));
+        s.stuckValue = rng.chance(0.5);
+        s.failPeriod = static_cast<std::uint32_t>(1 + rng.below(8));
+        s.onset = static_cast<std::uint32_t>(rng.below(16));
+        out.push_back(s);
+    }
+    return out;
+}
+
+PlaneIndex
+FaultInjector::planeOf(const flash::PhysPageAddr &a) const
+{
+    return planeIndex(geom_, PlaneCoord{a.channel, a.chip, a.die, a.plane});
+}
+
+bool
+FaultInjector::matches(const Active &f, const flash::PhysPageAddr &a) const
+{
+    if (f.spec.plane != planeOf(a))
+        return false;
+    return !f.spec.block || *f.spec.block == a.block;
+}
+
+double
+FaultInjector::rberMultiplier(const flash::PhysPageAddr &a) const
+{
+    double mult = 1.0;
+    for (const Active &f : active_)
+        if (f.spec.cls == FaultClass::kElevatedRber && matches(f, a))
+            mult *= f.spec.rberMultiplier;
+    return mult;
+}
+
+bool
+FaultInjector::planeDead(PlaneIndex p) const
+{
+    const std::uint32_t planes_per_chip =
+        geom_.diesPerChip * geom_.planesPerDie;
+    for (const Active &f : active_) {
+        if (f.spec.cls == FaultClass::kDeadPlane && f.spec.plane == p)
+            return true;
+        if (f.spec.cls == FaultClass::kDeadChip &&
+            f.spec.plane / planes_per_chip == p / planes_per_chip)
+            return true;
+    }
+    return false;
+}
+
+std::vector<flash::StuckBitline>
+FaultInjector::stuckBitlines(PlaneIndex p) const
+{
+    std::vector<flash::StuckBitline> out;
+    for (const Active &f : active_)
+        if (f.spec.cls == FaultClass::kStuckBitline && f.spec.plane == p)
+            out.insert(out.end(), f.stuck.begin(), f.stuck.end());
+    return out;
+}
+
+bool
+FaultInjector::programShouldFail(const flash::PhysPageAddr &a)
+{
+    bool fail = false;
+    for (Active &f : active_) {
+        if (f.spec.cls != FaultClass::kProgramFailure || !matches(f, a))
+            continue;
+        ++f.attempts;
+        if (f.attempts > f.spec.onset &&
+            (f.attempts - f.spec.onset) % f.spec.failPeriod == 0)
+            fail = true;
+    }
+    if (fail)
+        ++progFails_;
+    return fail;
+}
+
+bool
+FaultInjector::eraseShouldFail(const flash::PhysPageAddr &a)
+{
+    bool fail = false;
+    for (Active &f : active_) {
+        if (f.spec.cls != FaultClass::kEraseFailure || !matches(f, a))
+            continue;
+        ++f.attempts;
+        if (f.attempts > f.spec.onset &&
+            (f.attempts - f.spec.onset) % f.spec.failPeriod == 0)
+            fail = true;
+    }
+    if (fail)
+        ++eraseFails_;
+    return fail;
+}
+
+std::uint64_t
+FaultInjector::scheduleFingerprint() const
+{
+    // FNV-1a over every schedule-determining field.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    };
+    for (const Active &f : active_) {
+        mix(static_cast<std::uint64_t>(f.spec.cls));
+        mix(f.spec.plane);
+        mix(f.spec.block ? 1 + static_cast<std::uint64_t>(*f.spec.block)
+                         : 0);
+        mix(static_cast<std::uint64_t>(f.spec.rberMultiplier * 1e6));
+        mix(f.spec.stuckCount);
+        mix(f.spec.stuckValue);
+        mix(f.spec.failPeriod);
+        mix(f.spec.onset);
+        for (const flash::StuckBitline &s : f.stuck) {
+            mix(s.bitline);
+            mix(s.value);
+        }
+    }
+    return h;
+}
+
+} // namespace parabit::ssd

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the reliability layer.
+ *
+ * The paper (Section 5.8) concedes that ParaBit results bypass ECC and
+ * that real deployments lean on read-retry and redundancy; to evaluate
+ * those mitigations this module injects the fault classes a NAND device
+ * actually suffers, on a schedule that is a pure function of the seed:
+ *
+ *  - kElevatedRber: a block (or whole plane) whose raw per-sensing bit
+ *    error rate is multiplied — the cycled/worn-region case of Fig 17;
+ *  - kStuckBitline: sense-amplifier columns pinned to a fixed value,
+ *    corrupting the same bit position of every sensing in the plane;
+ *  - kProgramFailure: page programs into the region fail periodically
+ *    (every failPeriod-th attempt after onset), the classic bad-block
+ *    trigger;
+ *  - kEraseFailure: block erases fail on the same periodic schedule;
+ *  - kDeadPlane / kDeadChip: the plane (or every plane of the chip)
+ *    rejects all array operations.
+ *
+ * Determinism contract: two injectors built with the same geometry and
+ * seed, given the same addFault() calls and the same query sequence,
+ * return identical answers — scheduleFingerprint() captures the derived
+ * schedule so tests can assert replayability.  The injector is passive:
+ * SsdDevice::faultInjector() wires its queries into the chip/plane fault
+ * hooks and applies the plane-level state (dead flags, stuck bitlines).
+ */
+
+#ifndef PARABIT_SSD_FAULT_INJECTOR_HPP_
+#define PARABIT_SSD_FAULT_INJECTOR_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flash/geometry.hpp"
+#include "flash/plane.hpp"
+#include "ssd/allocator.hpp"
+
+namespace parabit::ssd {
+
+/** The injectable fault classes; see file comment. */
+enum class FaultClass : std::uint8_t
+{
+    kElevatedRber = 0,
+    kStuckBitline,
+    kProgramFailure,
+    kEraseFailure,
+    kDeadPlane,
+    kDeadChip,
+};
+
+const char *faultClassName(FaultClass c);
+
+/** One fault to inject. */
+struct FaultSpec
+{
+    FaultClass cls = FaultClass::kElevatedRber;
+    /** Target plane (flat index); for kDeadChip, any plane of the chip. */
+    PlaneIndex plane = 0;
+    /** Restrict kElevatedRber / kProgramFailure / kEraseFailure to one
+     *  block of the plane (nullopt = whole plane). */
+    std::optional<std::uint32_t> block;
+    /** kElevatedRber: multiplier on the raw per-sensing RBER. */
+    double rberMultiplier = 100.0;
+    /** kStuckBitline: number of stuck columns (positions drawn from the
+     *  injector seed) and the value they are pinned to. */
+    std::uint32_t stuckCount = 4;
+    bool stuckValue = false;
+    /** kProgramFailure / kEraseFailure: the Nth, 2Nth, ... matching
+     *  attempt after @p onset fails (1 = every attempt). */
+    std::uint32_t failPeriod = 4;
+    /** Matching attempts that succeed before the periodic failures. */
+    std::uint32_t onset = 0;
+
+    bool operator==(const FaultSpec &) const = default;
+};
+
+/** Deterministic fault injector; see file comment. */
+class FaultInjector
+{
+  public:
+    FaultInjector(const flash::FlashGeometry &geom, std::uint64_t seed);
+
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Register @p spec.  Stuck-bitline positions are drawn here, from
+     * the injector's own stream, so registration order (not query
+     * order) determines them.
+     */
+    void addFault(const FaultSpec &spec);
+
+    /**
+     * A reproducible random schedule of @p count faults over the whole
+     * device: class, target, and parameters are all drawn from @p seed.
+     * Feed the result to addFault() to apply it.
+     */
+    static std::vector<FaultSpec>
+    randomSchedule(const flash::FlashGeometry &geom, std::uint64_t seed,
+                   std::size_t count);
+
+    const std::vector<FaultSpec> &faults() const { return specs_; }
+
+    /** @name Queries (wired into the chip/plane hooks). */
+    /// @{
+
+    /** Combined RBER multiplier for a sensing of @p a's wordline. */
+    double rberMultiplier(const flash::PhysPageAddr &a) const;
+
+    bool planeDead(PlaneIndex p) const;
+
+    /** Stuck columns of plane @p p (empty if none). */
+    std::vector<flash::StuckBitline> stuckBitlines(PlaneIndex p) const;
+
+    /** Consume one program attempt at @p a from the schedule.
+     *  @return true if that attempt fails. */
+    bool programShouldFail(const flash::PhysPageAddr &a);
+
+    /** Consume one erase attempt of @p a's block from the schedule. */
+    bool eraseShouldFail(const flash::PhysPageAddr &a);
+    /// @}
+
+    /** @name Injection counters. */
+    /// @{
+    std::uint64_t programFailuresInjected() const { return progFails_; }
+    std::uint64_t eraseFailuresInjected() const { return eraseFails_; }
+    /// @}
+
+    /**
+     * Stable hash of the registered schedule (specs plus every derived
+     * stuck-bitline position) — equal seeds and registration sequences
+     * give equal fingerprints, which is what makes fault runs
+     * replayable for debugging.
+     */
+    std::uint64_t scheduleFingerprint() const;
+
+  private:
+    struct Active
+    {
+        FaultSpec spec;
+        std::vector<flash::StuckBitline> stuck; ///< kStuckBitline only
+        std::uint64_t attempts = 0; ///< program/erase attempts consumed
+    };
+
+    bool matches(const Active &f, const flash::PhysPageAddr &a) const;
+    PlaneIndex planeOf(const flash::PhysPageAddr &a) const;
+
+    flash::FlashGeometry geom_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::vector<Active> active_;
+    std::vector<FaultSpec> specs_;
+    std::uint64_t progFails_ = 0;
+    std::uint64_t eraseFails_ = 0;
+};
+
+} // namespace parabit::ssd
+
+#endif // PARABIT_SSD_FAULT_INJECTOR_HPP_

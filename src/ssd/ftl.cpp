@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.hpp"
 
 namespace parabit::ssd {
+
+namespace {
+
+/** Re-placements attempted after an injected program failure before the
+ *  write is reported as failed (each failure also retires a block, so
+ *  repeated failures walk across fresh blocks, not the same one). */
+constexpr int kMaxProgramRetries = 4;
+
+} // namespace
 
 Ftl::Ftl(const SsdConfig &cfg, std::vector<flash::Chip> &chips)
     : cfg_(cfg), chips_(&chips), alloc_(cfg.geometry),
@@ -45,12 +55,45 @@ Ftl::unmapPhys(const flash::PhysPageAddr &a)
     reverse_.erase(it);
 }
 
-void
+bool
 Ftl::programPhys(const flash::PhysPageAddr &a, const BitVector *data,
                  bool for_gc, std::vector<PhysOp> &ops)
 {
-    chipAt(a).programPage(chipAddr(a), data);
+    // The attempt costs program time whether or not it sticks.
     ops.push_back(PhysOp{PhysOp::Kind::kPageProgram, a, for_gc});
+    if (chipAt(a).programPage(chipAddr(a), data))
+        return true;
+    ++programFailures_;
+    const PlaneIndex p = planeIndex(
+        cfg_.geometry, PlaneCoord{a.channel, a.chip, a.die, a.plane});
+    alloc_.retireBlock(p, a.block);
+    logWarn("Ftl: program failure, retired block " +
+            std::to_string(a.block) + " of plane " + std::to_string(p));
+    return false;
+}
+
+bool
+Ftl::planeAlive(PlaneIndex plane)
+{
+    const PlaneCoord pc = planeCoord(cfg_.geometry, plane);
+    flash::PhysPageAddr probe;
+    probe.channel = pc.channel;
+    probe.chip = pc.chip;
+    probe.die = pc.die;
+    probe.plane = pc.plane;
+    return chipAt(probe).planeOperational(pc.die, pc.plane);
+}
+
+PlaneIndex
+Ftl::pickAlivePlane()
+{
+    for (std::uint32_t i = 0; i < alloc_.planeCount(); ++i) {
+        const PlaneIndex p = alloc_.nextPlane();
+        if (planeAlive(p))
+            return p;
+    }
+    fatal("Ftl: no operational plane left");
+    return 0;
 }
 
 void
@@ -127,11 +170,25 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
             BitVector data = chip.readPage(chipAddr(src));
             ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
 
-            // Program it to a fresh page in the same plane.
+            // Program it to a fresh page in the same plane.  A program
+            // failure retires the destination block, so retrying simply
+            // walks to the next pooled block.  When the plane runs out
+            // of relocation targets (full, or its blocks fault-retired)
+            // abort this GC: the victim keeps its remaining valid pages
+            // and is simply never erased — degraded, not corrupted.
             auto dst = alloc_.nextPage(plane);
-            if (!dst)
-                panic("Ftl::collectGarbage: no space to relocate");
-            programPhys(*dst, cfg_.storeData ? &data : nullptr, true, ops);
+            while (dst && !programPhys(*dst, cfg_.storeData ? &data : nullptr,
+                                       true, ops)) {
+                ++programRetries_;
+                dst = alloc_.nextPage(plane);
+            }
+            if (!dst) {
+                logWarn("Ftl::collectGarbage: no space to relocate in "
+                        "plane " +
+                        std::to_string(plane) + "; aborting GC");
+                inGc_ = false;
+                return;
+            }
             ++gcWrites_;
 
             blk.invalidate(wl, msb);
@@ -143,12 +200,20 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
             }
         }
     }
-    chip.eraseBlock(pc.die, pc.plane, static_cast<std::uint32_t>(victim));
-    ++erases_;
     flash::PhysPageAddr eaddr = probe;
     eaddr.block = static_cast<std::uint32_t>(victim);
     ops.push_back(PhysOp{PhysOp::Kind::kBlockErase, eaddr, true});
-    alloc_.noteErased(plane, static_cast<std::uint32_t>(victim));
+    if (chip.eraseBlock(pc.die, pc.plane,
+                        static_cast<std::uint32_t>(victim))) {
+        ++erases_;
+        alloc_.noteErased(plane, static_cast<std::uint32_t>(victim));
+    } else {
+        ++eraseFailures_;
+        alloc_.retireBlock(plane, static_cast<std::uint32_t>(victim));
+        logWarn("Ftl: erase failure, retired block " +
+                std::to_string(victim) + " of plane " +
+                std::to_string(plane));
+    }
     inGc_ = false;
 }
 
@@ -213,8 +278,10 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
     // thanks to FIFO recycling) free block, then recycle the cold one.
     inGc_ = true; // reuse the recursion guard: migration must not nest
     ++wearMoves_;
+    bool migrated_all = true;
     flash::Block &blk = pl.block(static_cast<std::uint32_t>(coldest));
-    for (std::uint32_t wl = 0; wl < cfg_.geometry.wordlinesPerBlock; ++wl) {
+    for (std::uint32_t wl = 0;
+         migrated_all && wl < cfg_.geometry.wordlinesPerBlock; ++wl) {
         for (int m = 0; m < 2; ++m) {
             const bool msb = m == 1;
             if (blk.pageState(wl, msb) != flash::PageState::kValid)
@@ -230,9 +297,17 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
             BitVector data = chip.readPage(chipAddr(src));
             ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
             auto dst = alloc_.nextPage(plane);
-            if (!dst)
+            while (dst && !programPhys(*dst, cfg_.storeData ? &data : nullptr,
+                                       true, ops)) {
+                ++programRetries_;
+                dst = alloc_.nextPage(plane);
+            }
+            if (!dst) {
+                // Out of relocation targets: the cold block must NOT be
+                // erased — its unmigrated pages are still the only copy.
+                migrated_all = false;
                 break;
-            programPhys(*dst, cfg_.storeData ? &data : nullptr, true, ops);
+            }
             ++gcWrites_;
             blk.invalidate(wl, msb);
             if (rit != reverse_.end()) {
@@ -243,16 +318,30 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
             }
         }
     }
-    chip.eraseBlock(pc.die, pc.plane, static_cast<std::uint32_t>(coldest));
-    ++erases_;
+    if (!migrated_all) {
+        logWarn("Ftl: wear-level migration ran out of space in plane " +
+                std::to_string(plane) + "; cold block kept");
+        inGc_ = false;
+        return;
+    }
     flash::PhysPageAddr eaddr = probe;
     eaddr.block = static_cast<std::uint32_t>(coldest);
     ops.push_back(PhysOp{PhysOp::Kind::kBlockErase, eaddr, true});
-    alloc_.noteErased(plane, static_cast<std::uint32_t>(coldest));
+    if (chip.eraseBlock(pc.die, pc.plane,
+                        static_cast<std::uint32_t>(coldest))) {
+        ++erases_;
+        alloc_.noteErased(plane, static_cast<std::uint32_t>(coldest));
+    } else {
+        ++eraseFailures_;
+        alloc_.retireBlock(plane, static_cast<std::uint32_t>(coldest));
+        logWarn("Ftl: erase failure, retired block " +
+                std::to_string(coldest) + " of plane " +
+                std::to_string(plane));
+    }
     inGc_ = false;
 }
 
-flash::PhysPageAddr
+std::optional<flash::PhysPageAddr>
 Ftl::allocateOrGc(PlaneIndex plane, bool lsb_only, std::vector<PhysOp> &ops)
 {
     if (alloc_.freeBlocks(plane) < gcThresholdBlocks_) {
@@ -264,12 +353,10 @@ Ftl::allocateOrGc(PlaneIndex plane, bool lsb_only, std::vector<PhysOp> &ops)
         collectGarbage(plane, ops);
         a = lsb_only ? alloc_.nextLsbOnly(plane) : alloc_.nextPage(plane);
     }
-    if (!a)
-        fatal("Ftl: device full (no free blocks after GC)");
-    return *a;
+    return a;
 }
 
-PagePair
+std::optional<PagePair>
 Ftl::allocatePairOrGc(PlaneIndex plane, std::vector<PhysOp> &ops)
 {
     if (alloc_.freeBlocks(plane) < gcThresholdBlocks_)
@@ -279,29 +366,46 @@ Ftl::allocatePairOrGc(PlaneIndex plane, std::vector<PhysOp> &ops)
         collectGarbage(plane, ops);
         p = alloc_.nextPair(plane);
     }
-    if (!p)
-        fatal("Ftl: device full (no free wordline pair after GC)");
-    return *p;
+    return p;
 }
 
-void
+bool
 Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
 {
     if (lpn >= logicalPages_)
         fatal("Ftl::writePage: LPN beyond logical capacity");
-    const PlaneIndex plane = alloc_.nextPlane();
-    const flash::PhysPageAddr a = allocateOrGc(plane, false, ops);
-    if (cfg_.scrambleHostData && data) {
-        BitVector whitened = *data;
+    BitVector whitened;
+    const BitVector *payload = data;
+    const bool scramble = cfg_.scrambleHostData && data;
+    if (scramble) {
+        whitened = *data;
         scrambler_.apply(whitened, lpn);
-        programPhys(a, &whitened, false, ops);
-        scrambledLpns_.insert(lpn);
-    } else {
-        programPhys(a, data, false, ops);
-        scrambledLpns_.erase(lpn);
+        payload = &whitened;
     }
-    ++hostWrites_;
-    mapLpn(lpn, a, ops);
+    for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        const PlaneIndex plane = pickAlivePlane();
+        const auto a = allocateOrGc(plane, false, ops);
+        if (!a) {
+            // Plane full even after GC (e.g. fault-retired blocks);
+            // the next attempt strides to another plane.
+            ++programRetries_;
+            continue;
+        }
+        if (!programPhys(*a, payload, false, ops)) {
+            ++programRetries_;
+            continue;
+        }
+        if (scramble)
+            scrambledLpns_.insert(lpn);
+        else
+            scrambledLpns_.erase(lpn);
+        ++hostWrites_;
+        mapLpn(lpn, *a, ops);
+        return true;
+    }
+    logWarn("Ftl::writePage: program retries exhausted for LPN " +
+            std::to_string(lpn));
+    return false;
 }
 
 BitVector
@@ -327,6 +431,16 @@ Ftl::lookup(Lpn lpn) const
     return it->second;
 }
 
+bool
+Ftl::pageAccessible(Lpn lpn)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return false;
+    const flash::PhysPageAddr &a = it->second;
+    return chipAt(a).planeOperational(a.die, a.plane);
+}
+
 void
 Ftl::trim(Lpn lpn)
 {
@@ -341,35 +455,70 @@ Ftl::trim(Lpn lpn)
     scrambledLpns_.erase(lpn);
 }
 
-PagePair
+std::optional<PagePair>
 Ftl::writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
                const BitVector *data_y, std::vector<PhysOp> &ops,
                std::optional<PlaneIndex> plane)
 {
-    const PlaneIndex p = plane ? *plane : alloc_.nextPlane();
-    const PagePair pair = allocatePairOrGc(p, ops);
-    programPhys(pair.lsb, data_x, false, ops);
-    programPhys(pair.msb, data_y, false, ops);
-    parabitWrites_ += 2;
-    // ParaBit operands are stored raw (scrambling disabled, Sec 4.3.2).
-    scrambledLpns_.erase(lpn_x);
-    scrambledLpns_.erase(lpn_y);
-    mapLpn(lpn_x, pair.lsb, ops);
-    mapLpn(lpn_y, pair.msb, ops);
-    return pair;
+    if (plane && !planeAlive(*plane))
+        return std::nullopt;
+    for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        const PlaneIndex p = plane ? *plane : pickAlivePlane();
+        const auto pair = allocatePairOrGc(p, ops);
+        if (!pair) {
+            ++programRetries_;
+            continue;
+        }
+        if (!programPhys(pair->lsb, data_x, false, ops)) {
+            ++programRetries_;
+            continue;
+        }
+        if (!programPhys(pair->msb, data_y, false, ops)) {
+            // The block was retired; the LSB half just written goes
+            // with it — mark it garbage so GC never relocates it.
+            chipAt(pair->lsb)
+                .plane(pair->lsb.die, pair->lsb.plane)
+                .block(pair->lsb.block)
+                .invalidate(pair->lsb.wordline, false);
+            ++programRetries_;
+            continue;
+        }
+        parabitWrites_ += 2;
+        // ParaBit operands are stored raw (scrambling off, Sec 4.3.2).
+        scrambledLpns_.erase(lpn_x);
+        scrambledLpns_.erase(lpn_y);
+        mapLpn(lpn_x, pair->lsb, ops);
+        mapLpn(lpn_y, pair->msb, ops);
+        return *pair;
+    }
+    logWarn("Ftl::writePair: program retries exhausted");
+    return std::nullopt;
 }
 
-flash::PhysPageAddr
+std::optional<flash::PhysPageAddr>
 Ftl::writeLsbOnly(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops,
                   std::optional<PlaneIndex> plane)
 {
-    const PlaneIndex p = plane ? *plane : alloc_.nextPlane();
-    const flash::PhysPageAddr a = allocateOrGc(p, true, ops);
-    programPhys(a, data, false, ops);
-    ++parabitWrites_;
-    scrambledLpns_.erase(lpn);
-    mapLpn(lpn, a, ops);
-    return a;
+    if (plane && !planeAlive(*plane))
+        return std::nullopt;
+    for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        const PlaneIndex p = plane ? *plane : pickAlivePlane();
+        const auto a = allocateOrGc(p, true, ops);
+        if (!a) {
+            ++programRetries_;
+            continue;
+        }
+        if (!programPhys(*a, data, false, ops)) {
+            ++programRetries_;
+            continue;
+        }
+        ++parabitWrites_;
+        scrambledLpns_.erase(lpn);
+        mapLpn(lpn, *a, ops);
+        return *a;
+    }
+    logWarn("Ftl::writeLsbOnly: program retries exhausted");
+    return std::nullopt;
 }
 
 bool
@@ -381,7 +530,8 @@ Ftl::writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
     flash::Chip &chip = chipAt(msb);
     if (chip.pageState(chipAddr(msb)) != flash::PageState::kFree)
         return false;
-    programPhys(msb, data, false, ops);
+    if (!programPhys(msb, data, false, ops))
+        return false; // block retired; caller re-places elsewhere
     ++parabitWrites_;
     scrambledLpns_.erase(lpn);
     mapLpn(lpn, msb, ops);

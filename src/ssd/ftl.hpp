@@ -69,15 +69,21 @@ class Ftl
 
     /**
      * Write one logical page (data may be null in timing mode); striped
-     * placement, interleaved density.  GC may piggyback.
+     * placement, interleaved density.  GC may piggyback.  A program
+     * failure retires the block and retries on a fresh one; @return
+     * false only when the bounded retries are exhausted.
      */
-    void writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops);
+    bool writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops);
 
     /** Read a mapped logical page (ECC-clean). */
     BitVector readPage(Lpn lpn, std::vector<PhysOp> &ops);
 
     /** Current physical location of @p lpn, if mapped. */
     std::optional<flash::PhysPageAddr> lookup(Lpn lpn) const;
+
+    /** True iff @p lpn is mapped and its plane is operational (a dead
+     *  plane makes the stored copy unreadable — data loss). */
+    bool pageAccessible(Lpn lpn);
 
     /** Unmap @p lpn and invalidate its physical page. */
     void trim(Lpn lpn);
@@ -89,17 +95,19 @@ class Ftl
     /**
      * Place logical pages @p lpn_x (LSB) and @p lpn_y (MSB) on one fresh
      * wordline of @p plane (or a striped plane if nullopt).
-     * @return the wordline's pair of physical addresses.
+     * @return the wordline's pair of physical addresses, or nullopt if
+     * the requested plane is dead or program retries were exhausted.
      */
-    PagePair writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
-                       const BitVector *data_y, std::vector<PhysOp> &ops,
-                       std::optional<PlaneIndex> plane = std::nullopt);
+    std::optional<PagePair>
+    writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
+              const BitVector *data_y, std::vector<PhysOp> &ops,
+              std::optional<PlaneIndex> plane = std::nullopt);
 
-    /** LSB-only placement of @p lpn in @p plane (or striped). */
-    flash::PhysPageAddr writeLsbOnly(Lpn lpn, const BitVector *data,
-                                     std::vector<PhysOp> &ops,
-                                     std::optional<PlaneIndex> plane =
-                                         std::nullopt);
+    /** LSB-only placement of @p lpn in @p plane (or striped); nullopt
+     *  under the same failure conditions as writePair(). */
+    std::optional<flash::PhysPageAddr>
+    writeLsbOnly(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops,
+                 std::optional<PlaneIndex> plane = std::nullopt);
 
     /**
      * Write @p lpn into the free MSB page of the wordline holding
@@ -124,6 +132,15 @@ class Ftl
     std::uint64_t gcRuns() const { return gcRuns_; }
     std::uint64_t wearLevelMoves() const { return wearMoves_; }
 
+    /** @name Reliability counters. */
+    /// @{
+    std::uint64_t programFailures() const { return programFailures_; }
+    std::uint64_t eraseFailures() const { return eraseFailures_; }
+    /** Program attempts re-placed after a failure. */
+    std::uint64_t programRetries() const { return programRetries_; }
+    std::uint64_t retiredBlocks() const { return alloc_.retiredBlocks(); }
+    /// @}
+
     /** Max-min block erase-count spread in @p plane (wear skew). */
     std::uint32_t eraseSpread(PlaneIndex plane);
     double
@@ -146,13 +163,22 @@ class Ftl
     void unmapPhys(const flash::PhysPageAddr &a);
     void mapLpn(Lpn lpn, const flash::PhysPageAddr &a,
                 std::vector<PhysOp> &ops);
-    flash::PhysPageAddr allocateOrGc(PlaneIndex plane, bool lsb_only,
-                                     std::vector<PhysOp> &ops);
-    PagePair allocatePairOrGc(PlaneIndex plane, std::vector<PhysOp> &ops);
+    /** Allocate in @p plane, running GC first if needed.  nullopt when
+     *  the plane has no space even after GC (full, or its blocks were
+     *  retired by faults) — callers retry elsewhere or fail typed. */
+    std::optional<flash::PhysPageAddr>
+    allocateOrGc(PlaneIndex plane, bool lsb_only, std::vector<PhysOp> &ops);
+    std::optional<PagePair> allocatePairOrGc(PlaneIndex plane,
+                                             std::vector<PhysOp> &ops);
     void collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops);
     void maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops);
-    void programPhys(const flash::PhysPageAddr &a, const BitVector *data,
+    /** Program @p a (attempt is charged to @p ops either way); on an
+     *  injected program failure the block is retired and false returned. */
+    bool programPhys(const flash::PhysPageAddr &a, const BitVector *data,
                      bool for_gc, std::vector<PhysOp> &ops);
+    bool planeAlive(PlaneIndex plane);
+    /** Next striped plane that is still operational (fatal if none). */
+    PlaneIndex pickAlivePlane();
 
     SsdConfig cfg_;
     std::vector<flash::Chip> *chips_;
@@ -172,6 +198,9 @@ class Ftl
     std::uint64_t erases_ = 0;
     std::uint64_t gcRuns_ = 0;
     std::uint64_t wearMoves_ = 0;
+    std::uint64_t programFailures_ = 0;
+    std::uint64_t eraseFailures_ = 0;
+    std::uint64_t programRetries_ = 0;
     std::uint32_t gcThresholdBlocks_;
     bool inGc_ = false;
 };

@@ -21,6 +21,66 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
 {
 }
 
+FaultInjector &
+SsdDevice::faultInjector()
+{
+    if (!injector_) {
+        injector_ = std::make_unique<FaultInjector>(
+            cfg_.geometry, cfg_.seed ^ 0xFA017EC7ull);
+        installFaultHooks();
+    }
+    return *injector_;
+}
+
+void
+SsdDevice::installFaultHooks()
+{
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+        const auto channel =
+            static_cast<std::uint32_t>(i / cfg_.geometry.chipsPerChannel);
+        const auto chip =
+            static_cast<std::uint32_t>(i % cfg_.geometry.chipsPerChannel);
+        FaultInjector *inj = injector_.get();
+        auto to_phys = [channel, chip](const flash::ChipPageAddr &a) {
+            flash::PhysPageAddr p;
+            p.channel = channel;
+            p.chip = chip;
+            p.die = a.die;
+            p.plane = a.plane;
+            p.block = a.block;
+            p.wordline = a.wordline;
+            p.msb = a.msb;
+            return p;
+        };
+        flash::ChipFaultHooks hooks;
+        hooks.rberMultiplier = [inj, to_phys](const flash::ChipPageAddr &a) {
+            return inj->rberMultiplier(to_phys(a));
+        };
+        hooks.programFails = [inj, to_phys](const flash::ChipPageAddr &a) {
+            return inj->programShouldFail(to_phys(a));
+        };
+        hooks.eraseFails = [inj, to_phys](const flash::ChipPageAddr &a) {
+            return inj->eraseShouldFail(to_phys(a));
+        };
+        chips_[i].setFaultHooks(std::move(hooks));
+    }
+}
+
+void
+SsdDevice::injectFault(const FaultSpec &spec)
+{
+    FaultInjector &inj = faultInjector();
+    inj.addFault(spec);
+    // Re-derive the plane-level state (dead flags, stuck sets) from the
+    // injector so repeated injections stay idempotent.
+    for (PlaneIndex p = 0; p < cfg_.geometry.planesTotal(); ++p) {
+        const PlaneCoord c = planeCoord(cfg_.geometry, p);
+        flash::Plane &pl = chipAt(c.channel, c.chip).plane(c.die, c.plane);
+        pl.setDead(inj.planeDead(p));
+        pl.setStuckBitlines(inj.stuckBitlines(p));
+    }
+}
+
 Timeline &
 SsdDevice::channelTl(std::uint32_t channel)
 {

@@ -16,11 +16,13 @@
 #define PARABIT_SSD_SSD_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitvector.hpp"
 #include "ssd/config.hpp"
 #include "ssd/endurance.hpp"
+#include "ssd/fault_injector.hpp"
 #include "ssd/ftl.hpp"
 #include "ssd/timeline.hpp"
 
@@ -92,15 +94,40 @@ class SsdDevice
                          chip);
     }
 
+    /** @name Fault injection (reliability layer). */
+    /// @{
+
+    /**
+     * The device's fault injector, created on first use (seeded from
+     * the device seed) and wired into every chip's fault hooks.
+     */
+    FaultInjector &faultInjector();
+
+    bool hasFaultInjector() const { return injector_ != nullptr; }
+
+    /** Register @p spec with the injector and apply its plane-level
+     *  side effects (dead flags, stuck bitlines) to the chip array. */
+    void injectFault(const FaultSpec &spec);
+
+    /** Whether @p a's plane still accepts operations. */
+    bool
+    planeAlive(const flash::PhysPageAddr &a)
+    {
+        return chipAt(a.channel, a.chip).planeOperational(a.die, a.plane);
+    }
+    /// @}
+
   private:
     Timeline &channelTl(std::uint32_t channel);
     Timeline &planeTl(const flash::PhysPageAddr &a);
+    void installFaultHooks();
 
     SsdConfig cfg_;
     std::vector<flash::Chip> chips_;
     Ftl ftl_;
     std::vector<Timeline> channelTls_;
     std::vector<Timeline> planeTls_;
+    std::unique_ptr<FaultInjector> injector_;
 };
 
 } // namespace parabit::ssd

@@ -45,6 +45,57 @@ TEST(MajorityVote, EvenVoteCountDies)
     EXPECT_DEATH(majorityVote({v, v}), "odd");
 }
 
+TEST(MajorityVote, EmptyBallotDies)
+{
+    EXPECT_DEATH(majorityVote({}), "no runs");
+}
+
+TEST(MajorityVote, MismatchedRunSizesDie)
+{
+    const BitVector a(8), b(16);
+    EXPECT_DEATH(majorityVote({a, b, a}), "mismatched");
+}
+
+TEST(LowMarginCount, EmptyBallotDies)
+{
+    EXPECT_DEATH(lowMarginCount({}, 1), "no runs");
+}
+
+TEST(LowMarginCount, EvenBallotDies)
+{
+    const BitVector v(8);
+    EXPECT_DEATH(lowMarginCount({v, v}, 1), "odd");
+}
+
+TEST(LowMarginCount, MismatchedRunSizesDie)
+{
+    const BitVector a(8), b(16);
+    EXPECT_DEATH(lowMarginCount({a, b, a}, 1), "mismatched");
+}
+
+TEST(LowMarginCount, UnanimousBallotHasFullMargin)
+{
+    const BitVector v = BitVector::fromString("10110100");
+    EXPECT_EQ(lowMarginCount({v, v, v}, 3), 0u);
+}
+
+TEST(LowMarginCount, SplitVoteIsLowMargin)
+{
+    BitVector a = BitVector::fromString("00000000");
+    BitVector b = a;
+    b.set(3, true); // 2-1 split at bit 3: margin 1
+    EXPECT_EQ(lowMarginCount({a, b, a}, 3), 1u);
+    EXPECT_EQ(lowMarginCount({a, b, a}, 1), 0u);
+}
+
+TEST(LowMarginCount, SingleRunClampsToLogicalWidth)
+{
+    // k = 1 < min_margin: every logical bit is low-margin, but the
+    // count must clamp to the vector's width, not the padded words.
+    const BitVector v(10);
+    EXPECT_EQ(lowMarginCount({v}, 3), 10u);
+}
+
 struct NoisyChipFixture
 {
     NoisyChipFixture()

@@ -115,6 +115,158 @@ TEST(HostInterface, FormulaRejectedWhenRingCannotHoldIt)
     EXPECT_FALSE(host.submitFormula(0, f).has_value());
 }
 
+TEST(HostInterface, PartialRingFullQueuesNothingAndRingIsUnchanged)
+{
+    ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const auto x = pages(dev.ssd().config(), 2, 11);
+    const auto y = pages(dev.ssd().config(), 2, 12);
+    dev.writeData(0, x);
+    dev.writeData(10, y);
+
+    HostInterface host(dev, 1, 8); // 7 usable slots
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(host.submitRead(0, 0));
+
+    // A 2-page formula needs 4 commands; 4 + 4 > 7 -> whole submission
+    // refused, nothing partially queued.
+    nvme::Formula f;
+    f.terms.push_back(nvme::Formula::Term{nvme::OperandRef::logical(0, 2),
+                                          nvme::OperandRef::logical(10, 2),
+                                          flash::BitwiseOp::kAnd});
+    EXPECT_FALSE(host.submitFormula(0, f).has_value());
+
+    // The ring holds exactly the four reads: they retire cleanly and
+    // no formula completion ever appears.
+    EXPECT_EQ(host.pump(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const auto c = host.reap(0);
+        ASSERT_TRUE(c);
+        EXPECT_TRUE(c->ok());
+        EXPECT_TRUE(c->pages.empty());
+    }
+    EXPECT_FALSE(host.reap(0).has_value());
+
+    // A formula that fits still goes through afterwards.
+    nvme::Formula g;
+    g.terms.push_back(nvme::Formula::Term{nvme::OperandRef::logical(0, 1),
+                                          nvme::OperandRef::logical(10, 1),
+                                          flash::BitwiseOp::kXor});
+    ASSERT_TRUE(host.submitFormula(0, g));
+    host.pump();
+    const auto c = host.reap(0);
+    ASSERT_TRUE(c);
+    ASSERT_EQ(c->pages.size(), 1u);
+    EXPECT_EQ(c->pages[0], x[0] ^ y[0]);
+}
+
+TEST(HostInterface, ErrorCompletionsKeepOrderAndCarryStatus)
+{
+    ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const auto d = pages(dev.ssd().config(), 4, 21);
+    dev.writeData(0, d); // LPNs 0..3 stripe across planes
+
+    // Kill the plane holding LPN 1; find a survivor LPN elsewhere.
+    const auto victim = dev.ssd().ftl().lookup(1);
+    ASSERT_TRUE(victim.has_value());
+    const ssd::PlaneIndex dead_plane = ssd::planeIndex(
+        dev.ssd().geometry(),
+        {victim->channel, victim->chip, victim->die, victim->plane});
+    nvme::Lpn ok_lpn = 0;
+    for (nvme::Lpn l = 0; l < 4; ++l) {
+        const auto a = dev.ssd().ftl().lookup(l);
+        ASSERT_TRUE(a.has_value());
+        if (ssd::planeIndex(dev.ssd().geometry(),
+                            {a->channel, a->chip, a->die, a->plane}) !=
+            dead_plane) {
+            ok_lpn = l;
+            break;
+        }
+    }
+    ssd::FaultSpec s;
+    s.cls = ssd::FaultClass::kDeadPlane;
+    s.plane = dead_plane;
+    dev.ssd().injectFault(s);
+
+    HostInterface host(dev, 1, 32, Mode::kReAllocate);
+    ASSERT_TRUE(host.submitRead(0, ok_lpn));
+    ASSERT_TRUE(host.submitRead(0, 1)); // dead-plane read
+    nvme::Formula f;               // formula over the dead operand
+    f.terms.push_back(nvme::Formula::Term{
+        nvme::OperandRef::logical(ok_lpn, 1), nvme::OperandRef::logical(1, 1),
+        flash::BitwiseOp::kXor});
+    ASSERT_TRUE(host.submitFormula(0, f));
+    ASSERT_TRUE(host.submitRead(0, ok_lpn));
+    host.pump();
+
+    // Completions reap strictly in submission order, statuses attached.
+    const auto c1 = host.reap(0);
+    ASSERT_TRUE(c1);
+    EXPECT_TRUE(c1->ok());
+    const auto c2 = host.reap(0);
+    ASSERT_TRUE(c2);
+    EXPECT_EQ(c2->status, nvme::kUnrecoveredReadError);
+    const auto c3 = host.reap(0);
+    ASSERT_TRUE(c3);
+    EXPECT_EQ(c3->status, nvme::kUnrecoveredReadError)
+        << "data loss must surface as a media error";
+    EXPECT_TRUE(c3->pages.empty())
+        << "an errored formula must never hand pages to the host";
+    const auto c4 = host.reap(0);
+    ASSERT_TRUE(c4);
+    EXPECT_TRUE(c4->ok()) << "a clean command after an error still works";
+}
+
+TEST(HostInterface, TimeoutAbortsThenRequeuedAttemptCompletes)
+{
+    ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const auto d = pages(dev.ssd().config(), 1, 31);
+    dev.writeData(0, d);
+
+    HostInterface host(dev, 1, 8);
+    host.setCommandTimeout(1); // 1 ps: the first attempt always times out
+    ASSERT_TRUE(host.submitRead(0, 0));
+    EXPECT_EQ(host.pump(), 2u) << "abort plus the requeued attempt";
+
+    const auto c1 = host.reap(0);
+    ASSERT_TRUE(c1);
+    EXPECT_EQ(c1->status, nvme::kCommandAborted);
+    EXPECT_EQ(c1->latency, Tick{1}) << "aborts complete at the deadline";
+    const auto c2 = host.reap(0);
+    ASSERT_TRUE(c2);
+    EXPECT_TRUE(c2->ok()) << "the second attempt runs to completion";
+    EXPECT_EQ(host.timeouts(), 1u);
+    EXPECT_EQ(host.requeues(), 1u);
+}
+
+TEST(HostInterface, FormulaTimeoutRequeuesWholeGroup)
+{
+    ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const auto x = pages(dev.ssd().config(), 1, 32);
+    const auto y = pages(dev.ssd().config(), 1, 33);
+    dev.writeData(0, x);
+    dev.writeData(10, y);
+
+    HostInterface host(dev, 1, 16, Mode::kReAllocate);
+    host.setCommandTimeout(1);
+    nvme::Formula f;
+    f.terms.push_back(nvme::Formula::Term{nvme::OperandRef::logical(0, 1),
+                                          nvme::OperandRef::logical(10, 1),
+                                          flash::BitwiseOp::kOr});
+    ASSERT_TRUE(host.submitFormula(0, f));
+    host.pump();
+
+    const auto c1 = host.reap(0);
+    ASSERT_TRUE(c1);
+    EXPECT_EQ(c1->status, nvme::kCommandAborted);
+    EXPECT_TRUE(c1->pages.empty());
+    const auto c2 = host.reap(0);
+    ASSERT_TRUE(c2);
+    EXPECT_TRUE(c2->ok());
+    ASSERT_EQ(c2->pages.size(), 1u);
+    EXPECT_EQ(c2->pages[0], x[0] | y[0]);
+    EXPECT_EQ(host.requeues(), 1u);
+}
+
 TEST(HostInterface, QueueDepthAddsLatency)
 {
     // Two reads targeting the same page serialise on the same plane;

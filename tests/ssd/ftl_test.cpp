@@ -105,10 +105,11 @@ TEST(Ftl, WritePairCoLocatesOperands)
     std::vector<PhysOp> ops;
     const BitVector x = f.randomPage(rng);
     const BitVector y = f.randomPage(rng);
-    const PagePair pair = f.ftl->writePair(10, 11, &x, &y, ops);
-    EXPECT_TRUE(pair.lsb.sameWordline(pair.msb));
-    EXPECT_EQ(*f.ftl->lookup(10), pair.lsb);
-    EXPECT_EQ(*f.ftl->lookup(11), pair.msb);
+    const auto pair = f.ftl->writePair(10, 11, &x, &y, ops);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_TRUE(pair->lsb.sameWordline(pair->msb));
+    EXPECT_EQ(*f.ftl->lookup(10), pair->lsb);
+    EXPECT_EQ(*f.ftl->lookup(11), pair->msb);
     EXPECT_EQ(f.ftl->readPage(10, ops), x);
     EXPECT_EQ(f.ftl->readPage(11, ops), y);
     EXPECT_EQ(f.ftl->parabitPagesWritten(), 2u);
@@ -118,7 +119,9 @@ TEST(Ftl, WriteLsbOnlyLeavesMsbFree)
 {
     FtlFixture f;
     std::vector<PhysOp> ops;
-    const auto addr = f.ftl->writeLsbOnly(20, nullptr, ops);
+    const auto addr_opt = f.ftl->writeLsbOnly(20, nullptr, ops);
+    ASSERT_TRUE(addr_opt.has_value());
+    const flash::PhysPageAddr addr = *addr_opt;
     EXPECT_FALSE(addr.msb);
     flash::PhysPageAddr msb = addr;
     msb.msb = true;
@@ -134,10 +137,11 @@ TEST(Ftl, WriteIntoFreeMsbSucceedsOnceThenFails)
     std::vector<PhysOp> ops;
     const BitVector d = f.randomPage(rng);
     const auto lsb = f.ftl->writeLsbOnly(30, nullptr, ops);
-    EXPECT_TRUE(f.ftl->writeIntoFreeMsb(31, lsb, &d, ops));
+    ASSERT_TRUE(lsb.has_value());
+    EXPECT_TRUE(f.ftl->writeIntoFreeMsb(31, *lsb, &d, ops));
     EXPECT_EQ(f.ftl->readPage(31, ops), d);
     // The MSB is now occupied: a second drop must be refused.
-    EXPECT_FALSE(f.ftl->writeIntoFreeMsb(32, lsb, &d, ops));
+    EXPECT_FALSE(f.ftl->writeIntoFreeMsb(32, *lsb, &d, ops));
 }
 
 TEST(Ftl, GarbageCollectionPreservesLiveData)
