@@ -45,6 +45,13 @@ struct FlashTiming
     }
 };
 
+/**
+ * Default backoff between detect-and-escalate retry rungs
+ * (core::ReliabilityPolicy): four SRO slots, enough for a transient
+ * read-disturb condition to decay before re-sensing.
+ */
+inline constexpr Tick kDefaultRetryBackoff = ticks::fromUs(100);
+
 } // namespace parabit::flash
 
 #endif // PARABIT_FLASH_TIMING_HPP_

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "flash/timing.hpp"
 #include "nvme/batch.hpp"
 #include "ssd/ssd.hpp"
 
@@ -97,7 +98,7 @@ struct ReliabilityPolicy
      *  rung to be accepted. */
     int minMargin = 3;
     int maxRetries = 2;
-    Tick retryBackoff = 100 * ticks::kMicrosecond;
+    Tick retryBackoff = flash::kDefaultRetryBackoff;
     bool hostFallback = true;
 };
 

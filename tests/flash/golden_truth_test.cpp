@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Exhaustive truth-table test for the op_sequences golden bits,
+ * independent of the model checker and of the latch-circuit executors:
+ * opGolden() is compared against a hand-written boolean oracle for all
+ * 8 ops x 4 operand pairs, and the derived artifacts (opTruth columns,
+ * the Gray code round trip) are re-derived from it.
+ *
+ * If this test and parabit-verify ever disagree, one of the two has a
+ * corrupted specification — which is exactly the point of keeping them
+ * independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/mlc.hpp"
+#include "flash/op_sequences.hpp"
+
+namespace parabit::flash {
+namespace {
+
+/**
+ * Direct boolean-expression oracle, written without switch/lookup
+ * sharing with opGolden: each op is its textbook gate formula.
+ */
+bool
+oracle(BitwiseOp op, bool l, bool m)
+{
+    if (op == BitwiseOp::kAnd)
+        return l & m;
+    if (op == BitwiseOp::kOr)
+        return l | m;
+    if (op == BitwiseOp::kXnor)
+        return !(l ^ m);
+    if (op == BitwiseOp::kNand)
+        return !(l & m);
+    if (op == BitwiseOp::kNor)
+        return !(l | m);
+    if (op == BitwiseOp::kXor)
+        return l ^ m;
+    if (op == BitwiseOp::kNotLsb)
+        return !l;
+    return !m; // kNotMsb
+}
+
+TEST(GoldenTruth, OpGoldenMatchesOracleForAllOpsAndOperandPairs)
+{
+    for (int o = 0; o < kNumBitwiseOps; ++o) {
+        const auto op = static_cast<BitwiseOp>(o);
+        for (int l = 0; l <= 1; ++l) {
+            for (int m = 0; m <= 1; ++m) {
+                EXPECT_EQ(opGolden(op, l != 0, m != 0),
+                          oracle(op, l != 0, m != 0))
+                    << opName(op) << " lsb=" << l << " msb=" << m;
+            }
+        }
+    }
+}
+
+TEST(GoldenTruth, UnaryOpsIgnoreTheOtherOperand)
+{
+    for (int l = 0; l <= 1; ++l) {
+        EXPECT_EQ(opGolden(BitwiseOp::kNotLsb, l != 0, false),
+                  opGolden(BitwiseOp::kNotLsb, l != 0, true));
+        EXPECT_EQ(opGolden(BitwiseOp::kNotMsb, false, l != 0),
+                  opGolden(BitwiseOp::kNotMsb, true, l != 0));
+    }
+}
+
+TEST(GoldenTruth, OpTruthColumnsAreThePerStateGoldenBits)
+{
+    for (int o = 0; o < kNumBitwiseOps; ++o) {
+        const auto op = static_cast<BitwiseOp>(o);
+        const StateVec col = opTruth(op);
+        for (int s = 0; s < kNumMlcStates; ++s) {
+            const auto st = static_cast<MlcState>(s);
+            EXPECT_EQ(col.at(s), oracle(op, mlcLsb(st), mlcMsb(st)))
+                << opName(op) << " state " << s;
+        }
+    }
+}
+
+TEST(GoldenTruth, GrayCodeRoundTripsAndIsTable1)
+{
+    for (int l = 0; l <= 1; ++l) {
+        for (int m = 0; m <= 1; ++m) {
+            const MlcState st = mlcEncode(l != 0, m != 0);
+            EXPECT_EQ(mlcLsb(st), l != 0);
+            EXPECT_EQ(mlcMsb(st), m != 0);
+        }
+    }
+    // Table 1 placement: E=(1/1), S1=(1/0), S2=(0/0), S3=(0/1).
+    EXPECT_EQ(mlcEncode(true, true), MlcState::kE);
+    EXPECT_EQ(mlcEncode(true, false), MlcState::kS1);
+    EXPECT_EQ(mlcEncode(false, false), MlcState::kS2);
+    EXPECT_EQ(mlcEncode(false, true), MlcState::kS3);
+}
+
+TEST(GoldenTruth, SenseVectorsSeparateNeighbouringStates)
+{
+    // VREAD0 < E < VREAD1 < S1 < VREAD2 < S2 < VREAD3 < S3.
+    EXPECT_EQ(senseVector(VRead::kVRead0).toString(), "1111");
+    EXPECT_EQ(senseVector(VRead::kVRead1).toString(), "0111");
+    EXPECT_EQ(senseVector(VRead::kVRead2).toString(), "0011");
+    EXPECT_EQ(senseVector(VRead::kVRead3).toString(), "0001");
+}
+
+} // namespace
+} // namespace parabit::flash

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the parabit-lint rules (positive and negative snippets
+ * per rule) plus the enforcement test: the real src/ and tools/ trees
+ * must lint clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint.hpp"
+
+namespace parabit::lint {
+namespace {
+
+std::vector<Finding>
+lintCpp(const std::string &content)
+{
+    SourceInfo info;
+    info.guardPath = "flash/sample.cpp";
+    return lintSource("flash/sample.cpp", content, info);
+}
+
+std::vector<Finding>
+lintHpp(const std::string &content, const std::string &path = "flash/sample.hpp")
+{
+    SourceInfo info;
+    info.guardPath = path;
+    return lintSource(path, content, info);
+}
+
+bool
+hasRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    return std::any_of(fs.begin(), fs.end(), [&](const Finding &f) {
+        return f.rule == rule;
+    });
+}
+
+TEST(LintDuration, FlagsConstructionOutsideAllowlist)
+{
+    const auto fs = lintCpp("Tick t = ticks::fromUs(25);\n");
+    ASSERT_TRUE(hasRule(fs, "naked-duration"));
+    EXPECT_EQ(fs[0].line, 1);
+
+    EXPECT_TRUE(hasRule(lintCpp("Tick t = 100 * ticks::kMicrosecond;\n"),
+                        "naked-duration"));
+}
+
+TEST(LintDuration, AllowsConversionsAndAllowlistedFiles)
+{
+    EXPECT_FALSE(hasRule(lintCpp("double s = ticks::toSec(t);\n"),
+                         "naked-duration"));
+    SourceInfo info;
+    info.guardPath = "flash/timing.hpp";
+    info.durationAllowed = true;
+    EXPECT_FALSE(hasRule(lintSource("flash/timing.hpp",
+                                    "Tick t = ticks::fromUs(25);\n", info),
+                         "naked-duration"));
+}
+
+TEST(LintDuration, SuppressionCommentWorks)
+{
+    EXPECT_FALSE(hasRule(
+        lintCpp("Tick t = ticks::fromUs(9); // lint:allow(naked-duration)\n"),
+        "naked-duration"));
+}
+
+TEST(LintNewDelete, FlagsOwningRawPointers)
+{
+    EXPECT_TRUE(hasRule(lintCpp("int *p = new int(3);\n"), "raw-new-delete"));
+    EXPECT_TRUE(hasRule(lintCpp("delete p;\n"), "raw-new-delete"));
+    EXPECT_TRUE(hasRule(lintCpp("delete[] p;\n"), "raw-new-delete"));
+}
+
+TEST(LintNewDelete, AllowsDeletedFunctionsCommentsAndIdentifiers)
+{
+    EXPECT_FALSE(hasRule(lintCpp("Foo(const Foo &) = delete;\n"),
+                         "raw-new-delete"));
+    EXPECT_FALSE(hasRule(lintCpp("// the new sequence deletes nothing\n"),
+                         "raw-new-delete"));
+    EXPECT_FALSE(hasRule(lintCpp("int new_page = renew(delete_count);\n"),
+                         "raw-new-delete"));
+    EXPECT_FALSE(hasRule(lintCpp("auto s = \"new delete\";\n"),
+                         "raw-new-delete"));
+}
+
+TEST(LintEnumSwitch, FlagsDefaultInEnumClassSwitch)
+{
+    const std::string bad = "switch (op) {\n"
+                            "  case BitwiseOp::kAnd: return 1;\n"
+                            "  default: return 0;\n"
+                            "}\n";
+    const auto fs = lintCpp(bad);
+    ASSERT_TRUE(hasRule(fs, "enum-switch-default"));
+    EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintEnumSwitch, AllowsIntegerSwitchesAndExhaustiveEnumSwitches)
+{
+    EXPECT_FALSE(hasRule(lintCpp("switch (v) {\n"
+                                 "  case 0: return 1;\n"
+                                 "  default: return 0;\n"
+                                 "}\n"),
+                         "enum-switch-default"));
+    EXPECT_FALSE(hasRule(lintCpp("switch (op) {\n"
+                                 "  case BitwiseOp::kAnd: return 1;\n"
+                                 "  case BitwiseOp::kOr: return 2;\n"
+                                 "}\n"),
+                         "enum-switch-default"));
+    // "= default;" member declarations are not default labels.
+    EXPECT_FALSE(hasRule(lintCpp("switch (op) {\n"
+                                 "  case B::kA: { Foo f; }\n"
+                                 "}\n"
+                                 "Foo() = default;\n"),
+                         "enum-switch-default"));
+}
+
+TEST(LintNondeterminism, FlagsBannedSources)
+{
+    EXPECT_TRUE(hasRule(lintCpp("srand(42);\n"), "nondeterminism"));
+    EXPECT_TRUE(hasRule(lintCpp("int x = std::rand();\n"),
+                        "nondeterminism"));
+    EXPECT_TRUE(hasRule(lintCpp("std::random_device rd;\n"),
+                        "nondeterminism"));
+    EXPECT_TRUE(hasRule(
+        lintCpp("auto t = std::chrono::system_clock::now();\n"),
+        "nondeterminism"));
+}
+
+TEST(LintNondeterminism, AllowsSeededRngAndOperands)
+{
+    EXPECT_FALSE(hasRule(lintCpp("Rng rng(seed);\n"), "nondeterminism"));
+    EXPECT_FALSE(hasRule(lintCpp("int operand = rands[i];\n"),
+                         "nondeterminism"));
+}
+
+TEST(LintGuard, EnforcesCanonicalGuard)
+{
+    const std::string good = "#ifndef PARABIT_FLASH_SAMPLE_HPP_\n"
+                             "#define PARABIT_FLASH_SAMPLE_HPP_\n"
+                             "#endif\n";
+    EXPECT_FALSE(hasRule(lintHpp(good), "include-guard"));
+
+    const auto fs = lintHpp("#ifndef WRONG_H\n#define WRONG_H\n#endif\n");
+    ASSERT_TRUE(hasRule(fs, "include-guard"));
+    EXPECT_NE(fs[0].message.find("PARABIT_FLASH_SAMPLE_HPP_"),
+              std::string::npos);
+}
+
+TEST(LintFirstInclude, EnforcesOwnHeaderFirst)
+{
+    SourceInfo info;
+    info.guardPath = "flash/sample.cpp";
+    info.hasMatchingHeader = true;
+    EXPECT_FALSE(hasRule(
+        lintSource("flash/sample.cpp",
+                   "#include \"flash/sample.hpp\"\n#include <vector>\n",
+                   info),
+        "first-include"));
+    // Tools layout: plain basename is also accepted.
+    EXPECT_FALSE(hasRule(lintSource("flash/sample.cpp",
+                                    "#include \"sample.hpp\"\n", info),
+                         "first-include"));
+    EXPECT_TRUE(hasRule(lintSource("flash/sample.cpp",
+                                   "#include <vector>\n"
+                                   "#include \"flash/sample.hpp\"\n",
+                                   info),
+                        "first-include"));
+    // No matching header (e.g. a main file): rule does not apply.
+    info.hasMatchingHeader = false;
+    EXPECT_FALSE(hasRule(lintSource("flash/sample.cpp",
+                                    "#include <vector>\n", info),
+                         "first-include"));
+}
+
+TEST(LintUsingNamespace, StdBannedEverywhereOthersOnlyInHeaders)
+{
+    EXPECT_TRUE(hasRule(lintCpp("using namespace std;\n"),
+                        "using-namespace"));
+    EXPECT_FALSE(hasRule(lintCpp("using namespace parabit::flash;\n"),
+                         "using-namespace"));
+    EXPECT_TRUE(hasRule(lintHpp("#ifndef PARABIT_FLASH_SAMPLE_HPP_\n"
+                                "#define PARABIT_FLASH_SAMPLE_HPP_\n"
+                                "using namespace parabit;\n"
+                                "#endif\n"),
+                        "using-namespace"));
+    EXPECT_FALSE(hasRule(lintCpp("using flash::BitwiseOp;\n"),
+                         "using-namespace"));
+}
+
+TEST(LintJson, RendersFindings)
+{
+    const auto fs = lintCpp("delete p;\n");
+    const std::string json = toJson(fs);
+    EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(json.find("raw-new-delete"), std::string::npos);
+    EXPECT_NE(toJson({}).find("\"ok\": true"), std::string::npos);
+}
+
+// ----- Enforcement: the real trees must be clean. -----------------------
+
+TEST(LintEnforcement, SrcTreeIsClean)
+{
+    const auto fs = lintTree(PARABIT_REPO_ROOT "/src");
+    for (const auto &f : fs)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                      << f.message;
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintEnforcement, ToolsTreeIsClean)
+{
+    const auto fs = lintTree(PARABIT_REPO_ROOT "/tools");
+    for (const auto &f : fs)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                      << f.message;
+    EXPECT_TRUE(fs.empty());
+}
+
+} // namespace
+} // namespace parabit::lint

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Proof that parabit-verify actually catches regressions: a clean run
+ * reports zero findings, and a single mutated control step in a copied
+ * program produces a reported divergence.  Without this test the model
+ * checker could rot into a rubber stamp (e.g. by comparing a program
+ * against itself) and nobody would notice.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/op_sequences.hpp"
+#include "verifier.hpp"
+
+namespace parabit::verify {
+namespace {
+
+using flash::BitwiseOp;
+using flash::LatchPulse;
+using flash::MicroProgram;
+using flash::MicroStep;
+using flash::VRead;
+
+TEST(VerifyPositive, FullRunIsCleanOnTheRegisteredPrograms)
+{
+    const Report r = verifyAll();
+    for (const auto &f : r.findings)
+        ADD_FAILURE() << f.check << " / " << f.subject << ": " << f.message
+                      << " (expected " << f.expected << ", actual "
+                      << f.actual << ")";
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.programsChecked, 24); // 8 ops x 3 flavours
+    EXPECT_GT(r.combosChecked, 0);
+    EXPECT_GT(r.chainsChecked, 0);
+    EXPECT_GT(r.costChecksRun, 0);
+}
+
+TEST(VerifyNegative, MutatedSenseLevelOfAndIsDetected)
+{
+    // Copy the AND program and move its single discriminating sense from
+    // VREAD1 to VREAD2 — exactly the one-line edit the checker exists
+    // to catch.  The program now computes an LSB read, not AND.
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kAnd);
+    ASSERT_EQ(mutated.steps.size(), 3u);
+    ASSERT_EQ(mutated.steps[1].kind, MicroStep::Kind::kSense);
+    ASSERT_EQ(mutated.steps[1].vread, VRead::kVRead1);
+    mutated.steps[1].vread = VRead::kVRead2;
+
+    Report r;
+    checkTruthTable(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, r);
+    ASSERT_FALSE(r.ok());
+    // The symbolic leg must name the divergence precisely: expected the
+    // Table 1 AND column 1000, got the LSB-read column 1100.
+    bool symbolic_found = false;
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.check, "truth-table");
+        if (f.expected == "1000" && f.actual == "1100")
+            symbolic_found = true;
+    }
+    EXPECT_TRUE(symbolic_found);
+
+    // Structure is still legal — only the semantics broke.
+    Report rs;
+    checkStructure(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, rs);
+    EXPECT_TRUE(rs.ok());
+}
+
+TEST(VerifyNegative, MutatedPulseIsDetected)
+{
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kAnd);
+    mutated.steps[1].pulse = LatchPulse::kM1; // M2 -> M1
+    Report r;
+    checkTruthTable(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, r);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(VerifyNegative, MutatedLocationFreeStepIsDetected)
+{
+    // Flip the M7 inverter off on the final LSB sense of the
+    // location-free XOR (Fig 8 phase 2) — the subtlest single-bit edit.
+    MicroProgram mutated = flash::locationFreeProgram(BitwiseOp::kXor);
+    bool flipped = false;
+    for (auto &st : mutated.steps) {
+        if (st.soInverted) {
+            st.soInverted = false;
+            flipped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(flipped);
+    Report r;
+    checkTruthTable(mutated, BitwiseOp::kXor, Flavor::kLocFreeMsbLsb, r);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(VerifyNegative, DroppedFinalTransferIsAStructuralFinding)
+{
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kOr);
+    ASSERT_EQ(mutated.steps.back().kind, MicroStep::Kind::kTransfer);
+    mutated.steps.pop_back();
+    Report r;
+    checkStructure(mutated, BitwiseOp::kOr, Flavor::kCoLocated, r);
+    ASSERT_FALSE(r.ok());
+    bool found = false;
+    for (const auto &f : r.findings)
+        if (f.check == "structural" &&
+            f.message.find("transfer") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(VerifyNegative, M3PulseOnASenseStepIsAStructuralFinding)
+{
+    // "No L1->L2 transfer while MSO is open": a sense step may only
+    // pulse M1/M2.
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kAnd);
+    mutated.steps[1].pulse = LatchPulse::kM3;
+    Report r;
+    checkStructure(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, r);
+    ASSERT_FALSE(r.ok());
+    bool found = false;
+    for (const auto &f : r.findings)
+        if (f.message.find("MSO is open") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(VerifyNegative, SecondInitIsAStructuralFinding)
+{
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kAnd);
+    mutated.steps.insert(mutated.steps.begin() + 1,
+                         MicroStep::initNormal());
+    Report r;
+    checkStructure(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, r);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(VerifyNegative, InverterInCoLocatedProgramIsAStructuralFinding)
+{
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kAnd);
+    mutated.steps[1].soInverted = true;
+    Report r;
+    checkStructure(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, r);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(VerifyReport, JsonCarriesFindingsAndCounters)
+{
+    MicroProgram mutated = flash::coLocatedProgram(BitwiseOp::kAnd);
+    mutated.steps[1].vread = VRead::kVRead2;
+    Report r;
+    checkTruthTable(mutated, BitwiseOp::kAnd, Flavor::kCoLocated, r);
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"truth-table\""), std::string::npos);
+    EXPECT_NE(json.find("AND (co-located)"), std::string::npos);
+
+    const std::string clean = toJson(verifyAll());
+    EXPECT_NE(clean.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(clean.find("\"programs_checked\": 24"), std::string::npos);
+}
+
+} // namespace
+} // namespace parabit::verify

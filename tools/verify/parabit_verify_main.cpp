@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CLI wrapper around the parabit-verify model checker.
+ *
+ *   parabit-verify [--json FILE] [--list] [--quiet]
+ *
+ * Exit status 0 when every registered MicroProgram matches its golden
+ * truth table and every structural/cost invariant holds; 1 on any
+ * divergence (with the divergences printed); 2 on usage errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "verifier.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0 << " [--json FILE] [--list] [--quiet]\n"
+              << "  --json FILE  also write a machine-readable report\n"
+              << "  --list       print every registered program first\n"
+              << "  --quiet      suppress the success summary\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    bool list = false, quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    using namespace parabit;
+
+    if (list) {
+        for (int o = 0; o < flash::kNumBitwiseOps; ++o) {
+            const auto op = static_cast<flash::BitwiseOp>(o);
+            std::cout << flash::coLocatedProgram(op).describe()
+                      << flash::locationFreeProgram(op).describe()
+                      << flash::locationFreeProgram(
+                             op, flash::LocFreeVariant::kLsbLsb)
+                             .describe();
+        }
+    }
+
+    const verify::Report report = verify::verifyAll();
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "parabit-verify: cannot write " << json_path << "\n";
+            return 2;
+        }
+        out << verify::toJson(report);
+    }
+
+    for (const auto &f : report.findings) {
+        std::cerr << "parabit-verify: [" << f.check << "] " << f.subject
+                  << ": " << f.message << "\n  expected: " << f.expected
+                  << "\n  actual:   " << f.actual << "\n";
+    }
+
+    if (!report.ok()) {
+        std::cerr << "parabit-verify: FAILED with "
+                  << report.findings.size() << " divergence(s)\n";
+        return 1;
+    }
+    if (!quiet) {
+        std::cout << "parabit-verify: OK — " << report.programsChecked
+                  << " programs, " << report.combosChecked
+                  << " operand combinations, " << report.chainsChecked
+                  << " chain links, " << report.costChecksRun
+                  << " cost cross-checks, 0 divergences\n";
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * parabit-verify: build-time model checker for the ParaBit control
+ * sequences.
+ *
+ * The paper's correctness argument is the symbolic 4-state latch algebra
+ * (Tables 2-7, Fig 8): every MicroProgram in flash/op_sequences must
+ * realise its golden truth table on the LatchCircuit.  This library
+ * re-derives that argument mechanically for every registered program so
+ * a single edited control step fails the build instead of silently
+ * corrupting results until a runtime test happens to cover it.
+ *
+ * Four legs, each usable standalone (the negative tests run them on
+ * deliberately mutated programs):
+ *
+ *  - checkTruthTable(): exhaustive semantic check.  Co-located programs
+ *    run on the symbolic LatchCircuit (final L(OUT) must equal the
+ *    Table 1 truth column) and on the scalar executor for all 4 cell
+ *    states; location-free programs run on the scalar executor for all
+ *    16 (cell_m, cell_n) state combinations, which also sweeps every
+ *    companion ("don't care") bit sharing the operand wordlines.
+ *
+ *  - checkStructure(): the circuit-level legality invariants — exactly
+ *    one full initialisation and it precedes every sense, the result
+ *    terminates in L2 (final step is an M3 transfer), no M3 pulse while
+ *    MSO is open (i.e. attached to a sense step), wordline selectors
+ *    consistent with the program flavour, the M7 inverted-SO path only
+ *    in location-free programs, VREAD0 re-init senses well-formed.
+ *
+ *  - checkCostTables(): cross-checks MicroProgram::senseCount() against
+ *    the paper's golden SRO table and the timing/energy/cost models
+ *    (FlashTiming linearity, EnergyModel SRO proportionality and the
+ *    Fig 16 "4-SRO op = 2x baseline MSB read" anchor, CostModel
+ *    per-stripe sense totals for all ops x modes).
+ *
+ *  - checkChains(): chained-op reallocation conventions.  For every
+ *    ordered pair of binary ops and every operand bit combination, the
+ *    result of op1 is re-placed the way the controller chains results
+ *    (dropped into the free MSB of the next operand's wordline, or
+ *    re-paired via repack, or staged for a location-free step) and op2
+ *    must compute the composite golden value.
+ */
+
+#ifndef PARABIT_TOOLS_VERIFY_VERIFIER_HPP_
+#define PARABIT_TOOLS_VERIFY_VERIFIER_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flash/op_sequences.hpp"
+
+namespace parabit::verify {
+
+/** Operand-placement flavour of a checked program. */
+enum class Flavor : std::uint8_t
+{
+    kCoLocated = 0,
+    kLocFreeMsbLsb,
+    kLocFreeLsbLsb,
+};
+
+inline constexpr int kNumFlavors = 3;
+
+const char *flavorName(Flavor f);
+
+/** One divergence between a program and its specification. */
+struct Finding
+{
+    std::string check;    ///< "truth-table" | "structural" | "cost-table" | "chain"
+    std::string subject;  ///< e.g. "AND (co-located)"
+    std::string message;  ///< what diverged
+    std::string expected; ///< golden value, rendered
+    std::string actual;   ///< observed value, rendered
+};
+
+/** Aggregate result of a verification run. */
+struct Report
+{
+    std::vector<Finding> findings;
+    int programsChecked = 0; ///< MicroPrograms fully enumerated
+    int combosChecked = 0;   ///< operand/state combinations evaluated
+    int chainsChecked = 0;   ///< chained-op compositions evaluated
+    int costChecksRun = 0;   ///< timing/energy/cost cross-checks
+
+    bool ok() const { return findings.empty(); }
+};
+
+/**
+ * Exhaustive semantic check of @p prog against the golden truth table
+ * of @p op under placement @p flavor; divergences are appended to @p r.
+ */
+void checkTruthTable(const flash::MicroProgram &prog, flash::BitwiseOp op,
+                     Flavor flavor, Report &r);
+
+/** Structural invariant check; see file comment for the invariant list. */
+void checkStructure(const flash::MicroProgram &prog, flash::BitwiseOp op,
+                    Flavor flavor, Report &r);
+
+/** Cross-check sense counts against the timing/energy/cost models. */
+void checkCostTables(Report &r);
+
+/** Verify chained-op result-placement conventions (see file comment). */
+void checkChains(Report &r);
+
+/** Run every leg over every registered program. */
+Report verifyAll();
+
+/** Render @p r as a machine-readable JSON document. */
+std::string toJson(const Report &r);
+
+} // namespace parabit::verify
+
+#endif // PARABIT_TOOLS_VERIFY_VERIFIER_HPP_
