@@ -33,7 +33,8 @@ Block::pageState(std::uint32_t i, bool msb) const
 }
 
 void
-Block::program(std::uint32_t i, bool msb, const BitVector *data)
+Block::program(std::uint32_t i, bool msb, const BitVector *data,
+               const PageOob *oob)
 {
     auto &w = wl(i);
     PageState &st = msb ? w.msbState : w.lsbState;
@@ -45,6 +46,8 @@ Block::program(std::uint32_t i, bool msb, const BitVector *data)
         assert(data->size() == pageBits_);
         (msb ? w.msbData : w.lsbData) = *data;
     }
+    if (oob)
+        (msb ? w.msbOob : w.lsbOob) = *oob;
 }
 
 void
@@ -67,6 +70,9 @@ Block::erase()
         w.msbState = PageState::kFree;
         w.lsbData.reset();
         w.msbData.reset();
+        w.lsbOob.reset();
+        w.msbOob.reset();
+        w.torn = false;
     }
     validPages_ = 0;
     ++eraseCount_;
@@ -78,6 +84,29 @@ Block::pageData(std::uint32_t i, bool msb) const
     const auto &w = wl(i);
     const auto &d = msb ? w.msbData : w.lsbData;
     return d ? &*d : nullptr;
+}
+
+const PageOob *
+Block::pageOob(std::uint32_t i, bool msb) const
+{
+    const auto &w = wl(i);
+    const auto &o = msb ? w.msbOob : w.lsbOob;
+    return o ? &*o : nullptr;
+}
+
+void
+Block::markTorn(std::uint32_t i)
+{
+    auto &w = wl(i);
+    w.torn = true;
+    w.lsbData.reset();
+    w.msbData.reset();
+}
+
+bool
+Block::torn(std::uint32_t i) const
+{
+    return wl(i).torn;
 }
 
 WordlineData

@@ -25,6 +25,25 @@ namespace parabit::flash {
 /** Lifecycle state of one logical page. */
 enum class PageState : std::uint8_t { kFree = 0, kValid, kInvalid };
 
+/**
+ * Per-page out-of-band (spare-area) metadata, written atomically with the
+ * page payload by every program.  The FTL uses it for sudden-power-off
+ * recovery: @p lpn + @p seq drive sequence-number arbitration during the
+ * OOB scan, @p tag records why the page was written (host data, GC copy,
+ * ParaBit pair/LSB-only/chained-MSB, pair backup, checkpoint/journal), and
+ * @p scrambled whether the payload went through the scrambler.
+ *
+ * OOB survives invalidate() (stale copies lose arbitration by sequence
+ * number, they are not physically wiped) and is cleared by erase().
+ */
+struct PageOob
+{
+    std::uint64_t lpn = 0;
+    std::uint64_t seq = 0;
+    std::uint8_t tag = 0;
+    bool scrambled = false;
+};
+
 /** A flash block; see file comment. */
 class Block
 {
@@ -44,9 +63,11 @@ class Block
 
     /**
      * Program one logical page (must currently be free).  @p data may be
-     * null in timing-only mode or when the payload is irrelevant.
+     * null in timing-only mode or when the payload is irrelevant; @p oob
+     * attaches spare-area metadata to the page (may be null).
      */
-    void program(std::uint32_t wl, bool msb, const BitVector *data);
+    void program(std::uint32_t wl, bool msb, const BitVector *data,
+                 const PageOob *oob = nullptr);
 
     /** Mark a valid page invalid (FTL overwrite / trim). */
     void invalidate(std::uint32_t wl, bool msb);
@@ -56,6 +77,21 @@ class Block
 
     /** Stored payload, or nullptr if absent. */
     const BitVector *pageData(std::uint32_t wl, bool msb) const;
+
+    /** Spare-area metadata attached at program time, or nullptr. */
+    const PageOob *pageOob(std::uint32_t wl, bool msb) const;
+
+    /**
+     * Record that a program on this wordline was interrupted by power
+     * loss.  Per the MLC shared-wordline hazard the cells of *both*
+     * coupled pages are left in indeterminate states, so both payloads
+     * are dropped.  Page lifecycle states and OOB are kept — recovery
+     * discards the whole wordline regardless.  erase() clears the mark.
+     */
+    void markTorn(std::uint32_t wl);
+
+    /** Whether a program on this wordline was torn by power loss. */
+    bool torn(std::uint32_t wl) const;
 
     /** Both pages of a wordline, as the latch model consumes them. */
     WordlineData wordlineData(std::uint32_t wl) const;
@@ -69,8 +105,11 @@ class Block
     {
         std::optional<BitVector> lsbData;
         std::optional<BitVector> msbData;
+        std::optional<PageOob> lsbOob;
+        std::optional<PageOob> msbOob;
         PageState lsbState = PageState::kFree;
         PageState msbState = PageState::kFree;
+        bool torn = false;
     };
 
     Wordline &wl(std::uint32_t i);

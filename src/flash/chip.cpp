@@ -40,13 +40,14 @@ Chip::blockAt(const ChipPageAddr &a)
 }
 
 bool
-Chip::programPage(const ChipPageAddr &a, const BitVector *data)
+Chip::programPage(const ChipPageAddr &a, const BitVector *data,
+                  const PageOob *oob)
 {
     if (plane(a.die, a.plane).dead())
         return false;
     if (faults_.programFails && faults_.programFails(a))
         return false;
-    blockAt(a).program(a.wordline, a.msb, data);
+    blockAt(a).program(a.wordline, a.msb, data, oob);
     return true;
 }
 
@@ -155,6 +156,24 @@ PageState
 Chip::pageState(const ChipPageAddr &a)
 {
     return blockAt(a).pageState(a.wordline, a.msb);
+}
+
+const PageOob *
+Chip::pageOob(const ChipPageAddr &a)
+{
+    return blockAt(a).pageOob(a.wordline, a.msb);
+}
+
+void
+Chip::markTornWordline(const ChipPageAddr &a)
+{
+    blockAt(a).markTorn(a.wordline);
+}
+
+bool
+Chip::wordlineTorn(const ChipPageAddr &a)
+{
+    return blockAt(a).torn(a.wordline);
 }
 
 std::uint32_t

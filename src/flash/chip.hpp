@@ -90,12 +90,14 @@ class Chip
     /// @{
 
     /**
-     * Program a free page.  @p data may be null in timing-only mode.
+     * Program a free page.  @p data may be null in timing-only mode;
+     * @p oob attaches spare-area metadata (may be null).
      * @return false on a program failure (injected fault or dead
      *         plane); the page stays free and the caller (FTL) must
      *         retire the block and remap.
      */
-    bool programPage(const ChipPageAddr &a, const BitVector *data);
+    bool programPage(const ChipPageAddr &a, const BitVector *data,
+                     const PageOob *oob = nullptr);
 
     /**
      * Read a valid page through the normal (ECC-protected) path.  The
@@ -150,6 +152,16 @@ class Chip
     PageState pageState(const ChipPageAddr &a);
     std::uint32_t blockEraseCount(std::uint32_t die, std::uint32_t plane_idx,
                                   std::uint32_t block);
+
+    /** Spare-area metadata of the page at @p a, or nullptr. */
+    const PageOob *pageOob(const ChipPageAddr &a);
+
+    /** Mark the wordline of @p a torn by an interrupted program
+     *  (sudden power loss mid-tPROG); see Block::markTorn. */
+    void markTornWordline(const ChipPageAddr &a);
+
+    /** Whether the wordline of @p a carries a torn-program mark. */
+    bool wordlineTorn(const ChipPageAddr &a);
 
     const ErrorModel &errorModel() const { return errorModel_; }
 

@@ -36,8 +36,9 @@ inline constexpr std::uint64_t kSectorBytes = 512;
 /** NVMe opcode values used here. */
 enum class Opcode : std::uint8_t
 {
-    kRead = 0x02,
+    kFlush = 0x00,
     kWrite = 0x01,
+    kRead = 0x02,
 };
 
 /** A 16-DWord NVMe submission-queue entry; see file comment. */

@@ -204,6 +204,16 @@ class Controller
     /** Drop cached plane self-test verdicts (after injecting faults). */
     void invalidatePlaneTrust() { planeTrust_.clear(); }
 
+    /** Reset controller state after a power cycle: self-test verdicts
+     *  are volatile, and the scratch-LPN cursor restarts (its pages are
+     *  internal copies, safe to reuse after SPOR rebuilt the map). */
+    void
+    onPowerCycle()
+    {
+        planeTrust_.clear();
+        scratchLpn_ = ssd_->ftl().logicalPages() - 1;
+    }
+
   private:
     struct PageOpOutcome
     {

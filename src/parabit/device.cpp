@@ -127,6 +127,32 @@ ParaBitDevice::bitwiseChain(flash::BitwiseOp op,
     return r;
 }
 
+bool
+ParaBitDevice::flush()
+{
+    if (!ssd_->ftl().recoveryEnabled())
+        return true;
+    std::vector<ssd::PhysOp> ops;
+    const bool ok = ssd_->ftl().checkpoint(ops);
+    now_ = ssd_->scheduleOps(ops, now_);
+    return ok;
+}
+
+bool
+ParaBitDevice::shutdownNotify()
+{
+    return flush();
+}
+
+ssd::RecoveryReport
+ParaBitDevice::powerCycle()
+{
+    ssd::RecoveryReport rep = ssd_->powerCycle(now_);
+    now_ += rep.scanTime;
+    controller_.onPowerCycle();
+    return rep;
+}
+
 ExecResult
 ParaBitDevice::execute(const std::vector<nvme::Batch> &batches, Mode mode,
                        bool transfer_results)

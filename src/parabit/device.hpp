@@ -106,6 +106,28 @@ class ParaBitDevice
                        bool transfer_results = true);
     /// @}
 
+    /** @name Crash consistency. */
+    /// @{
+
+    /**
+     * NVMe Flush semantics: force an FTL checkpoint so that every
+     * acknowledged write is recoverable without a journal/OOB replay.
+     * No-op (returns true) when recovery is disabled.
+     */
+    bool flush();
+
+    /** NVMe shutdown notification (CC.SHN): checkpoint for a clean
+     *  power-down.  @return false if the checkpoint did not commit. */
+    bool shutdownNotify();
+
+    /**
+     * Sudden power loss + restart: runs SPOR on the SSD (see
+     * ssd::SsdDevice::powerCycle), advances the device clock by the
+     * simulated recovery time, and resets volatile controller state.
+     */
+    ssd::RecoveryReport powerCycle();
+    /// @}
+
     /** Device clock: completion time of the latest accepted command. */
     Tick now() const { return now_; }
 

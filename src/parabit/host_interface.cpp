@@ -58,6 +58,14 @@ HostInterface::submitWrite(std::uint16_t qid, nvme::Lpn lpn)
 }
 
 std::optional<std::uint16_t>
+HostInterface::submitFlush(std::uint16_t qid)
+{
+    nvme::NvmeCommand c;
+    c.setOpcode(nvme::Opcode::kFlush);
+    return qps_.at(qid).submit(c, dev_->now());
+}
+
+std::optional<std::uint16_t>
 HostInterface::submitFormula(std::uint16_t qid, const nvme::Formula &formula)
 {
     const auto cmds = parser_.encode(formula);
@@ -195,7 +203,14 @@ HostInterface::pump()
             const nvme::Lpn lpn = p.f.cmd.slba() / parser_.sectorsPerPage();
             Tick done = dev_->now();
             std::uint16_t status = nvme::kSuccess;
-            if (op == nvme::Opcode::kRead) {
+            if (op == nvme::Opcode::kFlush) {
+                // Flush = force a checkpoint: every write completed
+                // before this command survives a subsequent power cut
+                // without journal/OOB replay.
+                if (!dev_->flush())
+                    status = nvme::kInternalError;
+                done = dev_->now();
+            } else if (op == nvme::Opcode::kRead) {
                 if (!dev_->ssd().ftl().pageAccessible(lpn)) {
                     status = nvme::kUnrecoveredReadError;
                 } else {
@@ -236,6 +251,13 @@ HostInterface::pump()
         }
     }
     return retired;
+}
+
+bool
+HostInterface::shutdownNotify()
+{
+    pump();
+    return dev_->shutdownNotify();
 }
 
 } // namespace parabit::core

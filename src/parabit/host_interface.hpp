@@ -66,6 +66,10 @@ class HostInterface
     std::optional<std::uint16_t> submitWrite(std::uint16_t qid,
                                              nvme::Lpn lpn);
 
+    /** Queue an NVMe Flush: completes after the FTL checkpoint that
+     *  makes every earlier acknowledged write recoverable committed. */
+    std::optional<std::uint16_t> submitFlush(std::uint16_t qid);
+
     /**
      * Encode and queue a ParaBit formula.  All of its commands must fit
      * in the ring; otherwise nothing is queued and nullopt returns.
@@ -86,6 +90,11 @@ class HostInterface
      * @return number of commands retired (aborted ones included).
      */
     std::size_t pump();
+
+    /** Host-initiated shutdown notification (NVMe CC.SHN): drain every
+     *  queue, then checkpoint the device for a clean power-down.
+     *  @return false if the final checkpoint did not commit. */
+    bool shutdownNotify();
 
     std::uint16_t queues() const
     {

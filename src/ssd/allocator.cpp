@@ -60,7 +60,7 @@ Allocator::freeBlocks(PlaneIndex plane) const
 void
 Allocator::noteErased(PlaneIndex plane, std::uint32_t block)
 {
-    if (isRetired(plane, block))
+    if (isRetired(plane, block) || isReserved(plane, block))
         return;
     planes_.at(plane).freePool.push_back(block);
 }
@@ -88,6 +88,50 @@ Allocator::isRetired(PlaneIndex plane, std::uint32_t block) const
 {
     const PlaneState &ps = planes_.at(plane);
     return !ps.retired.empty() && ps.retired.at(block);
+}
+
+void
+Allocator::reserveBlock(PlaneIndex plane, std::uint32_t block)
+{
+    PlaneState &ps = planes_.at(plane);
+    if (ps.reserved.empty())
+        ps.reserved.assign(geom_.blocksPerPlane, false);
+    if (ps.reserved.at(block))
+        return;
+    ps.reserved.at(block) = true;
+    std::erase(ps.freePool, block);
+    const auto sb = static_cast<std::int64_t>(block);
+    if (ps.interleaved.block == sb)
+        ps.interleaved.block = -1;
+    if (ps.lsbOnly.block == sb)
+        ps.lsbOnly.block = -1;
+}
+
+bool
+Allocator::isReserved(PlaneIndex plane, std::uint32_t block) const
+{
+    const PlaneState &ps = planes_.at(plane);
+    return !ps.reserved.empty() && ps.reserved.at(block);
+}
+
+void
+Allocator::rebuild(PlaneIndex plane,
+                   const std::vector<std::uint32_t> &free_blocks)
+{
+    PlaneState &ps = planes_.at(plane);
+    ps.freePool.clear();
+    ps.interleaved = Cursor{};
+    ps.lsbOnly = Cursor{};
+    for (std::uint32_t b : free_blocks)
+        if (!isRetired(plane, b) && !isReserved(plane, b))
+            ps.freePool.push_back(b);
+}
+
+std::vector<std::uint32_t>
+Allocator::poolBlocks(PlaneIndex plane) const
+{
+    const PlaneState &ps = planes_.at(plane);
+    return {ps.freePool.begin(), ps.freePool.end()};
 }
 
 bool

@@ -83,6 +83,29 @@ class Allocator
     std::uint64_t retiredBlocks() const { return retiredCount_; }
 
     /**
+     * Withdraw @p block from data allocation for FTL-internal use (the
+     * SPOR checkpoint/journal region).  Unlike retirement the block is
+     * healthy and not counted in retiredBlocks(); like retirement it
+     * leaves the pool, abandons cursors, and is never re-pooled.
+     */
+    void reserveBlock(PlaneIndex plane, std::uint32_t block);
+
+    bool isReserved(PlaneIndex plane, std::uint32_t block) const;
+
+    /**
+     * Reset @p plane's pool and cursors from a physically derived free
+     * list (sudden-power-off recovery).  @p free_blocks replaces the
+     * pool verbatim (order preserved — pass a deterministic order);
+     * retired/reserved blocks are skipped.  Cursors restart empty, so
+     * partially written blocks are left for GC to reclaim.
+     */
+    void rebuild(PlaneIndex plane,
+                 const std::vector<std::uint32_t> &free_blocks);
+
+    /** Snapshot of @p plane's pooled free blocks, in pool order. */
+    std::vector<std::uint32_t> poolBlocks(PlaneIndex plane) const;
+
+    /**
      * Allocate the next page in @p plane in interleaved order.
      * @return nullopt when the plane has no free blocks left.
      */
@@ -113,7 +136,8 @@ class Allocator
         std::deque<std::uint32_t> freePool;
         Cursor interleaved; ///< shared by interleaved + paired modes
         Cursor lsbOnly;
-        std::vector<bool> retired; ///< lazily sized to blocksPerPlane
+        std::vector<bool> retired;  ///< lazily sized to blocksPerPlane
+        std::vector<bool> reserved; ///< lazily sized to blocksPerPlane
     };
 
     bool ensureBlock(PlaneState &ps, Cursor &cur);

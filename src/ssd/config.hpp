@@ -14,6 +14,31 @@
 
 namespace parabit::ssd {
 
+/**
+ * Sudden-power-off recovery (SPOR) configuration.  When enabled the FTL
+ * reserves the top blocks of every plane as an SLC-mode checkpoint +
+ * write-ahead-journal region, attaches OOB metadata arbitration to
+ * every mapping change, and can rebuild its tables after a power cut
+ * (see DESIGN.md "Crash consistency").
+ */
+struct RecoveryConfig
+{
+    bool enabled = false;
+
+    /**
+     * Data-page programs between automatic checkpoints (taken at the
+     * next safe point).  0 = only explicit checkpoints (NVMe Flush,
+     * shutdown notification, journal-region rotation).
+     */
+    std::uint32_t checkpointIntervalPrograms = 0;
+
+    /**
+     * Blocks reserved per plane for the checkpoint/journal region
+     * (even, >= 2: the region is two ping-pong halves).
+     */
+    std::uint32_t reservedBlocksPerPlane = 2;
+};
+
 /** Configuration of a simulated SSD. */
 struct SsdConfig
 {
@@ -51,6 +76,9 @@ struct SsdConfig
 
     /** RNG seed (error injection, scrambler key, tie-breaking). */
     std::uint64_t seed = 0xC0FFEE;
+
+    /** Sudden-power-off recovery (off by default). */
+    RecoveryConfig recovery;
 
     /** The paper's evaluated device (Section 5.1) in timing mode. */
     static SsdConfig

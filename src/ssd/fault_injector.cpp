@@ -12,6 +12,7 @@ faultClassName(FaultClass c)
       case FaultClass::kEraseFailure: return "erase-failure";
       case FaultClass::kDeadPlane: return "dead-plane";
       case FaultClass::kDeadChip: return "dead-chip";
+      case FaultClass::kPowerLoss: return "power-loss";
     }
     return "?";
 }
@@ -27,6 +28,9 @@ FaultInjector::addFault(const FaultSpec &spec)
 {
     Active f;
     f.spec = spec;
+    if (spec.cls == FaultClass::kPowerLoss)
+        f.cutMid = spec.cutMidProgram ? *spec.cutMidProgram
+                                      : rng_.chance(0.5);
     if (spec.cls == FaultClass::kStuckBitline) {
         const std::size_t bits = geom_.pageBits();
         for (std::uint32_t i = 0; i < spec.stuckCount; ++i)
@@ -47,6 +51,8 @@ FaultInjector::randomSchedule(const flash::FlashGeometry &geom,
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
         FaultSpec s;
+        // kPowerLoss is excluded from random media-fault schedules: a
+        // power cut ends the run, so SPOR harnesses arm it explicitly.
         s.cls = static_cast<FaultClass>(rng.below(6));
         s.plane = static_cast<PlaneIndex>(rng.below(geom.planesTotal()));
         if (rng.chance(0.5))
@@ -145,6 +151,26 @@ FaultInjector::eraseShouldFail(const flash::PhysPageAddr &a)
     return fail;
 }
 
+PowerCut
+FaultInjector::powerCutOnOp(bool is_program)
+{
+    if (powerLost_)
+        return PowerCut::kBeforeOp;
+    PowerCut cut = PowerCut::kNone;
+    for (Active &f : active_) {
+        if (f.spec.cls != FaultClass::kPowerLoss || f.fired)
+            continue;
+        ++f.attempts;
+        if (f.attempts > f.spec.onset) {
+            f.fired = true;
+            powerLost_ = true;
+            cut = (is_program && f.cutMid) ? PowerCut::kMidProgram
+                                           : PowerCut::kBeforeOp;
+        }
+    }
+    return cut;
+}
+
 std::uint64_t
 FaultInjector::scheduleFingerprint() const
 {
@@ -166,6 +192,7 @@ FaultInjector::scheduleFingerprint() const
         mix(f.spec.stuckValue);
         mix(f.spec.failPeriod);
         mix(f.spec.onset);
+        mix(f.spec.cls == FaultClass::kPowerLoss ? 1 + f.cutMid : 0);
         for (const flash::StuckBitline &s : f.stuck) {
             mix(s.bitline);
             mix(s.value);

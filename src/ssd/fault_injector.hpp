@@ -16,7 +16,14 @@
  *    trigger;
  *  - kEraseFailure: block erases fail on the same periodic schedule;
  *  - kDeadPlane / kDeadChip: the plane (or every plane of the chip)
- *    rejects all array operations.
+ *    rejects all array operations;
+ *  - kPowerLoss: sudden power-off — execution is cut deterministically
+ *    at a seeded PhysOp boundary (spec.onset = number of op boundaries
+ *    that complete first).  When the boundary lands on a page program
+ *    the cut may strike *mid-tPROG*, tearing the wordline and
+ *    corrupting the paired LSB page (the MLC shared-wordline hazard);
+ *    whether a program boundary cuts before or mid-program is drawn
+ *    from the seed unless the spec pins it.
  *
  * Determinism contract: two injectors built with the same geometry and
  * seed, given the same addFault() calls and the same query sequence,
@@ -50,9 +57,18 @@ enum class FaultClass : std::uint8_t
     kEraseFailure,
     kDeadPlane,
     kDeadChip,
+    kPowerLoss,
 };
 
 const char *faultClassName(FaultClass c);
+
+/** How a power-loss fault strikes one PhysOp boundary. */
+enum class PowerCut : std::uint8_t
+{
+    kNone = 0,   ///< power is up; the op proceeds
+    kBeforeOp,   ///< cut before the op starts (op never executes)
+    kMidProgram, ///< cut mid-tPROG: the wordline is torn
+};
 
 /** One fault to inject. */
 struct FaultSpec
@@ -72,8 +88,14 @@ struct FaultSpec
     /** kProgramFailure / kEraseFailure: the Nth, 2Nth, ... matching
      *  attempt after @p onset fails (1 = every attempt). */
     std::uint32_t failPeriod = 4;
-    /** Matching attempts that succeed before the periodic failures. */
+    /** Matching attempts that succeed before the periodic failures.
+     *  For kPowerLoss: the number of PhysOp boundaries that complete
+     *  before the cut (0 = the very first op is cut). */
     std::uint32_t onset = 0;
+    /** kPowerLoss only: force the cut mode when the boundary lands on a
+     *  program — true = mid-tPROG (torn wordline), false = before the
+     *  op.  nullopt (default) draws the mode from the injector seed. */
+    std::optional<bool> cutMidProgram;
 
     bool operator==(const FaultSpec &) const = default;
 };
@@ -121,6 +143,22 @@ class FaultInjector
 
     /** Consume one erase attempt of @p a's block from the schedule. */
     bool eraseShouldFail(const flash::PhysPageAddr &a);
+
+    /**
+     * Consume one PhysOp boundary from every armed kPowerLoss fault.
+     * Once a fault's boundary count is reached the device is powered
+     * off: this call returns the cut mode (kMidProgram only possible
+     * when @p is_program) and every later call returns kBeforeOp until
+     * clearPowerLoss() models power restoration.
+     */
+    PowerCut powerCutOnOp(bool is_program);
+
+    /** Whether a power-loss fault has fired and power is still down. */
+    bool powerLost() const { return powerLost_; }
+
+    /** Power restored (device reboot).  Fired faults stay spent; a
+     *  separately armed kPowerLoss fault can still fire later. */
+    void clearPowerLoss() { powerLost_ = false; }
     /// @}
 
     /** @name Injection counters. */
@@ -143,6 +181,8 @@ class FaultInjector
         FaultSpec spec;
         std::vector<flash::StuckBitline> stuck; ///< kStuckBitline only
         std::uint64_t attempts = 0; ///< program/erase attempts consumed
+        bool cutMid = false;        ///< kPowerLoss: resolved cut mode
+        bool fired = false;         ///< kPowerLoss: boundary reached
     };
 
     bool matches(const Active &f, const flash::PhysPageAddr &a) const;
@@ -155,6 +195,7 @@ class FaultInjector
     std::vector<FaultSpec> specs_;
     std::uint64_t progFails_ = 0;
     std::uint64_t eraseFails_ = 0;
+    bool powerLost_ = false;
 };
 
 } // namespace parabit::ssd

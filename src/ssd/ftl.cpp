@@ -21,7 +21,21 @@ Ftl::Ftl(const SsdConfig &cfg, std::vector<flash::Chip> &chips)
     : cfg_(cfg), chips_(&chips), alloc_(cfg.geometry),
       scrambler_(cfg.seed ^ 0x5C4A3B2E1D0FULL)
 {
-    const double usable = 1.0 - cfg_.overProvisioning;
+    double usable_blocks = cfg_.geometry.blocksPerPlane;
+    if (cfg_.recovery.enabled) {
+        const std::uint32_t r = cfg_.recovery.reservedBlocksPerPlane;
+        if (r < 2 || r % 2 != 0 || r + 2 >= cfg_.geometry.blocksPerPlane)
+            fatal("Ftl: recovery.reservedBlocksPerPlane must be even, >= 2 "
+                  "and leave room for data blocks");
+        // The top r blocks of every plane become the SLC checkpoint +
+        // journal region, split into two ping-pong halves.
+        for (PlaneIndex p = 0; p < alloc_.planeCount(); ++p)
+            for (std::uint32_t i = 0; i < r; ++i)
+                alloc_.reserveBlock(p, cfg_.geometry.blocksPerPlane - 1 - i);
+        usable_blocks -= r;
+    }
+    const double usable = (1.0 - cfg_.overProvisioning) * usable_blocks /
+                          cfg_.geometry.blocksPerPlane;
     logicalPages_ = static_cast<std::uint64_t>(
         std::floor(static_cast<double>(cfg_.geometry.totalPages()) * usable));
     gcThresholdBlocks_ = std::max<std::uint32_t>(
@@ -57,19 +71,62 @@ Ftl::unmapPhys(const flash::PhysPageAddr &a)
 
 bool
 Ftl::programPhys(const flash::PhysPageAddr &a, const BitVector *data,
-                 bool for_gc, std::vector<PhysOp> &ops)
+                 bool for_gc, std::vector<PhysOp> &ops, Lpn lpn, OobTag tag,
+                 bool scrambled)
 {
+    const PowerCut cut = powerBoundary(true);
+    if (cut == PowerCut::kBeforeOp)
+        return false; // power was cut before tPROG started
     // The attempt costs program time whether or not it sticks.
     ops.push_back(PhysOp{PhysOp::Kind::kPageProgram, a, for_gc});
-    if (chipAt(a).programPage(chipAddr(a), data))
-        return true;
-    ++programFailures_;
-    const PlaneIndex p = planeIndex(
-        cfg_.geometry, PlaneCoord{a.channel, a.chip, a.die, a.plane});
-    alloc_.retireBlock(p, a.block);
-    logWarn("Ftl: program failure, retired block " +
-            std::to_string(a.block) + " of plane " + std::to_string(p));
-    return false;
+    const flash::PageOob oob{lpn, seq_++, static_cast<std::uint8_t>(tag),
+                             scrambled};
+    if (!chipAt(a).programPage(chipAddr(a), data,
+                               lpn == kNoLpn ? nullptr : &oob)) {
+        ++programFailures_;
+        const PlaneIndex p = planeIndex(
+            cfg_.geometry, PlaneCoord{a.channel, a.chip, a.die, a.plane});
+        alloc_.retireBlock(p, a.block);
+        journalAppend(JournalRecord{JournalRecord::Kind::kRetire, 0, 0,
+                                    linearBlockId(p, a.block)},
+                      ops);
+        logWarn("Ftl: program failure, retired block " +
+                std::to_string(a.block) + " of plane " + std::to_string(p));
+        return false;
+    }
+    if (cut == PowerCut::kMidProgram) {
+        // tPROG was interrupted: the shared-wordline cells are left in
+        // indeterminate states, corrupting the paired page as well.
+        chipAt(a).markTornWordline(chipAddr(a));
+        return false;
+    }
+    ++programsSinceCkpt_;
+    if (recoveryEnabled() && lpn != kNoLpn) {
+        // Paired-page protection: an interleaved LSB write stays in the
+        // controller's PLP buffer until its partner MSB program
+        // completes untorn (see PlpEntry).  ParaBit LSB-only layouts
+        // are excluded — their free MSBs are filled via the explicit
+        // backup protocol of writeIntoFreeMsb() instead.
+        flash::PhysPageAddr lsb = a;
+        lsb.msb = false;
+        const std::uint64_t key = flash::linearPageIndex(cfg_.geometry, lsb);
+        if (a.msb) {
+            plpBuffer_.erase(key);
+        } else if (tag == OobTag::kHostData || tag == OobTag::kGcRelocated) {
+            flash::PhysPageAddr msb = a;
+            msb.msb = true;
+            if (chipAt(a).pageState(chipAddr(msb)) == flash::PageState::kFree) {
+                PlpEntry e;
+                e.lpn = lpn;
+                e.seq = oob.seq;
+                e.scrambled = scrambled;
+                if (data)
+                    e.data = *data;
+                plpBuffer_[key] = std::move(e);
+            }
+        }
+    }
+    return true;
 }
 
 bool
@@ -136,7 +193,8 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
     std::uint32_t best_valid = cfg_.geometry.pagesPerBlock() + 1;
     for (std::uint32_t b = 0; b < cfg_.geometry.blocksPerPlane; ++b) {
         const flash::Block *blk = pl.blockIfExists(b);
-        if (!blk || alloc_.isActiveBlock(plane, b))
+        if (!blk || alloc_.isActiveBlock(plane, b) ||
+            alloc_.isReserved(plane, b))
             continue;
         // Only consider blocks that are fully written or hold garbage.
         if (blk->freePages() == cfg_.geometry.pagesPerBlock())
@@ -165,8 +223,13 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
             const std::uint64_t lin =
                 flash::linearPageIndex(cfg_.geometry, src);
             auto rit = reverse_.find(lin);
+            const Lpn lpn = rit != reverse_.end() ? rit->second : kNoLpn;
 
             // Read the victim page.
+            if (powerBoundary(false) != PowerCut::kNone) {
+                inGc_ = false;
+                return; // power cut: the victim keeps its valid pages
+            }
             BitVector data = chip.readPage(chipAddr(src));
             ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
 
@@ -174,18 +237,23 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
             // failure retires the destination block, so retrying simply
             // walks to the next pooled block.  When the plane runs out
             // of relocation targets (full, or its blocks fault-retired)
-            // abort this GC: the victim keeps its remaining valid pages
-            // and is simply never erased — degraded, not corrupted.
+            // or power is cut, abort this GC: the victim keeps its
+            // remaining valid pages and is simply never erased —
+            // degraded, not corrupted.
             auto dst = alloc_.nextPage(plane);
-            while (dst && !programPhys(*dst, cfg_.storeData ? &data : nullptr,
-                                       true, ops)) {
+            while (dst && !powerLost_ &&
+                   !programPhys(*dst, cfg_.storeData ? &data : nullptr, true,
+                                ops, lpn, OobTag::kGcRelocated,
+                                lpn != kNoLpn &&
+                                    scrambledLpns_.count(lpn) > 0)) {
                 ++programRetries_;
                 dst = alloc_.nextPage(plane);
             }
-            if (!dst) {
-                logWarn("Ftl::collectGarbage: no space to relocate in "
-                        "plane " +
-                        std::to_string(plane) + "; aborting GC");
+            if (!dst || powerLost_) {
+                if (!powerLost_)
+                    logWarn("Ftl::collectGarbage: no space to relocate in "
+                            "plane " +
+                            std::to_string(plane) + "; aborting GC");
                 inGc_ = false;
                 return;
             }
@@ -193,15 +261,26 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
 
             blk.invalidate(wl, msb);
             if (rit != reverse_.end()) {
-                const Lpn lpn = rit->second;
                 reverse_.erase(rit);
                 map_[lpn] = *dst;
                 reverse_[flash::linearPageIndex(cfg_.geometry, *dst)] = lpn;
             }
         }
     }
+    // Journal the erase ahead of issuing it: after a checkpoint this
+    // block would otherwise be outside the bounded recovery scan even
+    // though it may be reused for fresh data.
     flash::PhysPageAddr eaddr = probe;
     eaddr.block = static_cast<std::uint32_t>(victim);
+    if (!journalAppend(
+            JournalRecord{JournalRecord::Kind::kErase, 0, 0,
+                          linearBlockId(plane,
+                                        static_cast<std::uint32_t>(victim))},
+            ops) ||
+        powerBoundary(false) != PowerCut::kNone) {
+        inGc_ = false;
+        return; // power cut: the victim stays unerased (all invalid)
+    }
     ops.push_back(PhysOp{PhysOp::Kind::kBlockErase, eaddr, true});
     if (chip.eraseBlock(pc.die, pc.plane,
                         static_cast<std::uint32_t>(victim))) {
@@ -210,6 +289,11 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
     } else {
         ++eraseFailures_;
         alloc_.retireBlock(plane, static_cast<std::uint32_t>(victim));
+        journalAppend(
+            JournalRecord{JournalRecord::Kind::kRetire, 0, 0,
+                          linearBlockId(plane,
+                                        static_cast<std::uint32_t>(victim))},
+            ops);
         logWarn("Ftl: erase failure, retired block " +
                 std::to_string(victim) + " of plane " +
                 std::to_string(plane));
@@ -257,6 +341,8 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
     std::int64_t coldest = -1;
     std::uint32_t cold_erases = UINT32_MAX, hottest = 0;
     for (std::uint32_t b = 0; b < cfg_.geometry.blocksPerPlane; ++b) {
+        if (alloc_.isReserved(plane, b))
+            continue; // the log region does not take part in leveling
         const flash::Block *blk = pl.blockIfExists(b);
         const std::uint32_t e = blk ? blk->eraseCount() : 0;
         hottest = std::max(hottest, e);
@@ -293,25 +379,33 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
             const std::uint64_t lin =
                 flash::linearPageIndex(cfg_.geometry, src);
             auto rit = reverse_.find(lin);
+            const Lpn lpn = rit != reverse_.end() ? rit->second : kNoLpn;
 
+            if (powerBoundary(false) != PowerCut::kNone) {
+                migrated_all = false; // power cut: keep the cold block
+                break;
+            }
             BitVector data = chip.readPage(chipAddr(src));
             ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
             auto dst = alloc_.nextPage(plane);
-            while (dst && !programPhys(*dst, cfg_.storeData ? &data : nullptr,
-                                       true, ops)) {
+            while (dst && !powerLost_ &&
+                   !programPhys(*dst, cfg_.storeData ? &data : nullptr, true,
+                                ops, lpn, OobTag::kGcRelocated,
+                                lpn != kNoLpn &&
+                                    scrambledLpns_.count(lpn) > 0)) {
                 ++programRetries_;
                 dst = alloc_.nextPage(plane);
             }
-            if (!dst) {
-                // Out of relocation targets: the cold block must NOT be
-                // erased — its unmigrated pages are still the only copy.
+            if (!dst || powerLost_) {
+                // Out of relocation targets (or power cut): the cold
+                // block must NOT be erased — its unmigrated pages are
+                // still the only copy.
                 migrated_all = false;
                 break;
             }
             ++gcWrites_;
             blk.invalidate(wl, msb);
             if (rit != reverse_.end()) {
-                const Lpn lpn = rit->second;
                 reverse_.erase(rit);
                 map_[lpn] = *dst;
                 reverse_[flash::linearPageIndex(cfg_.geometry, *dst)] = lpn;
@@ -319,13 +413,23 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
         }
     }
     if (!migrated_all) {
-        logWarn("Ftl: wear-level migration ran out of space in plane " +
-                std::to_string(plane) + "; cold block kept");
+        if (!powerLost_)
+            logWarn("Ftl: wear-level migration ran out of space in plane " +
+                    std::to_string(plane) + "; cold block kept");
         inGc_ = false;
         return;
     }
     flash::PhysPageAddr eaddr = probe;
     eaddr.block = static_cast<std::uint32_t>(coldest);
+    if (!journalAppend(
+            JournalRecord{JournalRecord::Kind::kErase, 0, 0,
+                          linearBlockId(plane,
+                                        static_cast<std::uint32_t>(coldest))},
+            ops) ||
+        powerBoundary(false) != PowerCut::kNone) {
+        inGc_ = false;
+        return; // power cut: the cold block stays unerased (all invalid)
+    }
     ops.push_back(PhysOp{PhysOp::Kind::kBlockErase, eaddr, true});
     if (chip.eraseBlock(pc.die, pc.plane,
                         static_cast<std::uint32_t>(coldest))) {
@@ -334,6 +438,11 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
     } else {
         ++eraseFailures_;
         alloc_.retireBlock(plane, static_cast<std::uint32_t>(coldest));
+        journalAppend(
+            JournalRecord{JournalRecord::Kind::kRetire, 0, 0,
+                          linearBlockId(plane,
+                                        static_cast<std::uint32_t>(coldest))},
+            ops);
         logWarn("Ftl: erase failure, retired block " +
                 std::to_string(coldest) + " of plane " +
                 std::to_string(plane));
@@ -383,6 +492,8 @@ Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
         payload = &whitened;
     }
     for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        if (powerLost_)
+            break; // cut: the write is never acknowledged
         const PlaneIndex plane = pickAlivePlane();
         const auto a = allocateOrGc(plane, false, ops);
         if (!a) {
@@ -391,7 +502,8 @@ Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
             ++programRetries_;
             continue;
         }
-        if (!programPhys(*a, payload, false, ops)) {
+        if (!programPhys(*a, payload, false, ops, lpn, OobTag::kHostData,
+                         scramble)) {
             ++programRetries_;
             continue;
         }
@@ -401,10 +513,12 @@ Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
             scrambledLpns_.erase(lpn);
         ++hostWrites_;
         mapLpn(lpn, *a, ops);
+        maybeCheckpoint(ops);
         return true;
     }
-    logWarn("Ftl::writePage: program retries exhausted for LPN " +
-            std::to_string(lpn));
+    if (!powerLost_)
+        logWarn("Ftl::writePage: program retries exhausted for LPN " +
+                std::to_string(lpn));
     return false;
 }
 
@@ -415,6 +529,8 @@ Ftl::readPage(Lpn lpn, std::vector<PhysOp> &ops)
     if (it == map_.end())
         fatal("Ftl::readPage: unmapped LPN");
     const flash::PhysPageAddr &a = it->second;
+    if (powerBoundary(false) != PowerCut::kNone)
+        return BitVector(cfg_.geometry.pageBits(), false); // power is down
     ops.push_back(PhysOp{PhysOp::Kind::kPageRead, a, false});
     BitVector page = chipAt(a).readPage(chipAddr(a));
     if (cfg_.scrambleHostData && scrambledLpns_.count(lpn))
@@ -441,18 +557,37 @@ Ftl::pageAccessible(Lpn lpn)
     return chipAt(a).planeOperational(a.die, a.plane);
 }
 
-void
-Ftl::trim(Lpn lpn)
+bool
+Ftl::trim(Lpn lpn, std::vector<PhysOp> *ops)
 {
+    if (powerLost_)
+        return false;
     auto it = map_.find(lpn);
     if (it == map_.end())
-        return;
+        return true;
+    // Write-ahead: the trim record must be durable before the mapping
+    // is dropped, otherwise recovery would resurrect the page (its OOB
+    // entry is still the newest mapping on flash).
+    std::vector<PhysOp> local;
+    std::vector<PhysOp> &o = ops ? *ops : local;
+    if (!journalAppend(JournalRecord{JournalRecord::Kind::kTrim, 0, lpn, 0},
+                       o))
+        return false; // cut before the record flushed: trim not acked
     const flash::PhysPageAddr a = it->second;
     chipAt(a).plane(a.die, a.plane).block(a.block).invalidate(a.wordline,
                                                               a.msb);
     reverse_.erase(flash::linearPageIndex(cfg_.geometry, a));
     map_.erase(it);
     scrambledLpns_.erase(lpn);
+    // A buffered unpaired-LSB copy of this LPN must die with the trim,
+    // or a later capacitor flush would resurrect the trimmed page.
+    for (auto pit = plpBuffer_.begin(); pit != plpBuffer_.end();) {
+        if (pit->second.lpn == lpn)
+            pit = plpBuffer_.erase(pit);
+        else
+            ++pit;
+    }
+    return true;
 }
 
 std::optional<PagePair>
@@ -463,19 +598,26 @@ Ftl::writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
     if (plane && !planeAlive(*plane))
         return std::nullopt;
     for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        if (powerLost_)
+            break;
         const PlaneIndex p = plane ? *plane : pickAlivePlane();
         const auto pair = allocatePairOrGc(p, ops);
         if (!pair) {
             ++programRetries_;
             continue;
         }
-        if (!programPhys(pair->lsb, data_x, false, ops)) {
+        if (!programPhys(pair->lsb, data_x, false, ops, lpn_x,
+                         OobTag::kParabitPair)) {
             ++programRetries_;
             continue;
         }
-        if (!programPhys(pair->msb, data_y, false, ops)) {
-            // The block was retired; the LSB half just written goes
-            // with it — mark it garbage so GC never relocates it.
+        if (!programPhys(pair->msb, data_y, false, ops, lpn_y,
+                         OobTag::kParabitPair)) {
+            // The block was retired (or the program torn by a power
+            // cut); the LSB half just written goes with it — mark it
+            // garbage so GC never relocates it.  Until both halves are
+            // durable neither LPN's mapping moves (copy-then-remap), so
+            // a cut here fully rolls the pair placement back.
             chipAt(pair->lsb)
                 .plane(pair->lsb.die, pair->lsb.plane)
                 .block(pair->lsb.block)
@@ -489,9 +631,11 @@ Ftl::writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
         scrambledLpns_.erase(lpn_y);
         mapLpn(lpn_x, pair->lsb, ops);
         mapLpn(lpn_y, pair->msb, ops);
+        maybeCheckpoint(ops);
         return *pair;
     }
-    logWarn("Ftl::writePair: program retries exhausted");
+    if (!powerLost_)
+        logWarn("Ftl::writePair: program retries exhausted");
     return std::nullopt;
 }
 
@@ -502,22 +646,27 @@ Ftl::writeLsbOnly(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops,
     if (plane && !planeAlive(*plane))
         return std::nullopt;
     for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        if (powerLost_)
+            break;
         const PlaneIndex p = plane ? *plane : pickAlivePlane();
         const auto a = allocateOrGc(p, true, ops);
         if (!a) {
             ++programRetries_;
             continue;
         }
-        if (!programPhys(*a, data, false, ops)) {
+        if (!programPhys(*a, data, false, ops, lpn,
+                         OobTag::kParabitLsbOnly)) {
             ++programRetries_;
             continue;
         }
         ++parabitWrites_;
         scrambledLpns_.erase(lpn);
         mapLpn(lpn, *a, ops);
+        maybeCheckpoint(ops);
         return *a;
     }
-    logWarn("Ftl::writeLsbOnly: program retries exhausted");
+    if (!powerLost_)
+        logWarn("Ftl::writeLsbOnly: program retries exhausted");
     return std::nullopt;
 }
 
@@ -530,11 +679,87 @@ Ftl::writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
     flash::Chip &chip = chipAt(msb);
     if (chip.pageState(chipAddr(msb)) != flash::PageState::kFree)
         return false;
-    if (!programPhys(msb, data, false, ops))
-        return false; // block retired; caller re-places elsewhere
+
+    // Crash hazard: a power cut mid-tPROG of this MSB tears the
+    // wordline and takes the *already acknowledged* LSB page with it.
+    // In recovery mode, first copy that LSB aside (backup, higher
+    // sequence number, mapping untouched); after the MSB is durable a
+    // journaled remap re-asserts the original location and releases the
+    // copy.  Whatever prefix of that protocol a cut leaves behind,
+    // arbitration resolves to intact data (copy-then-remap).
+    std::optional<flash::PhysPageAddr> backup;
+    Lpn lsb_lpn = kNoLpn;
+    if (recoveryEnabled()) {
+        auto rit = reverse_.find(flash::linearPageIndex(cfg_.geometry,
+                                                        lsb_addr));
+        if (rit != reverse_.end()) {
+            lsb_lpn = rit->second;
+            if (powerBoundary(false) != PowerCut::kNone)
+                return false;
+            BitVector copy = chip.readPage(chipAddr(lsb_addr));
+            ops.push_back(PhysOp{PhysOp::Kind::kPageRead, lsb_addr, false});
+            const PlaneIndex p = planeIndex(
+                cfg_.geometry, PlaneCoord{lsb_addr.channel, lsb_addr.chip,
+                                          lsb_addr.die, lsb_addr.plane});
+            // Suppress GC while placing the copy: a GC run here could
+            // relocate the very LSB we are protecting out from under
+            // the caller's placement decision.
+            const bool was_in_gc = inGc_;
+            inGc_ = true;
+            auto a = alloc_.nextLsbOnly(p);
+            while (a && !powerLost_ &&
+                   !programPhys(*a, cfg_.storeData ? &copy : nullptr, false,
+                                ops, lsb_lpn, OobTag::kPairBackup,
+                                scrambledLpns_.count(lsb_lpn) > 0)) {
+                ++programRetries_;
+                a = alloc_.nextLsbOnly(p);
+            }
+            inGc_ = was_in_gc;
+            if (!a || powerLost_)
+                return false; // cannot protect the LSB: refuse the drop
+            backup = *a;
+            ++parabitWrites_; // protocol overhead traffic
+        }
+    }
+
+    if (!programPhys(msb, data, false, ops, lpn, OobTag::kParabitChainMsb)) {
+        // Block retired or power cut; roll the protocol back.
+        if (backup && !powerLost_)
+            chipAt(*backup)
+                .plane(backup->die, backup->plane)
+                .block(backup->block)
+                .invalidate(backup->wordline, false);
+        return false;
+    }
+    if (backup) {
+        // MSB durable: journal the drop itself (its block may be
+        // outside the bounded scan set) and re-assert the original LSB
+        // location with a sequence number above the backup's, then drop
+        // the copy.  A cut between these steps leaves the backup as the
+        // arbitration winner — same data, different page.
+        journalAppend(
+            JournalRecord{JournalRecord::Kind::kRemap, 0, lpn,
+                          flash::linearPageIndex(cfg_.geometry, msb)},
+            ops);
+        journalAppend(
+            JournalRecord{JournalRecord::Kind::kRemap, 0, lsb_lpn,
+                          flash::linearPageIndex(cfg_.geometry, lsb_addr)},
+            ops);
+        if (!powerLost_)
+            chipAt(*backup)
+                .plane(backup->die, backup->plane)
+                .block(backup->block)
+                .invalidate(backup->wordline, false);
+    } else if (recoveryEnabled()) {
+        journalAppend(
+            JournalRecord{JournalRecord::Kind::kRemap, 0, lpn,
+                          flash::linearPageIndex(cfg_.geometry, msb)},
+            ops);
+    }
     ++parabitWrites_;
     scrambledLpns_.erase(lpn);
     mapLpn(lpn, msb, ops);
+    maybeCheckpoint(ops);
     return true;
 }
 

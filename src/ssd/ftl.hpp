@@ -14,6 +14,14 @@
  *                  pre-allocation);
  *  - writeIntoFreeMsb(): drop a fresh logical page into the free MSB of
  *                  an existing wordline (chained-result placement).
+ *
+ * With SsdConfig::recovery enabled the FTL is crash-consistent: every
+ * program carries OOB metadata (LPN, sequence number, tag), mapping
+ * deletions are write-ahead journaled to a reserved SLC log region,
+ * periodic checkpoints bound the recovery scan, and powerCycle()
+ * rebuilds map/reverse/allocator state after a kPowerLoss fault cut
+ * execution at an arbitrary PhysOp boundary.  See DESIGN.md "Crash
+ * consistency".
  */
 
 #ifndef PARABIT_SSD_FTL_HPP_
@@ -29,12 +37,11 @@
 #include "flash/chip.hpp"
 #include "ssd/allocator.hpp"
 #include "ssd/config.hpp"
+#include "ssd/fault_injector.hpp"
+#include "ssd/recovery.hpp"
 #include "ssd/scrambler.hpp"
 
 namespace parabit::ssd {
-
-/** Logical page number. */
-using Lpn = std::uint64_t;
 
 /** One physical flash operation, for the timing layer. */
 struct PhysOp
@@ -85,8 +92,15 @@ class Ftl
      *  plane makes the stored copy unreadable — data loss). */
     bool pageAccessible(Lpn lpn);
 
-    /** Unmap @p lpn and invalidate its physical page. */
-    void trim(Lpn lpn);
+    /**
+     * Unmap @p lpn and invalidate its physical page.  In recovery mode
+     * the trim is write-ahead journaled before the mapping is touched;
+     * @return false when a power cut struck before the journal record
+     * became durable (the trim is then NOT acknowledged and recovery
+     * may legitimately keep the page mapped).  @p ops receives the
+     * journal-flush program when provided.
+     */
+    bool trim(Lpn lpn, std::vector<PhysOp> *ops = nullptr);
     /// @}
 
     /** @name ParaBit placement primitives. */
@@ -115,6 +129,49 @@ class Ftl
      */
     bool writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
                           const BitVector *data, std::vector<PhysOp> &ops);
+    /// @}
+
+    /** @name Crash consistency (SPOR); see file comment. */
+    /// @{
+
+    bool recoveryEnabled() const { return cfg_.recovery.enabled; }
+
+    /** Wire the device's fault injector in (power-cut boundaries are
+     *  consumed from it; null = no power faults possible). */
+    void setFaultInjector(FaultInjector *injector) { injector_ = injector; }
+
+    /** True after a kPowerLoss fault fired: every subsequent flash op
+     *  is suppressed until powerCycle(). */
+    bool powerLost() const { return powerLost_; }
+
+    /**
+     * Take a full checkpoint now (NVMe Flush / shutdown notification):
+     * the mapping + allocator snapshot is written to the inactive half
+     * of the reserved log region and committed, and the journal tail is
+     * cleared.  @return false if recovery is disabled, power is lost,
+     * or the cut struck before the commit page (the previous checkpoint
+     * generation then remains the durable truth).
+     */
+    bool checkpoint(std::vector<PhysOp> &ops);
+
+    /**
+     * Power restoration after a cut: rebuild map_/reverse_/scrambled
+     * state by checkpoint load + journal replay + OOB scan with
+     * sequence-number arbitration (torn wordlines discarded), rebuild
+     * the allocator from physical block occupancy, and take a fresh
+     * checkpoint.  With recovery disabled the mapping is simply lost
+     * (the device stays usable for new writes).  @p ops receives the
+     * scan/replay reads for the timing layer.
+     */
+    RecoveryReport powerCycle(std::vector<PhysOp> &ops);
+
+    /** The modeled content of the reserved log region (tests). */
+    const DurableLog &durableLog() const { return durable_; }
+
+    std::uint64_t checkpointsTaken() const { return checkpoints_; }
+    std::uint64_t journalRecordsWritten() const { return journalWrites_; }
+    /** Next OOB sequence number (monotonic across power cycles). */
+    std::uint64_t sequence() const { return seq_; }
     /// @}
 
     /** @name Statistics (endurance / WAF). */
@@ -172,13 +229,46 @@ class Ftl
                                              std::vector<PhysOp> &ops);
     void collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops);
     void maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops);
-    /** Program @p a (attempt is charged to @p ops either way); on an
-     *  injected program failure the block is retired and false returned. */
+    /** Program @p a (attempt is charged to @p ops either way) with OOB
+     *  {@p lpn, fresh seq, @p tag, @p scrambled}; on an injected
+     *  program failure the block is retired and false returned; on a
+     *  mid-program power cut the wordline is torn and false returned. */
     bool programPhys(const flash::PhysPageAddr &a, const BitVector *data,
-                     bool for_gc, std::vector<PhysOp> &ops);
+                     bool for_gc, std::vector<PhysOp> &ops, Lpn lpn,
+                     OobTag tag, bool scrambled = false);
     bool planeAlive(PlaneIndex plane);
     /** Next striped plane that is still operational (fatal if none). */
     PlaneIndex pickAlivePlane();
+
+    /** @name Crash-consistency internals (ftl_recovery.cpp). */
+    /// @{
+    /** Consume one PhysOp boundary from the injector; latches
+     *  powerLost_ on a cut.  kNone means the op may proceed. */
+    PowerCut powerBoundary(bool is_program);
+    /** Write-ahead append @p r: the record is durable (and pushed to
+     *  durable_) only if its log-page program completed pre-cut. */
+    bool journalAppend(JournalRecord r, std::vector<PhysOp> &ops);
+    /** Program the next free SLC log page (skipping bad pages); when
+     *  the active half is full, rotates via checkpoint() unless
+     *  @p allow_rotate is false (checkpoint's own pages). */
+    bool logProgram(std::vector<PhysOp> &ops, bool allow_rotate = true);
+    bool eraseHalf(int half, std::vector<PhysOp> &ops);
+    flash::PhysPageAddr logAddr(int half, std::uint32_t idx) const;
+    /** SLC log pages per ping-pong half, device-wide. */
+    std::uint32_t halfPages() const;
+    std::uint64_t linearBlockId(PlaneIndex plane, std::uint32_t block) const;
+    void maybeCheckpoint(std::vector<PhysOp> &ops);
+    RecoveryReport recover(std::vector<PhysOp> &ops);
+    /** Re-pool fully-free blocks per plane from physical occupancy. */
+    void rebuildAllocator();
+    /** Capacitor flush: dump the unpaired-LSB buffer to the durable
+     *  log (called exactly when a power cut latches, and on a clean
+     *  power cycle).  See PlpEntry. */
+    void plpFlush();
+    /** Re-program capacitor-flushed LSB copies whose flash page did
+     *  not survive the torn wordline. */
+    void restorePlpEntries(RecoveryReport &rep, std::vector<PhysOp> &ops);
+    /// @}
 
     SsdConfig cfg_;
     std::vector<flash::Chip> *chips_;
@@ -203,6 +293,26 @@ class Ftl
     std::uint64_t programRetries_ = 0;
     std::uint32_t gcThresholdBlocks_;
     bool inGc_ = false;
+
+    /** @name Crash-consistency state. */
+    /// @{
+    FaultInjector *injector_ = nullptr;
+    bool powerLost_ = false;
+    /** Monotonic OOB/journal sequence stream (0 = never assigned). */
+    std::uint64_t seq_ = 1;
+    DurableLog durable_;
+    int logHalf_ = 0;          ///< half holding the committed generation
+    std::uint32_t logHead_ = 0; ///< next free log page in logHalf_
+    std::uint32_t programsSinceCkpt_ = 0;
+    bool inCheckpoint_ = false;
+    std::uint64_t checkpoints_ = 0;
+    std::uint64_t journalWrites_ = 0;
+    std::uint64_t logErases_ = 0;
+    /** Unpaired interleaved LSB writes awaiting their partner MSB
+     *  program, keyed by the LSB page's linear index (PLP-protected
+     *  controller RAM; at most one entry per plane write cursor). */
+    std::unordered_map<std::uint64_t, PlpEntry> plpBuffer_;
+    /// @}
 };
 
 } // namespace parabit::ssd

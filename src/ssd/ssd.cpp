@@ -28,8 +28,20 @@ SsdDevice::faultInjector()
         injector_ = std::make_unique<FaultInjector>(
             cfg_.geometry, cfg_.seed ^ 0xFA017EC7ull);
         installFaultHooks();
+        ftl_.setFaultInjector(injector_.get());
     }
     return *injector_;
+}
+
+RecoveryReport
+SsdDevice::powerCycle(Tick at)
+{
+    if (injector_)
+        injector_->clearPowerLoss();
+    std::vector<PhysOp> ops;
+    RecoveryReport rep = ftl_.powerCycle(ops);
+    rep.scanTime = scheduleOps(ops, at) - at;
+    return rep;
 }
 
 void

@@ -78,6 +78,15 @@ class SsdDevice
     /** Book in-flash array jobs (ParaBit sequences). */
     Tick scheduleArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at);
 
+    /**
+     * Power restoration after a kPowerLoss fault (or a clean restart):
+     * clears the injector's latched power-loss state, runs the FTL's
+     * SPOR pass (checkpoint load + journal replay + OOB scan) and books
+     * the recovery reads on the timing model.  The report's scanTime is
+     * the simulated recovery duration starting at @p at.
+     */
+    RecoveryReport powerCycle(Tick at = 0);
+
     /** Endurance/write-traffic snapshot. */
     EnduranceStats endurance() const;
 

@@ -80,6 +80,64 @@ TEST(Block, EraseResetsEverythingAndCounts)
     EXPECT_EQ(b.eraseCount(), 2u);
 }
 
+TEST(Block, OobAttachesPerPageAndSurvivesInvalidate)
+{
+    Block b(4, 16, true);
+    const PageOob lsb_oob{7, 100, 1, true};
+    const PageOob msb_oob{9, 101, 2, false};
+    b.program(2, false, nullptr, &lsb_oob);
+    b.program(2, true, nullptr, &msb_oob);
+
+    ASSERT_NE(b.pageOob(2, false), nullptr);
+    EXPECT_EQ(b.pageOob(2, false)->lpn, 7u);
+    EXPECT_EQ(b.pageOob(2, false)->seq, 100u);
+    EXPECT_EQ(b.pageOob(2, false)->tag, 1);
+    EXPECT_TRUE(b.pageOob(2, false)->scrambled);
+    ASSERT_NE(b.pageOob(2, true), nullptr);
+    EXPECT_EQ(b.pageOob(2, true)->lpn, 9u);
+
+    // Pages programmed without OOB, and free pages, expose none.
+    b.program(0, false, nullptr);
+    EXPECT_EQ(b.pageOob(0, false), nullptr);
+    EXPECT_EQ(b.pageOob(3, false), nullptr);
+
+    // A stale copy keeps its OOB (it loses recovery arbitration by
+    // sequence number, it is not physically wiped)...
+    b.invalidate(2, false);
+    ASSERT_NE(b.pageOob(2, false), nullptr);
+    EXPECT_EQ(b.pageOob(2, false)->seq, 100u);
+
+    // ...and erase clears it with the rest of the block.
+    b.erase();
+    EXPECT_EQ(b.pageOob(2, false), nullptr);
+    EXPECT_EQ(b.pageOob(2, true), nullptr);
+}
+
+TEST(Block, MarkTornDropsBothPayloadsOfTheWordline)
+{
+    Block b(4, 8, true);
+    const BitVector lsb = BitVector::fromString("11110000");
+    const PageOob oob{3, 50, 1, false};
+    b.program(1, false, &lsb, &oob);
+
+    // Power cut mid-MSB-program: the shared cells corrupt the paired
+    // LSB too, so both payloads are gone while states/OOB remain for
+    // recovery to inspect (and then discard the wordline).
+    b.program(1, true, &lsb, &oob);
+    b.markTorn(1);
+    EXPECT_TRUE(b.torn(1));
+    EXPECT_FALSE(b.torn(0));
+    EXPECT_EQ(b.pageData(1, false), nullptr);
+    EXPECT_EQ(b.pageData(1, true), nullptr);
+    EXPECT_NE(b.pageOob(1, false), nullptr);
+    EXPECT_EQ(b.pageState(1, false), PageState::kValid);
+
+    // Erase heals the mark.
+    b.erase();
+    EXPECT_FALSE(b.torn(1));
+    EXPECT_EQ(b.freePages(), 8u);
+}
+
 TEST(Block, WordlineDataExposesBothPages)
 {
     Block b(2, 8, true);

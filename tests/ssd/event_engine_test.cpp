@@ -73,5 +73,68 @@ TEST(EventEngine, RunOneAdvancesStepwise)
     EXPECT_FALSE(e.runOne());
 }
 
+TEST(EventEngine, RunUntilStopsAtBoundary)
+{
+    EventEngine e;
+    std::vector<int> order;
+    e.schedule(10, [&] { order.push_back(1); });
+    e.schedule(20, [&] { order.push_back(2); });
+    e.schedule(30, [&] { order.push_back(3); });
+    EXPECT_EQ(e.runUntil(20), 20u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(e.now(), 20u);
+    EXPECT_EQ(e.pending(), 1u);
+    // Resuming picks up the remainder.
+    EXPECT_EQ(e.runUntil(100), 100u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventEngine, RunUntilAdvancesIdleTime)
+{
+    EventEngine e;
+    EXPECT_EQ(e.runUntil(500), 500u);
+    EXPECT_EQ(e.now(), 500u);
+    // A target in the past never rewinds the clock.
+    EXPECT_EQ(e.runUntil(100), 500u);
+    EXPECT_EQ(e.now(), 500u);
+}
+
+TEST(EventEngine, RunUntilRunsCascadedEventsInsideWindow)
+{
+    EventEngine e;
+    int fired = 0;
+    e.schedule(10, [&] {
+        ++fired;
+        e.scheduleAfter(5, [&] { ++fired; });   // at 15: inside
+        e.scheduleAfter(100, [&] { ++fired; }); // at 110: outside
+    });
+    e.runUntil(50);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(EventEngine, HaltDrainsNothingFurther)
+{
+    EventEngine e;
+    int fired = 0;
+    e.schedule(10, [&] { ++fired; });
+    e.schedule(20, [&] {
+        ++fired;
+        e.halt(); // power cut mid-simulation
+    });
+    e.schedule(30, [&] { ++fired; });
+    const Tick end = e.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, 20u);
+    EXPECT_TRUE(e.halted());
+    EXPECT_EQ(e.pending(), 0u);
+    // Everything after the halt is inert.
+    e.schedule(40, [&] { ++fired; });
+    EXPECT_EQ(e.pending(), 0u);
+    EXPECT_FALSE(e.runOne());
+    EXPECT_EQ(e.runUntil(100), 20u);
+    EXPECT_EQ(fired, 2);
+}
+
 } // namespace
 } // namespace parabit::ssd

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "ssd/fault_injector.hpp"
 #include "ssd/ssd.hpp"
 
@@ -160,6 +162,106 @@ TEST(FaultInjector, FingerprintTracksScheduleAndSeed)
     extra.plane = 1;
     a.addFault(extra);
     EXPECT_NE(a.scheduleFingerprint(), before);
+}
+
+TEST(FaultInjector, FaultClassNamesAreExhaustive)
+{
+    // Every enumerator must render a real name; "?" would mean a class
+    // was added without updating faultClassName() (the verify tool lints
+    // the switch, this guards the runtime behaviour).
+    for (int c = 0; c <= static_cast<int>(FaultClass::kPowerLoss); ++c) {
+        const char *name = faultClassName(static_cast<FaultClass>(c));
+        EXPECT_STRNE(name, "?") << "class " << c;
+        EXPECT_GT(std::string(name).size(), 1u);
+    }
+    EXPECT_STREQ(faultClassName(FaultClass::kPowerLoss), "power-loss");
+}
+
+TEST(FaultInjector, PowerCutFiresAfterOnsetBoundaries)
+{
+    FaultInjector inj(tinyGeom(), 21);
+    FaultSpec s;
+    s.cls = FaultClass::kPowerLoss;
+    s.onset = 3; // three boundaries complete, the fourth op is cut
+    s.cutMidProgram = false;
+    inj.addFault(s);
+
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kNone);
+    EXPECT_EQ(inj.powerCutOnOp(true), PowerCut::kNone);
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kNone);
+    EXPECT_FALSE(inj.powerLost());
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kBeforeOp);
+    EXPECT_TRUE(inj.powerLost());
+    // Power stays down: every later boundary is refused.
+    EXPECT_EQ(inj.powerCutOnOp(true), PowerCut::kBeforeOp);
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kBeforeOp);
+}
+
+TEST(FaultInjector, PowerCutMidProgramOnlyTearsPrograms)
+{
+    FaultInjector inj(tinyGeom(), 21);
+    FaultSpec s;
+    s.cls = FaultClass::kPowerLoss;
+    s.onset = 0;
+    s.cutMidProgram = true; // pin mid-tPROG
+    inj.addFault(s);
+
+    // The cut boundary lands on a program: the wordline tears.
+    EXPECT_EQ(inj.powerCutOnOp(true), PowerCut::kMidProgram);
+    EXPECT_TRUE(inj.powerLost());
+
+    // Same spec, but the boundary lands on a read/erase: a mid-program
+    // cut is impossible, it degrades to before-op.
+    FaultInjector inj2(tinyGeom(), 21);
+    inj2.addFault(s);
+    EXPECT_EQ(inj2.powerCutOnOp(false), PowerCut::kBeforeOp);
+}
+
+TEST(FaultInjector, PowerCutModeIsSeedDeterministicWhenUnpinned)
+{
+    FaultSpec s;
+    s.cls = FaultClass::kPowerLoss;
+    s.onset = 0; // cutMidProgram stays nullopt: drawn from the seed
+    auto cut_of = [&](std::uint64_t seed) {
+        FaultInjector inj(tinyGeom(), seed);
+        inj.addFault(s);
+        return inj.powerCutOnOp(true);
+    };
+    // Replays agree; across seeds both modes occur.
+    bool saw_mid = false, saw_before = false;
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        const PowerCut c = cut_of(seed);
+        EXPECT_EQ(c, cut_of(seed)) << "seed " << seed;
+        saw_mid |= c == PowerCut::kMidProgram;
+        saw_before |= c == PowerCut::kBeforeOp;
+    }
+    EXPECT_TRUE(saw_mid);
+    EXPECT_TRUE(saw_before);
+}
+
+TEST(FaultInjector, ClearPowerLossRearmsNothing)
+{
+    FaultInjector inj(tinyGeom(), 5);
+    FaultSpec s;
+    s.cls = FaultClass::kPowerLoss;
+    s.onset = 0;
+    s.cutMidProgram = false;
+    inj.addFault(s);
+
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kBeforeOp);
+    inj.clearPowerLoss();
+    EXPECT_FALSE(inj.powerLost());
+    // The fired fault is spent: power stays up indefinitely.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(inj.powerCutOnOp(i % 2 == 0), PowerCut::kNone);
+
+    // A freshly armed fault fires on its own schedule.
+    FaultSpec again = s;
+    again.onset = 1;
+    inj.addFault(again);
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kNone);
+    EXPECT_EQ(inj.powerCutOnOp(false), PowerCut::kBeforeOp);
+    EXPECT_TRUE(inj.powerLost());
 }
 
 TEST(SsdDeviceFaults, InjectDeadPlaneMarksChipPlane)
