@@ -50,6 +50,40 @@ class ScalarStat
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/**
+ * Sample recorder for percentile queries (latency p50/p99).  Keeps every
+ * sample, so callers gate recording behind an opt-in flag for
+ * long-running simulations.
+ */
+class SampleSeries
+{
+  public:
+    void
+    sample(double v)
+    {
+        samples_.push_back(v);
+        scalar_.sample(v);
+    }
+
+    std::uint64_t count() const { return scalar_.count(); }
+    double mean() const { return scalar_.mean(); }
+    double max() const { return scalar_.max(); }
+
+    /** Nearest-rank percentile; @p p in [0, 100].  0 when empty. */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        samples_.clear();
+        scalar_.reset();
+    }
+
+  private:
+    std::vector<double> samples_;
+    ScalarStat scalar_;
+};
+
 /** Fixed-width histogram over [lo, hi) with overflow/underflow buckets. */
 class Histogram
 {

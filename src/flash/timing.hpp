@@ -30,6 +30,20 @@ struct FlashTiming
     double channelBytesPerSec = 800.0e6;
     /** Command/address cycle overhead per flash command. */
     Tick tCmdOverhead = ticks::fromNs(200);
+    /**
+     * Program/erase suspend latency: time from the suspend command
+     * until the die can service another array operation (the array
+     * finishes the current pulse and parks its charge pumps).  Typical
+     * modern-NAND datasheet values are in the few-tens-of-microseconds
+     * range; the read-priority scheduler policy charges this before a
+     * preempting read's sensing starts.
+     */
+    Tick tSuspend = ticks::fromUs(20);
+    /**
+     * Program/erase resume latency: pump restart before the suspended
+     * operation continues.  Charged ahead of the resumed remainder.
+     */
+    Tick tResume = ticks::fromUs(20);
 
     Tick
     transferTime(Bytes n) const
@@ -51,6 +65,14 @@ struct FlashTiming
  * read-disturb condition to decay before re-sensing.
  */
 inline constexpr Tick kDefaultRetryBackoff = ticks::fromUs(100);
+
+/**
+ * Default cap on how long one suspended program/erase may sit parked
+ * while reads overtake it (read-priority scheduling): one typical page
+ * program.  Together with the per-op suspend-count budget this hard
+ * bounds the extra latency suspend-resume can add to background work.
+ */
+inline constexpr Tick kDefaultMaxSuspended = ticks::fromUs(640);
 
 } // namespace parabit::flash
 

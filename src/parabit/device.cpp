@@ -10,6 +10,14 @@ ParaBitDevice::ParaBitDevice(const ssd::SsdConfig &cfg)
 {
 }
 
+Tick
+ParaBitDevice::scheduleBatch(const std::vector<ssd::PhysOp> &ops)
+{
+    const ssd::sched::TxGroup g = ssd_->submitOps(ops, now_);
+    ssd_->drainTransactions();
+    return ssd_->groupCompletion(g, now_);
+}
+
 void
 ParaBitDevice::writeData(nvme::Lpn start, const std::vector<BitVector> &pages)
 {
@@ -27,7 +35,7 @@ ParaBitDevice::writeDataLsbOnly(nvme::Lpn start,
     std::vector<ssd::PhysOp> ops;
     for (std::size_t i = 0; i < pages.size(); ++i)
         ssd_->ftl().writeLsbOnly(start + i, &pages[i], ops);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
 }
 
 void
@@ -41,7 +49,7 @@ ParaBitDevice::writeOperandPair(nvme::Lpn x_start, nvme::Lpn y_start,
     for (std::size_t i = 0; i < x_pages.size(); ++i)
         ssd_->ftl().writePair(x_start + i, y_start + i, &x_pages[i],
                               &y_pages[i], ops);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
 }
 
 void
@@ -52,7 +60,7 @@ ParaBitDevice::writeDataLsbOnlyInPlane(nvme::Lpn start,
     std::vector<ssd::PhysOp> ops;
     for (std::size_t i = 0; i < pages.size(); ++i)
         ssd_->ftl().writeLsbOnly(start + i, &pages[i], ops, plane);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
 }
 
 void
@@ -61,7 +69,7 @@ ParaBitDevice::writeMeta(nvme::Lpn start, std::uint32_t pages)
     std::vector<ssd::PhysOp> ops;
     for (std::uint32_t i = 0; i < pages; ++i)
         ssd_->ftl().writePage(start + i, nullptr, ops);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
 }
 
 void
@@ -70,7 +78,7 @@ ParaBitDevice::writeMetaLsbOnly(nvme::Lpn start, std::uint32_t pages)
     std::vector<ssd::PhysOp> ops;
     for (std::uint32_t i = 0; i < pages; ++i)
         ssd_->ftl().writeLsbOnly(start + i, nullptr, ops);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
 }
 
 void
@@ -80,7 +88,7 @@ ParaBitDevice::writeMetaOperandPair(nvme::Lpn x_start, nvme::Lpn y_start,
     std::vector<ssd::PhysOp> ops;
     for (std::uint32_t i = 0; i < pages; ++i)
         ssd_->ftl().writePair(x_start + i, y_start + i, nullptr, nullptr, ops);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
 }
 
 std::vector<BitVector>
@@ -134,7 +142,7 @@ ParaBitDevice::flush()
         return true;
     std::vector<ssd::PhysOp> ops;
     const bool ok = ssd_->ftl().checkpoint(ops);
-    now_ = ssd_->scheduleOps(ops, now_);
+    now_ = scheduleBatch(ops);
     return ok;
 }
 

@@ -136,6 +136,10 @@ class ParaBitDevice
     Controller &controller() { return controller_; }
 
   private:
+    /** Emit @p ops as one scheduler batch at now() and arbitrate it.
+     *  @return the batch completion (now() when @p ops is empty). */
+    Tick scheduleBatch(const std::vector<ssd::PhysOp> &ops);
+
     std::unique_ptr<ssd::SsdDevice> ssd_;
     Controller controller_;
     Tick now_ = 0;

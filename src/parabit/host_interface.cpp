@@ -118,8 +118,65 @@ HostInterface::pump()
         nvme::QueuePair::Fetched f;
     };
 
+    // Plain reads/writes are not executed inline: their FTL ops are
+    // submitted to the device's transaction scheduler as they are
+    // fetched (in arbitration order) and the batch is drained at the
+    // next boundary — a formula execution, a Flush, or the end of the
+    // round.  Under FCFS this is tick-identical to inline execution
+    // (the device clock does not advance while commands accumulate and
+    // per-resource booking order equals submission order); under the
+    // reordering policies it is what gives the arbiter a window of
+    // co-pending host transactions to work with.
+    struct DeferredPlain
+    {
+        std::uint16_t qid;
+        nvme::QueuePair::Fetched f;
+        ssd::sched::TxGroup group;
+        std::uint16_t status;
+        Tick submittedNow; ///< device clock at submission (fallback)
+    };
+    std::vector<DeferredPlain> deferred;
+
     std::size_t retired = 0;
     bool more = true;
+
+    // Drain the scheduler and complete every deferred command.  Must
+    // run before anything that opens a new scheduler batch (formula
+    // execution, Flush) — the batch's completion map is discarded at
+    // the next submit.
+    const auto flushDeferred = [&] {
+        if (deferred.empty())
+            return;
+        dev_->ssd().drainTransactions();
+        for (DeferredPlain &d : deferred) {
+            const Tick done =
+                dev_->ssd().groupCompletion(d.group, d.submittedNow);
+            auto &requeued = requeuedCids_.at(d.qid);
+            const auto rit =
+                std::find(requeued.begin(), requeued.end(), d.f.cid);
+            const bool second_attempt = rit != requeued.end();
+            if (second_attempt)
+                requeued.erase(rit);
+            const Tick deadline = d.f.submittedAt + commandTimeout_;
+            if (commandTimeout_ > 0 && !second_attempt && done > deadline) {
+                ++timeouts_;
+                qps_[d.qid].complete(d.f.cid, d.f.submittedAt, deadline,
+                                     nvme::kCommandAborted);
+                const auto cid = qps_[d.qid].submit(d.f.cmd, done);
+                if (!cid)
+                    panic("HostInterface: ring full on requeue");
+                requeued.push_back(*cid);
+                ++requeues_;
+                more = true;
+                ++retired;
+                continue;
+            }
+            qps_[d.qid].complete(d.f.cid, d.f.submittedAt, done, d.status);
+            ++retired;
+        }
+        deferred.clear();
+    };
+
     while (more) {
         more = false;
 
@@ -157,6 +214,7 @@ HostInterface::pump()
                         std::move(groups[p.qid]);
                     groups[p.qid].clear();
                     const auto batches = parser_.parse(group);
+                    flushDeferred();
                     ExecResult r = dev_->controller().executeBatches(
                         batches, mode_, dev_->now());
                     const Tick deadline = p.f.submittedAt + commandTimeout_;
@@ -201,54 +259,42 @@ HostInterface::pump()
             // Plain I/O path.  Reads gate on page accessibility — a
             // dead plane surfaces as a media error, not silent data.
             const nvme::Lpn lpn = p.f.cmd.slba() / parser_.sectorsPerPage();
-            Tick done = dev_->now();
-            std::uint16_t status = nvme::kSuccess;
             if (op == nvme::Opcode::kFlush) {
                 // Flush = force a checkpoint: every write completed
                 // before this command survives a subsequent power cut
-                // without journal/OOB replay.
+                // without journal/OOB replay.  Complete the pending
+                // batch first — the checkpoint orders after it.
+                flushDeferred();
+                std::uint16_t status = nvme::kSuccess;
                 if (!dev_->flush())
                     status = nvme::kInternalError;
-                done = dev_->now();
-            } else if (op == nvme::Opcode::kRead) {
+                DeferredPlain d{p.qid, std::move(p.f), {}, status,
+                                dev_->now()};
+                deferred.push_back(std::move(d));
+                flushDeferred(); // empty group: completes at dev_->now()
+                continue;
+            }
+            DeferredPlain d{p.qid, std::move(p.f), {}, nvme::kSuccess,
+                            dev_->now()};
+            if (op == nvme::Opcode::kRead) {
                 if (!dev_->ssd().ftl().pageAccessible(lpn)) {
-                    status = nvme::kUnrecoveredReadError;
+                    d.status = nvme::kUnrecoveredReadError;
                 } else {
                     std::vector<ssd::PhysOp> ops;
                     dev_->ssd().ftl().readPage(lpn, ops);
-                    done = dev_->ssd().scheduleOps(ops, dev_->now());
+                    d.group = dev_->ssd().submitOps(ops, dev_->now());
                 }
             } else {
                 std::vector<ssd::PhysOp> ops;
                 const bool wrote =
                     dev_->ssd().ftl().writePage(lpn, nullptr, ops);
-                done = dev_->ssd().scheduleOps(ops, dev_->now());
+                d.group = dev_->ssd().submitOps(ops, dev_->now());
                 if (!wrote)
-                    status = nvme::kInternalError;
+                    d.status = nvme::kInternalError;
             }
-            auto &requeued = requeuedCids_.at(p.qid);
-            const auto rit =
-                std::find(requeued.begin(), requeued.end(), p.f.cid);
-            const bool second_attempt = rit != requeued.end();
-            if (second_attempt)
-                requeued.erase(rit);
-            const Tick deadline = p.f.submittedAt + commandTimeout_;
-            if (commandTimeout_ > 0 && !second_attempt && done > deadline) {
-                ++timeouts_;
-                qps_[p.qid].complete(p.f.cid, p.f.submittedAt, deadline,
-                                     nvme::kCommandAborted);
-                const auto cid = qps_[p.qid].submit(p.f.cmd, done);
-                if (!cid)
-                    panic("HostInterface: ring full on requeue");
-                requeued.push_back(*cid);
-                ++requeues_;
-                more = true;
-                ++retired;
-                continue;
-            }
-            qps_[p.qid].complete(p.f.cid, p.f.submittedAt, done, status);
-            ++retired;
+            deferred.push_back(std::move(d));
         }
+        flushDeferred();
     }
     return retired;
 }

@@ -11,6 +11,7 @@
 #include "flash/error_model.hpp"
 #include "flash/geometry.hpp"
 #include "flash/timing.hpp"
+#include "ssd/sched/sched_config.hpp"
 
 namespace parabit::ssd {
 
@@ -79,6 +80,10 @@ struct SsdConfig
 
     /** Sudden-power-off recovery (off by default). */
     RecoveryConfig recovery;
+
+    /** Transaction-scheduler knobs (defaults reproduce the legacy
+     *  greedy timing exactly; see ssd/sched/sched_config.hpp). */
+    sched::SchedConfig sched;
 
     /** The paper's evaluated device (Section 5.1) in timing mode. */
     static SsdConfig

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Pluggable arbitration policies for the transaction scheduler.
+ *
+ * A policy answers one question — given the pending phase entries of a
+ * single resource (one plane-granular die queue or one channel queue),
+ * which entry starts next? — plus whether an arriving entry preempts
+ * the array operation currently running on that resource.
+ *
+ * Determinism: a policy sees only the queue snapshot and the current
+ * tick, and ties always break toward the lowest submission sequence
+ * number, so repeated runs pick identical schedules.
+ */
+
+#ifndef PARABIT_SSD_SCHED_POLICY_HPP_
+#define PARABIT_SSD_SCHED_POLICY_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ssd/sched/sched_config.hpp"
+#include "ssd/sched/transaction.hpp"
+
+namespace parabit::ssd::sched {
+
+/**
+ * What a policy may know about one queued phase entry.  `ready` means
+ * every earlier phase of the same transaction has finished and the
+ * entry's earliest-start has been reached, i.e. it could start now.
+ */
+struct PendingView
+{
+    /** Global submission sequence of the owning transaction. */
+    std::uint64_t seq = 0;
+    TxClass cls = TxClass::kRead;
+    PhaseKind kind = PhaseKind::kArray;
+    bool ready = false;
+    /** Earliest tick the entry may start (phase chaining + readyAt). */
+    Tick earliest = 0;
+    /** The entry is the resumed remainder of a suspended operation. */
+    bool isResume = false;
+    /** Tick at which a parked remainder must outrank reads (resume
+     *  entries only; set at the operation's first suspension). */
+    Tick forceAt = 0;
+};
+
+/** Sentinel: no entry may start now. */
+inline constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Choose the index of the entry to start on an idle resource, or
+     * kNoPick to leave the resource idle (e.g. FCFS waiting for a
+     * not-yet-ready head of line).  `views` lists the resource's queue
+     * in submission order.
+     */
+    virtual std::size_t pick(const std::vector<PendingView> &views,
+                             Tick now) const = 0;
+
+    /**
+     * Whether an arriving ready entry of class `incoming` suspends the
+     * array operation of class `running` currently occupying the
+     * resource.  Only consulted for suspendable running classes.
+     */
+    virtual bool preempts(TxClass incoming, TxClass running) const = 0;
+};
+
+std::unique_ptr<SchedulerPolicy> makePolicy(const SchedConfig &cfg);
+
+} // namespace parabit::ssd::sched
+
+#endif // PARABIT_SSD_SCHED_POLICY_HPP_

@@ -1,0 +1,495 @@
+#include "ssd/sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace parabit::ssd::sched {
+
+TransactionScheduler::TransactionScheduler(
+    const flash::FlashGeometry &geometry, const flash::FlashTiming &timing,
+    const SchedConfig &cfg)
+    : geo_(geometry), timing_(timing), cfg_(cfg), policy_(makePolicy(cfg)),
+      latency_(kNumTxClasses)
+{
+    resources_.resize(static_cast<std::size_t>(geo_.channels) +
+                      geo_.planesTotal());
+    for (std::uint32_t c = 0; c < geo_.channels; ++c)
+    {
+        resources_[c].onChannel = true;
+        resources_[c].index = c;
+    }
+    for (std::uint32_t p = 0; p < geo_.planesTotal(); ++p)
+    {
+        Resource &r = resources_[geo_.channels + p];
+        r.onChannel = false;
+        r.index = p;
+    }
+}
+
+std::size_t
+TransactionScheduler::channelResource(std::uint32_t channel) const
+{
+    return channel;
+}
+
+std::size_t
+TransactionScheduler::arrayResource(const flash::PhysPageAddr &a) const
+{
+    // Same linearisation as the legacy per-plane Timelines.
+    const std::size_t idx =
+        ((static_cast<std::size_t>(a.channel) * geo_.chipsPerChannel +
+          a.chip) *
+             geo_.diesPerChip +
+         a.die) *
+            geo_.planesPerDie +
+        a.plane;
+    return static_cast<std::size_t>(geo_.channels) + idx;
+}
+
+void
+TransactionScheduler::buildPhases(TxState &st) const
+{
+    const DeviceTransaction &tx = st.tx;
+    const std::size_t ch = channelResource(tx.addr.channel);
+    const std::size_t die = arrayResource(tx.addr);
+    // Canonical phase order across every class: cmd, xfer-in, array,
+    // xfer-out (zero-duration phases are elided).  Reads have no
+    // xfer-in, programs/erases no xfer-out, so this reproduces the
+    // class-specific legacy reserve() sequences exactly.
+    if (cfg_.cmdOnChannel && tx.cmdTicks > 0)
+    {
+        st.phases.push_back({PhaseKind::kCmd, ch, tx.cmdTicks});
+    }
+    if (tx.xferInTicks > 0)
+    {
+        st.phases.push_back({PhaseKind::kXferIn, ch, tx.xferInTicks});
+    }
+    if (tx.arrayTicks > 0)
+    {
+        st.phases.push_back({PhaseKind::kArray, die, tx.arrayTicks});
+    }
+    if (tx.xferOutTicks > 0)
+    {
+        st.phases.push_back({PhaseKind::kXferOut, ch, tx.xferOutTicks});
+    }
+}
+
+Tick
+TransactionScheduler::firstEarliest(const TxState &st) const
+{
+    // The command overhead is a die-side delay unless modelled as a
+    // channel phase; batch followers add their leader-alignment delay.
+    Tick delay = st.tx.extraDelay;
+    if (!cfg_.cmdOnChannel)
+    {
+        delay += st.tx.cmdTicks;
+    }
+    return st.tx.readyAt + delay;
+}
+
+std::uint64_t
+TransactionScheduler::submit(const DeviceTransaction &tx)
+{
+    if (!batchOpen_)
+    {
+        // First submit after a drain: discard the previous batch's
+        // records and completion map (callers must have flushed any
+        // group queries by now) so memory stays bounded.
+        txs_.clear();
+        completions_.clear();
+        trace_.clear();
+        batchOpen_ = true;
+    }
+    TxState st;
+    st.tx = tx;
+    st.id = nextId_++;
+    buildPhases(st);
+    ++submitted_;
+
+    const std::size_t txIdx = txs_.size();
+    txs_.push_back(std::move(st));
+    TxState &added = txs_.back();
+    if (added.phases.empty())
+    {
+        // Pure delay (all phase durations zero): completes without
+        // touching any resource.
+        finishTx(added, firstEarliest(added));
+        return added.id;
+    }
+    for (std::size_t p = 0; p < added.phases.size(); ++p)
+    {
+        Resource &r = resources_[added.phases[p].resource];
+        QEntry e;
+        e.txIdx = txIdx;
+        e.phaseIdx = p;
+        r.q.push_back(e);
+        maxQueueDepth_ = std::max(maxQueueDepth_, r.q.size());
+    }
+    return added.id;
+}
+
+Tick
+TransactionScheduler::drain()
+{
+    batchOpen_ = false;
+    bool anyPending = false;
+    for (const TxState &st : txs_)
+    {
+        if (!st.done)
+        {
+            anyPending = true;
+            break;
+        }
+    }
+    Tick batchMax = 0;
+    for (const TxState &st : txs_)
+    {
+        if (st.done)
+        {
+            batchMax = std::max(batchMax, st.complete);
+        }
+    }
+    if (!anyPending)
+    {
+        return batchMax;
+    }
+
+    EventEngine eng;
+    eng_ = &eng;
+    for (std::size_t i = 0; i < txs_.size(); ++i)
+    {
+        TxState &st = txs_[i];
+        if (st.done || st.phases.empty())
+        {
+            continue;
+        }
+        const std::size_t res = st.phases[0].resource;
+        const Tick earliest = firstEarliest(st);
+        eng.schedule(earliest,
+                     [this, res, i, earliest] { markReady(res, i, 0, earliest); });
+    }
+    eng.run();
+    eng_ = nullptr;
+
+    for (const TxState &st : txs_)
+    {
+        if (!st.done)
+        {
+            panic("TransactionScheduler::drain: arbitration stalled "
+                  "(policy left a transaction unserved)");
+        }
+        batchMax = std::max(batchMax, st.complete);
+    }
+    for (Resource &r : resources_)
+    {
+        if (!r.q.empty() || r.busy)
+        {
+            panic("TransactionScheduler::drain: residual queue state");
+        }
+    }
+    return batchMax;
+}
+
+void
+TransactionScheduler::markReady(std::size_t res, std::size_t txIdx,
+                                std::size_t phaseIdx, Tick earliest)
+{
+    Resource &r = resources_[res];
+    for (QEntry &e : r.q)
+    {
+        if (e.txIdx == txIdx && e.phaseIdx == phaseIdx && !e.isResume)
+        {
+            e.ready = true;
+            e.earliest = earliest;
+            dispatch(res);
+            return;
+        }
+    }
+    panic("TransactionScheduler::markReady: phase entry not queued");
+}
+
+void
+TransactionScheduler::dispatch(std::size_t res)
+{
+    Resource &r = resources_[res];
+    if (r.busy)
+    {
+        maybeSuspend(res);
+        return;
+    }
+    if (r.q.empty())
+    {
+        return;
+    }
+    std::vector<PendingView> views;
+    views.reserve(r.q.size());
+    for (const QEntry &e : r.q)
+    {
+        const TxState &st = txs_[e.txIdx];
+        PendingView v;
+        v.seq = st.id;
+        v.cls = st.tx.cls;
+        v.kind = st.phases[e.phaseIdx].kind;
+        v.ready = e.ready;
+        v.earliest = e.earliest;
+        v.isResume = e.isResume;
+        v.forceAt = st.forceAt;
+        views.push_back(v);
+    }
+    const std::size_t pick = policy_->pick(views, eng_->now());
+    if (pick == kNoPick)
+    {
+        return;
+    }
+    if (pick >= r.q.size() || !r.q[pick].ready)
+    {
+        panic("TransactionScheduler::dispatch: policy picked an entry "
+              "that cannot start");
+    }
+    startEntry(res, pick);
+}
+
+void
+TransactionScheduler::startEntry(std::size_t res, std::size_t qIdx)
+{
+    Resource &r = resources_[res];
+    const QEntry e = r.q[qIdx];
+    r.q.erase(r.q.begin() + static_cast<std::ptrdiff_t>(qIdx));
+
+    const TxState &st = txs_[e.txIdx];
+    const Tick payload =
+        e.isResume ? e.resumeRemaining : st.phases[e.phaseIdx].duration;
+    const Tick overhead = e.isResume ? timing_.tResume : 0;
+
+    Running run;
+    run.txIdx = e.txIdx;
+    run.phaseIdx = e.phaseIdx;
+    run.gen = ++r.gen;
+    // Logical booking start: never the engine clock — resource free
+    // times persist across drains while the engine restarts at zero.
+    run.start = std::max(e.earliest, r.tl.nextFree());
+    run.payloadStart = run.start + overhead;
+    run.plannedEnd = run.payloadStart + payload;
+    run.isResume = e.isResume;
+    r.busy = true;
+    r.running = run;
+
+    const std::uint64_t gen = run.gen;
+    eng_->schedule(run.plannedEnd, [this, res, gen] { onComplete(res, gen); });
+}
+
+void
+TransactionScheduler::onComplete(std::size_t res, std::uint64_t gen)
+{
+    Resource &r = resources_[res];
+    if (!r.busy || r.running.gen != gen)
+    {
+        return; // stale: the booking was suspended
+    }
+    const Running run = r.running;
+    r.busy = false;
+
+    TxState &st = txs_[run.txIdx];
+    const Phase &ph = st.phases[run.phaseIdx];
+    r.tl.reserve(run.start, run.plannedEnd - run.start);
+
+    if (cfg_.traceEnabled)
+    {
+        if (run.isResume)
+        {
+            trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kResume,
+                              run.start, run.payloadStart});
+        }
+        trace_.push_back({st.id, r.onChannel, r.index, ph.kind,
+                          run.payloadStart, run.plannedEnd});
+    }
+    if (ph.kind == PhaseKind::kArray)
+    {
+        st.arrayExecuted += run.plannedEnd - run.payloadStart;
+    }
+
+    st.nextPhase = run.phaseIdx + 1;
+    if (st.nextPhase < st.phases.size())
+    {
+        const std::size_t nextRes = st.phases[st.nextPhase].resource;
+        markReady(nextRes, run.txIdx, st.nextPhase, run.plannedEnd);
+    }
+    else
+    {
+        finishTx(st, run.plannedEnd);
+    }
+    dispatch(res);
+}
+
+void
+TransactionScheduler::maybeSuspend(std::size_t res)
+{
+    Resource &r = resources_[res];
+    const Running run = r.running;
+    TxState &st = txs_[run.txIdx];
+    const Phase &ph = st.phases[run.phaseIdx];
+    const Tick now = eng_->now();
+
+    if (ph.kind != PhaseKind::kArray || !st.tx.suspendable())
+    {
+        return;
+    }
+    if (st.suspends >= cfg_.maxSuspendsPerOp)
+    {
+        return;
+    }
+    // The transition windows (tResume restore, or a booking whose start
+    // is still in the future) cannot be interrupted, and a phase at its
+    // planned end has nothing left to suspend.
+    if (now < run.payloadStart || now >= run.plannedEnd)
+    {
+        return;
+    }
+    bool wanted = false;
+    for (const QEntry &e : r.q)
+    {
+        if (e.ready && policy_->preempts(txs_[e.txIdx].tx.cls, st.tx.cls))
+        {
+            wanted = true;
+            break;
+        }
+    }
+    if (!wanted)
+    {
+        return;
+    }
+
+    // Suspend: book the executed segment plus the suspend transition,
+    // park the remainder as a resume entry.
+    const Tick executed = now - run.payloadStart;
+    const Tick remaining = run.plannedEnd - now;
+    r.tl.reserve(run.start, (now - run.start) + timing_.tSuspend);
+    st.arrayExecuted += executed;
+    if (st.suspends == 0)
+    {
+        st.forceAt = now + cfg_.maxSuspendedTicks;
+    }
+    ++st.suspends;
+    ++suspendCount_;
+
+    if (cfg_.traceEnabled)
+    {
+        if (run.isResume)
+        {
+            trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kResume,
+                              run.start, run.payloadStart});
+        }
+        if (executed > 0)
+        {
+            trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kArray,
+                              run.payloadStart, now});
+        }
+        trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kSuspend,
+                          now, now + timing_.tSuspend});
+    }
+
+    QEntry e;
+    e.txIdx = run.txIdx;
+    e.phaseIdx = run.phaseIdx;
+    e.ready = true;
+    e.earliest = now + timing_.tSuspend;
+    e.isResume = true;
+    e.resumeRemaining = remaining;
+    r.busy = false;
+    r.q.push_back(e);
+
+    dispatch(res);
+}
+
+void
+TransactionScheduler::finishTx(TxState &st, Tick end)
+{
+    st.done = true;
+    st.complete = end;
+    completions_[st.id] = end;
+    ++completedCount_;
+    if (cfg_.latencySampling)
+    {
+        const auto cls = static_cast<std::size_t>(st.tx.cls);
+        latency_[cls].sample(static_cast<double>(end - st.tx.readyAt));
+    }
+}
+
+Tick
+TransactionScheduler::completionOf(std::uint64_t id) const
+{
+    auto it = completions_.find(id);
+    if (it == completions_.end())
+    {
+        panic("TransactionScheduler::completionOf: unknown transaction "
+              "(batch already discarded? drain before querying)");
+    }
+    return it->second;
+}
+
+Tick
+TransactionScheduler::groupCompletion(const TxGroup &g, Tick fallback) const
+{
+    if (g.empty())
+    {
+        return fallback;
+    }
+    Tick done = 0;
+    for (std::uint64_t id = g.lo; id < g.hi; ++id)
+    {
+        done = std::max(done, completionOf(id));
+    }
+    return done;
+}
+
+SchedStats
+TransactionScheduler::stats() const
+{
+    SchedStats s;
+    s.channelBusy.reserve(geo_.channels);
+    for (std::uint32_t c = 0; c < geo_.channels; ++c)
+    {
+        s.channelBusy.push_back(resources_[c].tl.bookedTicks());
+    }
+    s.dieBusy.reserve(geo_.planesTotal());
+    for (std::uint32_t p = 0; p < geo_.planesTotal(); ++p)
+    {
+        s.dieBusy.push_back(resources_[geo_.channels + p].tl.bookedTicks());
+    }
+    s.submitted = submitted_;
+    s.completed = completedCount_;
+    s.suspends = suspendCount_;
+    s.batches = batches_;
+    s.batchedJobs = batchedJobs_;
+    s.maxQueueDepth = maxQueueDepth_;
+    return s;
+}
+
+const SampleSeries &
+TransactionScheduler::latencySeries(TxClass c) const
+{
+    return latency_[static_cast<std::size_t>(c)];
+}
+
+std::vector<TxRecord>
+TransactionScheduler::records() const
+{
+    std::vector<TxRecord> out;
+    out.reserve(txs_.size());
+    for (const TxState &st : txs_)
+    {
+        TxRecord rec;
+        rec.id = st.id;
+        rec.cls = st.tx.cls;
+        rec.readyAt = st.tx.readyAt;
+        rec.complete = st.complete;
+        rec.arrayTicks = st.tx.arrayTicks;
+        rec.arrayExecuted = st.arrayExecuted;
+        rec.suspends = st.suspends;
+        out.push_back(rec);
+    }
+    return out;
+}
+
+} // namespace parabit::ssd::sched

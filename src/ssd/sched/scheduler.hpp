@@ -1,0 +1,229 @@
+/**
+ * @file
+ * TransactionScheduler: per-die/per-channel arbitration of
+ * DeviceTransactions, driven by the deterministic EventEngine.
+ *
+ * Usage is submit-then-drain: callers submit any number of transactions
+ * (each gets a monotonically increasing id) and then drain(), which
+ * replays the whole batch through a fresh event engine.  Resource
+ * Timelines persist across drains, so consecutive batches see the
+ * device exactly as the legacy greedy path did; the engine only orders
+ * events — every booking is computed from logical times
+ * (max(phase-chain earliest, resource nextFree)), never from the
+ * engine clock.
+ *
+ * Array resources are plane-granular (the device exploits plane-level
+ * parallelism), matching the legacy per-plane Timelines; the stats
+ * call them "die" resources for continuity with the paper's die/channel
+ * vocabulary.
+ *
+ * Preemption (read-priority policy): a booking is finalized on the
+ * Timeline only when its completion — or suspension — actually happens,
+ * so a program/erase array phase can be cut short.  Completion events
+ * carry a generation tag and are ignored once stale.
+ */
+
+#ifndef PARABIT_SSD_SCHED_SCHEDULER_HPP_
+#define PARABIT_SSD_SCHED_SCHEDULER_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "flash/geometry.hpp"
+#include "flash/timing.hpp"
+#include "ssd/event_engine.hpp"
+#include "ssd/sched/policy.hpp"
+#include "ssd/sched/sched_config.hpp"
+#include "ssd/sched/transaction.hpp"
+#include "ssd/timeline.hpp"
+
+namespace parabit::ssd::sched {
+
+/** One booked interval on one resource (traceEnabled only). */
+struct TraceEntry
+{
+    std::uint64_t txId = 0;
+    bool onChannel = false;
+    std::uint32_t resource = 0;
+    PhaseKind kind = PhaseKind::kArray;
+    Tick start = 0;
+    Tick end = 0;
+};
+
+/** Per-transaction outcome of the last drained batch. */
+struct TxRecord
+{
+    std::uint64_t id = 0;
+    TxClass cls = TxClass::kRead;
+    Tick readyAt = 0;
+    Tick complete = 0;
+    Tick arrayTicks = 0;
+    /** Array time actually spent sensing/programming (must equal
+     *  arrayTicks — suspend-resume conserves array work). */
+    Tick arrayExecuted = 0;
+    int suspends = 0;
+};
+
+/** Counters and busy-time snapshot. */
+struct SchedStats
+{
+    std::vector<Tick> channelBusy; ///< booked ticks per channel
+    std::vector<Tick> dieBusy;     ///< booked ticks per array resource
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t suspends = 0;
+    std::uint64_t batches = 0;     ///< multi-plane groups formed
+    std::uint64_t batchedJobs = 0; ///< jobs riding in those groups
+    std::size_t maxQueueDepth = 0;
+};
+
+/** See file comment. */
+class TransactionScheduler
+{
+  public:
+    TransactionScheduler(const flash::FlashGeometry &geometry,
+                         const flash::FlashTiming &timing,
+                         const SchedConfig &cfg);
+
+    const SchedConfig &config() const { return cfg_; }
+    const char *policyName() const { return policy_->name(); }
+
+    /**
+     * Queue @p tx for the next drain().  @return its id.  The first
+     * submit after a drain starts a new batch and discards the previous
+     * batch's completion map and records.
+     */
+    std::uint64_t submit(const DeviceTransaction &tx);
+
+    /**
+     * Run the event engine until every submitted transaction completes.
+     * @return the latest completion tick of the batch (0 if empty).
+     * Panics if arbitration stalls (a policy bug).
+     */
+    Tick drain();
+
+    /** Completion tick of @p id from the last drained batch. */
+    Tick completionOf(std::uint64_t id) const;
+
+    /** Latest completion over @p g, or @p fallback when @p g is empty. */
+    Tick groupCompletion(const TxGroup &g, Tick fallback) const;
+
+    /** Account a multi-plane batch of @p jobs coalesced jobs. */
+    void
+    noteBatch(std::size_t jobs)
+    {
+        ++batches_;
+        batchedJobs_ += jobs;
+    }
+
+    SchedStats stats() const;
+
+    /** Completion-latency samples per class (latencySampling only). */
+    const SampleSeries &latencySeries(TxClass c) const;
+
+    /** Booking trace of the last batch (traceEnabled only). */
+    const std::vector<TraceEntry> &trace() const { return trace_; }
+
+    /** Per-transaction records of the last drained batch. */
+    std::vector<TxRecord> records() const;
+
+  private:
+    /** One phase booking request against a specific resource. */
+    struct Phase
+    {
+        PhaseKind kind = PhaseKind::kArray;
+        std::size_t resource = 0; ///< index into resources_
+        Tick duration = 0;
+    };
+
+    struct TxState
+    {
+        DeviceTransaction tx;
+        std::uint64_t id = 0;
+        std::vector<Phase> phases;
+        std::size_t nextPhase = 0;
+        Tick complete = 0;
+        Tick arrayExecuted = 0;
+        int suspends = 0;
+        Tick forceAt = 0; ///< set at first suspension
+        bool done = false;
+    };
+
+    struct QEntry
+    {
+        std::size_t txIdx = 0;
+        std::size_t phaseIdx = 0;
+        bool ready = false;
+        Tick earliest = 0;
+        bool isResume = false;
+        Tick resumeRemaining = 0;
+    };
+
+    struct Running
+    {
+        std::size_t txIdx = 0;
+        std::size_t phaseIdx = 0;
+        std::uint64_t gen = 0;
+        Tick start = 0;        ///< booking start (incl. resume overhead)
+        Tick payloadStart = 0; ///< where actual array/transfer work begins
+        Tick plannedEnd = 0;
+        bool isResume = false;
+    };
+
+    struct Resource
+    {
+        Timeline tl;
+        std::deque<QEntry> q;
+        bool busy = false;
+        Running running;
+        std::uint64_t gen = 0;
+        bool onChannel = false;
+        std::uint32_t index = 0; ///< channel or array-resource ordinal
+    };
+
+    std::size_t channelResource(std::uint32_t channel) const;
+    std::size_t arrayResource(const flash::PhysPageAddr &a) const;
+
+    void buildPhases(TxState &st) const;
+    Tick firstEarliest(const TxState &st) const;
+
+    void markReady(std::size_t res, std::size_t txIdx, std::size_t phaseIdx,
+                   Tick earliest);
+    void dispatch(std::size_t res);
+    void startEntry(std::size_t res, std::size_t qIdx);
+    void onComplete(std::size_t res, std::uint64_t gen);
+    void maybeSuspend(std::size_t res);
+    void finishTx(TxState &st, Tick end);
+
+    flash::FlashGeometry geo_;
+    flash::FlashTiming timing_;
+    SchedConfig cfg_;
+    std::unique_ptr<SchedulerPolicy> policy_;
+
+    std::vector<Resource> resources_; ///< channels first, then planes
+    std::vector<TxState> txs_;        ///< current batch
+    std::unordered_map<std::uint64_t, Tick> completions_;
+    std::vector<SampleSeries> latency_; ///< one per TxClass
+    std::vector<TraceEntry> trace_;
+
+    EventEngine *eng_ = nullptr; ///< valid only inside drain()
+    std::uint64_t nextId_ = 0;
+    bool batchOpen_ = false;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completedCount_ = 0;
+    std::uint64_t suspendCount_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batchedJobs_ = 0;
+    std::size_t maxQueueDepth_ = 0;
+};
+
+} // namespace parabit::ssd::sched
+
+#endif // PARABIT_SSD_SCHED_SCHEDULER_HPP_

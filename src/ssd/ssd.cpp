@@ -16,8 +16,7 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
           return v;
       }()),
       ftl_(cfg, chips_),
-      channelTls_(cfg.geometry.channels),
-      planeTls_(cfg.geometry.planesTotal())
+      sched_(cfg.geometry, cfg.timing, cfg.sched)
 {
 }
 
@@ -93,89 +92,126 @@ SsdDevice::injectFault(const FaultSpec &spec)
     }
 }
 
-Timeline &
-SsdDevice::channelTl(std::uint32_t channel)
+sched::DeviceTransaction
+SsdDevice::toTransaction(const PhysOp &op, Tick ready_at) const
 {
-    return channelTls_.at(channel);
+    const flash::FlashTiming &t = cfg_.timing;
+    const Bytes page = cfg_.geometry.pageBytes;
+    sched::DeviceTransaction tx;
+    tx.addr = op.addr;
+    tx.readyAt = ready_at;
+    tx.cmdTicks = t.tCmdOverhead;
+    switch (op.kind) {
+      case PhysOp::Kind::kPageRead:
+        // GC relocation reads map to the read class too: to the die a
+        // read is a read, whoever issued it.
+        tx.cls = sched::TxClass::kRead;
+        tx.arrayTicks = op.addr.msb ? t.msbReadTime() : t.lsbReadTime();
+        tx.xferOutTicks = t.transferTime(page);
+        break;
+      case PhysOp::Kind::kPageProgram:
+        tx.cls = sched::TxClass::kProgram;
+        tx.xferInTicks = t.transferTime(page);
+        tx.arrayTicks = t.tProgram;
+        break;
+      case PhysOp::Kind::kBlockErase:
+        tx.cls = sched::TxClass::kErase;
+        tx.arrayTicks = t.tErase;
+        break;
+    }
+    return tx;
 }
 
-Timeline &
-SsdDevice::planeTl(const flash::PhysPageAddr &a)
+sched::DeviceTransaction
+SsdDevice::toTransaction(const ArrayJob &job, Tick ready_at) const
 {
-    const std::size_t idx =
-        ((static_cast<std::size_t>(a.channel) * cfg_.geometry.chipsPerChannel +
-          a.chip) *
-             cfg_.geometry.diesPerChip +
-         a.die) *
-            cfg_.geometry.planesPerDie +
-        a.plane;
-    return planeTls_.at(idx);
+    const flash::FlashTiming &t = cfg_.timing;
+    sched::DeviceTransaction tx;
+    tx.cls = sched::TxClass::kParaBit;
+    tx.addr = job.loc;
+    tx.readyAt = ready_at;
+    tx.cmdTicks = t.tCmdOverhead;
+    if (job.xferInBytes > 0)
+        tx.xferInTicks = t.transferTime(job.xferInBytes);
+    tx.arrayTicks = t.senseTime(job.sroCount);
+    if (job.xferOutBytes > 0)
+        tx.xferOutTicks = t.transferTime(job.xferOutBytes);
+    return tx;
+}
+
+sched::TxGroup
+SsdDevice::submitOps(const std::vector<PhysOp> &ops, Tick ready_at)
+{
+    sched::TxGroup g;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const std::uint64_t id = sched_.submit(toTransaction(ops[i], ready_at));
+        if (i == 0)
+            g.lo = id;
+        g.hi = id + 1;
+    }
+    return g;
+}
+
+sched::TxGroup
+SsdDevice::submitArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at)
+{
+    sched::TxGroup g;
+    std::size_t i = 0;
+    while (i < jobs.size()) {
+        // Multi-plane batching: a run of consecutive jobs on distinct
+        // planes of one die shares a single command issue and senses in
+        // lockstep (every member pays the slowest member's array time).
+        std::size_t run = 1;
+        if (cfg_.sched.multiPlaneBatch) {
+            const flash::PhysPageAddr &a = jobs[i].loc;
+            while (i + run < jobs.size()) {
+                const flash::PhysPageAddr &b = jobs[i + run].loc;
+                if (b.channel != a.channel || b.chip != a.chip ||
+                    b.die != a.die)
+                    break;
+                ++run;
+            }
+        }
+        int maxSro = 0;
+        for (std::size_t j = 0; j < run; ++j)
+            maxSro = std::max(maxSro, jobs[i + j].sroCount);
+        for (std::size_t j = 0; j < run; ++j) {
+            sched::DeviceTransaction tx = toTransaction(jobs[i + j], ready_at);
+            if (run > 1) {
+                tx.arrayTicks = cfg_.timing.senseTime(maxSro);
+                if (j > 0) {
+                    // Followers ride the leader's command issue: no
+                    // channel booking of their own, same start offset.
+                    tx.extraDelay = tx.cmdTicks;
+                    tx.cmdTicks = 0;
+                }
+            }
+            const std::uint64_t id = sched_.submit(tx);
+            if (g.empty())
+                g.lo = id;
+            g.hi = id + 1;
+        }
+        if (run > 1)
+            sched_.noteBatch(run);
+        i += run;
+    }
+    return g;
 }
 
 Tick
 SsdDevice::scheduleOps(const std::vector<PhysOp> &ops, Tick ready_at)
 {
-    const flash::FlashTiming &t = cfg_.timing;
-    const Bytes page = cfg_.geometry.pageBytes;
-    Tick done = ready_at;
-    for (const auto &op : ops) {
-        Timeline &ch = channelTl(op.addr.channel);
-        Timeline &die = planeTl(op.addr);
-        Tick end = ready_at;
-        switch (op.kind) {
-          case PhysOp::Kind::kPageRead: {
-            const Tick array = op.addr.msb ? t.msbReadTime() : t.lsbReadTime();
-            const Tick a_start = die.reserve(ready_at + t.tCmdOverhead, array);
-            const Tick x_start = ch.reserve(a_start + array,
-                                            t.transferTime(page));
-            end = x_start + t.transferTime(page);
-            break;
-          }
-          case PhysOp::Kind::kPageProgram: {
-            const Tick x_start = ch.reserve(ready_at + t.tCmdOverhead,
-                                            t.transferTime(page));
-            const Tick a_start = die.reserve(x_start + t.transferTime(page),
-                                             t.tProgram);
-            end = a_start + t.tProgram;
-            break;
-          }
-          case PhysOp::Kind::kBlockErase: {
-            const Tick a_start = die.reserve(ready_at + t.tCmdOverhead,
-                                             t.tErase);
-            end = a_start + t.tErase;
-            break;
-          }
-        }
-        done = std::max(done, end);
-    }
-    return done;
+    const sched::TxGroup g = submitOps(ops, ready_at);
+    sched_.drain();
+    return sched_.groupCompletion(g, ready_at);
 }
 
 Tick
 SsdDevice::scheduleArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at)
 {
-    const flash::FlashTiming &t = cfg_.timing;
-    Tick done = ready_at;
-    for (const auto &job : jobs) {
-        Timeline &die = planeTl(job.loc);
-        Tick ready = ready_at + t.tCmdOverhead;
-        if (job.xferInBytes > 0) {
-            Timeline &ch = channelTl(job.loc.channel);
-            const Tick x = t.transferTime(job.xferInBytes);
-            ready = ch.reserve(ready, x) + x;
-        }
-        const Tick array = t.senseTime(job.sroCount);
-        const Tick a_start = die.reserve(ready, array);
-        Tick end = a_start + array;
-        if (job.xferOutBytes > 0) {
-            Timeline &ch = channelTl(job.loc.channel);
-            const Tick x = t.transferTime(job.xferOutBytes);
-            const Tick x_start = ch.reserve(end, x);
-            end = x_start + x;
-        }
-        done = std::max(done, end);
-    }
-    return done;
+    const sched::TxGroup g = submitArrayJobs(jobs, ready_at);
+    sched_.drain();
+    return sched_.groupCompletion(g, ready_at);
 }
 
 Tick

@@ -2,14 +2,23 @@
  * @file
  * SsdDevice: the simulated SSD — chips, FTL and the timing model.
  *
- * Functional behaviour lives in the chip array and the FTL; this class
- * adds the resource timing: one Timeline per channel (bus transfers) and
- * one per plane (array operations — the device exploits plane-level
- * parallelism for reads, programs and ParaBit sensing, the fourth level
- * of SSD parallelism the paper builds on).  Operations are booked greedily in
- * issue order, which reproduces the standard SSD pipeline effects —
- * multi-chip interleaving on a channel, cache-read overlap of sensing
- * with transfer, plane-level parallelism — deterministically.
+ * Functional behaviour lives in the chip array and the FTL; timing
+ * lives in the TransactionScheduler: every PhysOp and ArrayJob is
+ * converted to a phase-decomposed DeviceTransaction and arbitrated per
+ * channel and per plane (array operations — the device exploits
+ * plane-level parallelism for reads, programs and ParaBit sensing, the
+ * fourth level of SSD parallelism the paper builds on).  Under the
+ * default FCFS policy this reproduces the historical greedy
+ * Timeline-booking behaviour tick-for-tick — multi-chip interleaving on
+ * a channel, cache-read overlap of sensing with transfer, plane-level
+ * parallelism — deterministically; other policies reorder within the
+ * bounds described in ssd/sched/policy.hpp.
+ *
+ * Two calling styles: the legacy scheduleOps/scheduleArrayJobs book and
+ * drain in one call (one batch per call), while submitOps/
+ * submitArrayJobs + drainTransactions let callers accumulate a batch
+ * (e.g. every op of one host-command pump round) so non-FCFS policies
+ * have something to arbitrate between.
  */
 
 #ifndef PARABIT_SSD_SSD_HPP_
@@ -24,7 +33,7 @@
 #include "ssd/endurance.hpp"
 #include "ssd/fault_injector.hpp"
 #include "ssd/ftl.hpp"
-#include "ssd/timeline.hpp"
+#include "ssd/sched/scheduler.hpp"
 
 namespace parabit::ssd {
 
@@ -70,13 +79,45 @@ class SsdDevice
     /// @}
 
     /**
-     * Book the physical ops of an FTL call on the timing model.
+     * Book the physical ops of an FTL call on the timing model
+     * (submit + drain in one batch).
      * @return the completion time of the last op.
      */
     Tick scheduleOps(const std::vector<PhysOp> &ops, Tick ready_at);
 
     /** Book in-flash array jobs (ParaBit sequences). */
     Tick scheduleArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at);
+
+    /** @name Batched transaction submission. */
+    /// @{
+
+    /**
+     * Queue the physical ops of an FTL call as DeviceTransactions
+     * without draining.  @return the id range, for groupCompletion()
+     * after drainTransactions().
+     */
+    sched::TxGroup submitOps(const std::vector<PhysOp> &ops, Tick ready_at);
+
+    /** Queue in-flash array jobs (applies multi-plane batching when
+     *  configured). */
+    sched::TxGroup submitArrayJobs(const std::vector<ArrayJob> &jobs,
+                                   Tick ready_at);
+
+    /** Arbitrate and run every queued transaction to completion.
+     *  @return the latest completion tick of the batch. */
+    Tick drainTransactions() { return sched_.drain(); }
+
+    /** Latest completion over @p g (query before the next submit);
+     *  @p fallback when @p g is empty. */
+    Tick
+    groupCompletion(const sched::TxGroup &g, Tick fallback) const
+    {
+        return sched_.groupCompletion(g, fallback);
+    }
+
+    sched::TransactionScheduler &scheduler() { return sched_; }
+    const sched::TransactionScheduler &scheduler() const { return sched_; }
+    /// @}
 
     /**
      * Power restoration after a kPowerLoss fault (or a clean restart):
@@ -127,15 +168,16 @@ class SsdDevice
     /// @}
 
   private:
-    Timeline &channelTl(std::uint32_t channel);
-    Timeline &planeTl(const flash::PhysPageAddr &a);
+    sched::DeviceTransaction toTransaction(const PhysOp &op,
+                                           Tick ready_at) const;
+    sched::DeviceTransaction toTransaction(const ArrayJob &job,
+                                           Tick ready_at) const;
     void installFaultHooks();
 
     SsdConfig cfg_;
     std::vector<flash::Chip> chips_;
     Ftl ftl_;
-    std::vector<Timeline> channelTls_;
-    std::vector<Timeline> planeTls_;
+    sched::TransactionScheduler sched_;
     std::unique_ptr<FaultInjector> injector_;
 };
 

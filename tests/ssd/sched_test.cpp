@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Transaction-scheduler behaviour: policy semantics (FCFS head-of-line
+ * vs out-of-order independence vs read priority), suspend-resume
+ * arithmetic and its bounds, multi-plane batching, channel command
+ * modelling, and batch bookkeeping edges.
+ *
+ * Durations are hand-picked round numbers set directly on the
+ * DeviceTransaction, so every expected tick below is derivable by eye.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ssd/sched/scheduler.hpp"
+#include "ssd/ssd.hpp"
+
+namespace parabit::ssd::sched {
+namespace {
+
+flash::PhysPageAddr
+planeAddr(std::uint32_t channel, std::uint32_t chip, std::uint32_t plane)
+{
+    flash::PhysPageAddr a;
+    a.channel = channel;
+    a.chip = chip;
+    a.plane = plane;
+    return a;
+}
+
+DeviceTransaction
+readTx(const flash::PhysPageAddr &a, Tick ready, Tick array, Tick xferOut)
+{
+    DeviceTransaction tx;
+    tx.cls = TxClass::kRead;
+    tx.addr = a;
+    tx.readyAt = ready;
+    tx.arrayTicks = array;
+    tx.xferOutTicks = xferOut;
+    return tx;
+}
+
+DeviceTransaction
+programTx(const flash::PhysPageAddr &a, Tick ready, Tick array)
+{
+    DeviceTransaction tx;
+    tx.cls = TxClass::kProgram;
+    tx.addr = a;
+    tx.readyAt = ready;
+    tx.arrayTicks = array;
+    return tx;
+}
+
+/** Timing with easy suspend/resume arithmetic. */
+flash::FlashTiming
+testTiming()
+{
+    flash::FlashTiming t;
+    t.tSuspend = 7;
+    t.tResume = 9;
+    return t;
+}
+
+TEST(SchedPolicy, FcfsWaitsForHeadOfLine)
+{
+    SchedConfig cfg; // FCFS
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    // tx0 (submitted first) is not ready until 100; its channel
+    // transfer heads the channel queue, so tx1's earlier transfer must
+    // wait behind it under FCFS.
+    const auto id0 = s.submit(readTx(planeAddr(0, 0, 0), 100, 50, 30));
+    const auto id1 = s.submit(readTx(planeAddr(0, 1, 0), 0, 10, 30));
+    s.drain();
+    EXPECT_EQ(s.completionOf(id0), 180u); // array 100-150, xfer 150-180
+    // Array done at 10, but the channel head (tx0) books 150-180 first.
+    EXPECT_EQ(s.completionOf(id1), 210u);
+}
+
+TEST(SchedPolicy, OutOfOrderProceedsPastBlockedHead)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kOutOfOrderDieFirst;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    const auto id0 = s.submit(readTx(planeAddr(0, 0, 0), 100, 50, 30));
+    const auto id1 = s.submit(readTx(planeAddr(0, 1, 0), 0, 10, 30));
+    s.drain();
+    // tx1's transfer no longer waits for the not-yet-ready head.
+    EXPECT_EQ(s.completionOf(id1), 40u); // array 0-10, xfer 10-40
+    EXPECT_EQ(s.completionOf(id0), 180u);
+}
+
+TEST(SchedPolicy, OutOfOrderNeverSuspends)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kOutOfOrderDieFirst;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    const auto rd = s.submit(readTx(planeAddr(0, 0, 0), 40, 10, 0));
+    s.drain();
+    EXPECT_EQ(s.stats().suspends, 0u);
+    EXPECT_EQ(s.completionOf(rd), 110u); // waits out the program
+}
+
+TEST(SchedReadPriority, SuspendResumeArithmetic)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    const auto prog = s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    const auto rd = s.submit(readTx(planeAddr(0, 0, 0), 40, 10, 0));
+    s.drain();
+    // Program runs 0-40, suspends (7): plane busy until 47.  Read runs
+    // 47-57.  Resume overhead (9) 57-66, remainder 66-126.
+    EXPECT_EQ(s.completionOf(rd), 57u);
+    EXPECT_EQ(s.completionOf(prog), 126u);
+    EXPECT_EQ(s.stats().suspends, 1u);
+
+    // Suspend-resume conserves total array time.
+    for (const TxRecord &r : s.records())
+        EXPECT_EQ(r.arrayExecuted, r.arrayTicks) << "tx " << r.id;
+    // Plane busy time: [0,47) + [47,57) + [57,126).
+    EXPECT_EQ(s.stats().dieBusy.at(0), 126u);
+}
+
+TEST(SchedReadPriority, SuspendBudgetIsHonoured)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    cfg.maxSuspendsPerOp = 1;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    const auto prog = s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    const auto r1 = s.submit(readTx(planeAddr(0, 0, 0), 40, 10, 0));
+    const auto r2 = s.submit(readTx(planeAddr(0, 0, 0), 60, 10, 0));
+    s.drain();
+    EXPECT_EQ(s.completionOf(r1), 57u);
+    // Budget spent: the second read cannot suspend the resumed
+    // remainder (66-126) and waits it out.
+    EXPECT_EQ(s.completionOf(prog), 126u);
+    EXPECT_EQ(s.completionOf(r2), 136u);
+    EXPECT_EQ(s.stats().suspends, 1u);
+}
+
+TEST(SchedReadPriority, ParkedDeadlineOutranksFurtherReads)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    cfg.maxSuspendedTicks = 20; // forceAt = first suspension + 20
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    const auto prog = s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    const auto ra = s.submit(readTx(planeAddr(0, 0, 0), 10, 10, 0));
+    const auto rb = s.submit(readTx(planeAddr(0, 0, 0), 12, 10, 0));
+    const auto rc = s.submit(readTx(planeAddr(0, 0, 0), 12, 10, 0));
+    s.drain();
+    // Suspend at 10 (forceAt 30), read A 17-27.  At 27 the parked
+    // remainder is not yet forced, so read B runs 27-37.  At 37 the
+    // deadline has passed: the remainder resumes (37 + 9 resume + 90)
+    // ahead of read C even though suspend budget remains.
+    EXPECT_EQ(s.completionOf(ra), 27u);
+    EXPECT_EQ(s.completionOf(rb), 37u);
+    EXPECT_EQ(s.completionOf(prog), 136u);
+    EXPECT_EQ(s.completionOf(rc), 146u);
+    EXPECT_EQ(s.stats().suspends, 1u);
+}
+
+TEST(SchedReadPriority, ReducesReadLatencyUnderParaBitInterference)
+{
+    // The acceptance-criteria shape in miniature: a read arriving
+    // behind a long co-plane program completes sooner under
+    // read-priority than under FCFS.
+    const auto runWith = [](SchedPolicyKind p) {
+        SchedConfig cfg;
+        cfg.policy = p;
+        TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(),
+                               cfg);
+        s.submit(programTx(planeAddr(0, 0, 0), 0, 1000));
+        const auto rd = s.submit(readTx(planeAddr(0, 0, 0), 100, 25, 0));
+        s.drain();
+        return s.completionOf(rd) - 100; // read latency
+    };
+    const Tick fcfs = runWith(SchedPolicyKind::kFcfs);
+    const Tick rp = runWith(SchedPolicyKind::kReadPriority);
+    EXPECT_LT(rp, fcfs);
+    EXPECT_EQ(rp, 32u);   // suspend at 100, read 107-132
+    EXPECT_EQ(fcfs, 925u); // waits for the program to finish
+}
+
+TEST(SchedBatching, CoalescesSameDieArrayJobs)
+{
+    SsdConfig cfg = SsdConfig::tiny();
+    cfg.storeData = false;
+    cfg.sched.multiPlaneBatch = true;
+    SsdDevice dev(cfg);
+    const flash::FlashTiming &t = cfg.timing;
+
+    std::vector<ArrayJob> jobs;
+    ArrayJob j0;
+    j0.loc = planeAddr(0, 0, 0);
+    j0.sroCount = 2;
+    ArrayJob j1;
+    j1.loc = planeAddr(0, 0, 1); // other plane, same die
+    j1.sroCount = 4;
+    jobs.push_back(j0);
+    jobs.push_back(j1);
+    const Tick done = dev.scheduleArrayJobs(jobs, 0);
+    // Lockstep: both planes sense for the longest member (4 SROs),
+    // sharing one command issue.
+    EXPECT_EQ(done, t.tCmdOverhead + t.senseTime(4));
+    const SchedStats s = dev.scheduler().stats();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.batchedJobs, 2u);
+    // Both planes booked the padded array time.
+    EXPECT_EQ(s.dieBusy.at(0), t.senseTime(4));
+    EXPECT_EQ(s.dieBusy.at(1), t.senseTime(4));
+}
+
+TEST(SchedBatching, DifferentDiesDoNotCoalesce)
+{
+    SsdConfig cfg = SsdConfig::tiny();
+    cfg.storeData = false;
+    cfg.sched.multiPlaneBatch = true;
+    SsdDevice dev(cfg);
+    std::vector<ArrayJob> jobs;
+    ArrayJob j0;
+    j0.loc = planeAddr(0, 0, 0);
+    j0.sroCount = 2;
+    ArrayJob j1;
+    j1.loc = planeAddr(0, 1, 0); // different chip
+    j1.sroCount = 4;
+    jobs.push_back(j0);
+    jobs.push_back(j1);
+    dev.scheduleArrayJobs(jobs, 0);
+    EXPECT_EQ(dev.scheduler().stats().batches, 0u);
+}
+
+TEST(SchedCmdOnChannel, CommandIssueBooksChannelTimeForEveryKind)
+{
+    // Legacy model: the command byte of kPageRead/kBlockErase consumes
+    // no channel time.  With cmdOnChannel every kind books tCmdOverhead
+    // on the channel; isolated-op completion times are unchanged.
+    SsdConfig base = SsdConfig::tiny();
+    base.storeData = false;
+    SsdConfig withCmd = base;
+    withCmd.sched.cmdOnChannel = true;
+
+    SsdDevice legacy(base);
+    SsdDevice modeled(withCmd);
+    const flash::FlashTiming &t = base.timing;
+
+    std::vector<PhysOp> ops(3);
+    ops[0].kind = PhysOp::Kind::kPageRead;
+    ops[0].addr = planeAddr(0, 0, 0);
+    ops[1].kind = PhysOp::Kind::kPageProgram;
+    ops[1].addr = planeAddr(0, 0, 1);
+    ops[2].kind = PhysOp::Kind::kBlockErase;
+    ops[2].addr = planeAddr(0, 1, 0);
+
+    // Spread the ops out so they do not contend; completion of each op
+    // is then the intrinsic latency in both models.
+    Tick tl = 0, tm = 0;
+    for (const PhysOp &op : ops) {
+        const Tick at = std::max(tl, tm) + t.tErase;
+        tl = legacy.scheduleOps({op}, at);
+        tm = modeled.scheduleOps({op}, at);
+        EXPECT_EQ(tl, tm);
+    }
+
+    const SchedStats sl = legacy.scheduler().stats();
+    const SchedStats sm = modeled.scheduler().stats();
+    Tick chLegacy = 0, chModeled = 0;
+    for (std::size_t c = 0; c < sl.channelBusy.size(); ++c) {
+        chLegacy += sl.channelBusy[c];
+        chModeled += sm.channelBusy[c];
+    }
+    // Three commands' worth of extra channel occupancy, die time equal.
+    EXPECT_EQ(chModeled, chLegacy + 3 * t.tCmdOverhead);
+    Tick dieLegacy = 0, dieModeled = 0;
+    for (std::size_t p = 0; p < sl.dieBusy.size(); ++p) {
+        dieLegacy += sl.dieBusy[p];
+        dieModeled += sm.dieBusy[p];
+    }
+    EXPECT_EQ(dieModeled, dieLegacy);
+}
+
+TEST(SchedBookkeeping, GroupAndZeroPhaseEdges)
+{
+    SchedConfig cfg;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+
+    // Empty group falls back.
+    EXPECT_EQ(s.groupCompletion(TxGroup{}, 42), 42u);
+
+    // A transaction with no nonzero phases completes at readyAt plus
+    // its command delay without touching any resource.
+    DeviceTransaction tx;
+    tx.cls = TxClass::kParaBit;
+    tx.addr = planeAddr(0, 0, 0);
+    tx.readyAt = 10;
+    tx.cmdTicks = 5;
+    const auto id = s.submit(tx);
+    s.drain();
+    EXPECT_EQ(s.completionOf(id), 15u);
+    const SchedStats st = s.stats();
+    for (Tick b : st.dieBusy)
+        EXPECT_EQ(b, 0u);
+    EXPECT_EQ(st.submitted, 1u);
+    EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(SchedBookkeeping, LatencySamplingPerClass)
+{
+    SchedConfig cfg;
+    cfg.latencySampling = true;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    s.submit(readTx(planeAddr(0, 0, 0), 0, 10, 0));
+    s.submit(readTx(planeAddr(0, 0, 0), 0, 10, 0));
+    s.submit(programTx(planeAddr(0, 0, 1), 0, 100));
+    s.drain();
+    const SampleSeries &rd = s.latencySeries(TxClass::kRead);
+    EXPECT_EQ(rd.count(), 2u);
+    EXPECT_EQ(rd.percentile(50.0), 10.0);
+    EXPECT_EQ(rd.percentile(99.0), 20.0); // second read queues behind
+    EXPECT_EQ(s.latencySeries(TxClass::kProgram).count(), 1u);
+    EXPECT_EQ(s.latencySeries(TxClass::kErase).count(), 0u);
+}
+
+TEST(SchedTrace, PhaseOrderAndNonOverlapObservable)
+{
+    SchedConfig cfg;
+    cfg.traceEnabled = true;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    const auto id = s.submit(readTx(planeAddr(0, 0, 0), 0, 50, 30));
+    s.drain();
+    const auto &tr = s.trace();
+    ASSERT_EQ(tr.size(), 2u);
+    EXPECT_EQ(tr[0].txId, id);
+    EXPECT_EQ(tr[0].kind, PhaseKind::kArray);
+    EXPECT_EQ(tr[1].kind, PhaseKind::kXferOut);
+    EXPECT_LE(tr[0].end, tr[1].start);
+}
+
+} // namespace
+} // namespace parabit::ssd::sched

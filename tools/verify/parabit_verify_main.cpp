@@ -2,17 +2,21 @@
  * @file
  * CLI wrapper around the parabit-verify model checker.
  *
- *   parabit-verify [--json FILE] [--list] [--quiet]
+ *   parabit-verify [--json FILE] [--list] [--quiet] [--sched]
  *
  * Exit status 0 when every registered MicroProgram matches its golden
  * truth table and every structural/cost invariant holds; 1 on any
  * divergence (with the divergences printed); 2 on usage errors.
+ * --sched additionally sweeps the transaction-scheduler invariants
+ * (phase order, resource mutual exclusion, suspend-resume conservation,
+ * FCFS-equals-greedy) across every policy/geometry combination.
  */
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "sched_check.hpp"
 #include "verifier.hpp"
 
 namespace {
@@ -20,10 +24,12 @@ namespace {
 int
 usage(const char *argv0)
 {
-    std::cerr << "usage: " << argv0 << " [--json FILE] [--list] [--quiet]\n"
+    std::cerr << "usage: " << argv0
+              << " [--json FILE] [--list] [--quiet] [--sched]\n"
               << "  --json FILE  also write a machine-readable report\n"
               << "  --list       print every registered program first\n"
-              << "  --quiet      suppress the success summary\n";
+              << "  --quiet      suppress the success summary\n"
+              << "  --sched      also check transaction-scheduler invariants\n";
     return 2;
 }
 
@@ -33,7 +39,7 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
-    bool list = false, quiet = false;
+    bool list = false, quiet = false, sched = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
@@ -42,6 +48,8 @@ main(int argc, char **argv)
             list = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--sched") {
+            sched = true;
         } else {
             return usage(argv[0]);
         }
@@ -60,7 +68,9 @@ main(int argc, char **argv)
         }
     }
 
-    const verify::Report report = verify::verifyAll();
+    verify::Report report = verify::verifyAll();
+    if (sched)
+        verify::checkScheduler(report);
 
     if (!json_path.empty()) {
         std::ofstream out(json_path);
@@ -87,7 +97,8 @@ main(int argc, char **argv)
                   << " programs, " << report.combosChecked
                   << " operand combinations, " << report.chainsChecked
                   << " chain links, " << report.costChecksRun
-                  << " cost cross-checks, 0 divergences\n";
+                  << " cost cross-checks, " << report.schedChecksRun
+                  << " scheduler checks, 0 divergences\n";
     }
     return 0;
 }

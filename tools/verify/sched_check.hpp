@@ -1,0 +1,41 @@
+/**
+ * @file
+ * parabit-verify --sched: model checks for the transaction scheduler.
+ *
+ * The scheduler refactor (src/ssd/sched) replays device transactions
+ * through per-die/per-channel queues under a pluggable policy.  Its
+ * correctness argument rests on a handful of structural invariants that
+ * no single runtime test pins for every policy; this leg sweeps every
+ * SchedulerPolicy x command-issue model x geometry over a deterministic
+ * mixed transaction trace and mechanically checks:
+ *
+ *  - canonical phase order per transaction: every command-issue booking
+ *    ends before the data transfer in starts, which ends before the
+ *    array phase starts, which ends before the transfer out starts
+ *    (suspend/resume segments count as array-stage time);
+ *
+ *  - mutual exclusion: no two traced bookings overlap on any die or
+ *    channel resource, and each resource's busy-tick counter equals the
+ *    sum of its traced booking durations;
+ *
+ *  - work conservation under suspend-resume: the array time actually
+ *    executed equals the array time planned, for every transaction;
+ *
+ *  - FCFS anchor: under the fcfs policy every transaction completes at
+ *    exactly the tick the legacy greedy immediate-booking algorithm
+ *    assigns it, and the final per-resource busy times agree.
+ */
+
+#ifndef PARABIT_TOOLS_VERIFY_SCHED_CHECK_HPP_
+#define PARABIT_TOOLS_VERIFY_SCHED_CHECK_HPP_
+
+#include "verifier.hpp"
+
+namespace parabit::verify {
+
+/** Run the scheduler invariant sweep; divergences append to @p r. */
+void checkScheduler(Report &r);
+
+} // namespace parabit::verify
+
+#endif // PARABIT_TOOLS_VERIFY_SCHED_CHECK_HPP_

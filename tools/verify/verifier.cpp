@@ -514,6 +514,7 @@ toJson(const Report &r)
        << "  \"combos_checked\": " << r.combosChecked << ",\n"
        << "  \"chains_checked\": " << r.chainsChecked << ",\n"
        << "  \"cost_checks_run\": " << r.costChecksRun << ",\n"
+       << "  \"sched_checks_run\": " << r.schedChecksRun << ",\n"
        << "  \"findings\": [";
     for (std::size_t i = 0; i < r.findings.size(); ++i) {
         const Finding &f = r.findings[i];

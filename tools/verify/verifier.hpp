@@ -82,6 +82,7 @@ struct Report
     int combosChecked = 0;   ///< operand/state combinations evaluated
     int chainsChecked = 0;   ///< chained-op compositions evaluated
     int costChecksRun = 0;   ///< timing/energy/cost cross-checks
+    int schedChecksRun = 0;  ///< scheduler invariants evaluated (--sched)
 
     bool ok() const { return findings.empty(); }
 };
