@@ -15,6 +15,11 @@
  * per-die/per-channel utilization for each policy.
  *
  *   bench_queueing [--json FILE]   # also write the comparison as JSON
+ *
+ * Observability: --metrics-out/--trace-out/--snapshots-out (see
+ * bench/common/obs_args.hpp).  The trace and snapshots cover the FCFS
+ * pass of the policy comparison — one scheduler, one logical clock, so
+ * the per-channel/per-die tracks stay exclusive.
  */
 
 #include <algorithm>
@@ -23,9 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/obs_args.hpp"
 #include "bench/common/report.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "parabit/host_interface.hpp"
 #include "ssd/sched/scheduler.hpp"
 
@@ -108,7 +115,7 @@ mixTx(Rng &rng, const flash::FlashGeometry &g, const flash::FlashTiming &t,
 }
 
 PolicyOutcome
-runPolicy(ssd::sched::SchedPolicyKind policy)
+runPolicy(ssd::sched::SchedPolicyKind policy, bench::ObsOptions *obs)
 {
     using ssd::sched::TxClass;
     const flash::FlashGeometry geo = ssd::SsdConfig::tiny().geometry;
@@ -117,6 +124,8 @@ runPolicy(ssd::sched::SchedPolicyKind policy)
     cfg.policy = policy;
     cfg.latencySampling = true;
     ssd::sched::TransactionScheduler sch(geo, timing, cfg);
+    if (obs && obs->traceWanted())
+        sch.setTraceSink(&obs::TraceSink::enableGlobal());
 
     // Same seed for every policy: identical streams, only the
     // arbitration differs.
@@ -128,6 +137,8 @@ runPolicy(ssd::sched::SchedPolicyKind policy)
             sch.submit(mixTx(rng, geo, timing, base));
         horizon = std::max(horizon, sch.drain());
         base = horizon / 2;
+        if (obs && obs->snapshotsWanted())
+            obs->snapshots.record(horizon);
     }
 
     PolicyOutcome out;
@@ -206,15 +217,21 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    bench::ObsOptions obs;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (obs.consume(argc, argv, i)) {
+            continue;
         } else {
-            std::cerr << "usage: " << argv[0] << " [--json FILE]\n";
+            std::cerr << "usage: " << argv[0] << " [--json FILE]\n"
+                      << bench::ObsOptions::help() << "\n";
             return 2;
         }
     }
+    // Before any scheduler exists: instruments bind at construction.
+    obs.enableMetrics();
 
     bench::banner("Queued execution: mixed I/O + in-flash computation");
 
@@ -291,7 +308,8 @@ main(int argc, char **argv)
     std::vector<PolicyOutcome> outs;
     for (int p = 0; p < ssd::sched::kNumSchedPolicies; ++p)
         outs.push_back(
-            runPolicy(static_cast<ssd::sched::SchedPolicyKind>(p)));
+            runPolicy(static_cast<ssd::sched::SchedPolicyKind>(p),
+                      p == 0 ? &obs : nullptr));
 
     bench::section("scheduler policies: co-running reads under "
                    "ParaBit reallocation interference");
@@ -317,5 +335,5 @@ main(int argc, char **argv)
 
     if (!json_path.empty())
         writeJson(json_path, outs);
-    return 0;
+    return obs.finish() ? 0 : 2;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/obs_args.hpp"
 #include "bench/common/report.hpp"
 #include "common/rng.hpp"
 #include "ssd/ssd.hpp"
@@ -151,15 +152,20 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    bench::ObsOptions obs;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (obs.consume(argc, argv, i)) {
+            continue;
         } else {
-            std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--json FILE]\n%s\n", argv[0],
+                         bench::ObsOptions::help());
             return 2;
         }
     }
+    obs.enableMetrics(); // before any device is constructed
 
     bench::banner("SPOR recovery: scan time and replay cost vs checkpoint "
                   "interval");
@@ -228,5 +234,5 @@ main(int argc, char **argv)
         }
         out << os.str();
     }
-    return 0;
+    return obs.finish() ? 0 : 2;
 }

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared --metrics-out / --trace-out / --snapshots-out plumbing for the
+ * bench binaries.
+ *
+ * Benches opt into the observability layer from the command line:
+ *
+ *   --metrics-out FILE    dump the metrics registry as JSON at exit
+ *   --trace-out FILE      write a Chrome trace-event JSON (open in
+ *                         ui.perfetto.dev; validate with parabit-trace)
+ *   --snapshots-out FILE  write the periodic counter snapshots the
+ *                         bench records (JSON time series)
+ *
+ * enableMetrics() must run before any device/scheduler is constructed:
+ * instruments bind to registry slots at construction time and stay
+ * local-only (near-zero cost) when the registry is disabled.  Tracing
+ * is enabled lazily by the bench around exactly one traced run — the
+ * trace model gives each channel and die its own track, so two
+ * simulated devices writing the same tracks would interleave spans.
+ */
+
+#ifndef PARABIT_BENCH_COMMON_OBS_ARGS_HPP_
+#define PARABIT_BENCH_COMMON_OBS_ARGS_HPP_
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+
+namespace parabit::bench {
+
+/** Parsed observability options plus the snapshot series benches fill. */
+struct ObsOptions
+{
+    std::string metricsOut;
+    std::string traceOut;
+    std::string snapshotsOut;
+    obs::SnapshotSeries snapshots;
+
+    /** Try to consume argv[i] (and a value) as an obs flag. */
+    bool
+    consume(int argc, char **argv, int &i)
+    {
+        const std::string arg = argv[i];
+        if (arg == "--metrics-out" && i + 1 < argc) {
+            metricsOut = argv[++i];
+            return true;
+        }
+        if (arg == "--trace-out" && i + 1 < argc) {
+            traceOut = argv[++i];
+            return true;
+        }
+        if (arg == "--snapshots-out" && i + 1 < argc) {
+            snapshotsOut = argv[++i];
+            return true;
+        }
+        return false;
+    }
+
+    /** Usage text fragment for the bench's own usage message. */
+    static const char *
+    help()
+    {
+        return "  [--metrics-out FILE] [--trace-out FILE] "
+               "[--snapshots-out FILE]";
+    }
+
+    bool traceWanted() const { return !traceOut.empty(); }
+    bool snapshotsWanted() const { return !snapshotsOut.empty(); }
+
+    /** Turn the registry on if any metrics/snapshot output is wanted.
+     *  Call before constructing devices or schedulers. */
+    void
+    enableMetrics() const
+    {
+        if (!metricsOut.empty() || !snapshotsOut.empty())
+            obs::MetricsRegistry::global().setEnabled(true);
+    }
+
+    /** Write every requested artefact.  @return false on I/O trouble. */
+    bool
+    finish() const
+    {
+        bool ok = true;
+        if (!metricsOut.empty()) {
+            std::ofstream out(metricsOut, std::ios::binary);
+            if (out)
+                out << obs::MetricsRegistry::global().toJson();
+            if (!out) {
+                std::cerr << "obs: cannot write " << metricsOut << "\n";
+                ok = false;
+            }
+        }
+        if (!traceOut.empty()) {
+            const obs::TraceSink *sink = obs::TraceSink::global();
+            if (!sink || !sink->writeFile(traceOut)) {
+                std::cerr << "obs: cannot write " << traceOut << "\n";
+                ok = false;
+            }
+        }
+        if (!snapshotsOut.empty() &&
+            !obs::SnapshotSeries::writeFile(snapshotsOut,
+                                            snapshots.toJson())) {
+            std::cerr << "obs: cannot write " << snapshotsOut << "\n";
+            ok = false;
+        }
+        return ok;
+    }
+};
+
+} // namespace parabit::bench
+
+#endif // PARABIT_BENCH_COMMON_OBS_ARGS_HPP_

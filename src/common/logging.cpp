@@ -2,15 +2,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace parabit {
 
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;
+
+} // namespace
 
 const char *
-levelName(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::kDebug: return "DEBUG";
@@ -20,8 +24,6 @@ levelName(LogLevel level)
     }
     return "?";
 }
-
-} // namespace
 
 void
 setLogLevel(LogLevel level)
@@ -35,12 +37,24 @@ logLevel()
     return g_level;
 }
 
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = std::move(g_sink);
+    g_sink = std::move(sink);
+    return prev;
+}
+
 void
 logMessage(LogLevel level, const std::string &msg)
 {
     if (level < g_level)
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    if (g_sink) {
+        g_sink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", logLevelName(level), msg.c_str());
 }
 
 void

@@ -5,11 +5,17 @@
  * Follows the gem5 convention: fatal() is for user/configuration errors
  * that make continuing impossible; panic() is for internal invariant
  * violations (i.e. bugs in this library).
+ *
+ * Log lines pass through a pluggable sink (default: stderr), so tests
+ * can capture and assert on them instead of scraping the process
+ * stream; fatal() and panic() always hit stderr directly — when the
+ * process is about to die, the message must get out.
  */
 
 #ifndef PARABIT_COMMON_LOGGING_HPP_
 #define PARABIT_COMMON_LOGGING_HPP_
 
+#include <functional>
 #include <string>
 
 namespace parabit {
@@ -20,12 +26,24 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/** Emit a log line to stderr if @p level passes the threshold. */
+/** Receives every log line that passes the threshold. */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Install @p sink as the log destination; an empty function restores
+ *  the stderr default.  @return the previously installed sink (empty
+ *  if the default was active), so scoped captures can chain. */
+LogSink setLogSink(LogSink sink);
+
+/** Emit a log line to the sink if @p level passes the threshold. */
 void logMessage(LogLevel level, const std::string &msg);
+
+/** Canonical "[LEVEL]" tag for @p level ("DEBUG", "INFO", ...). */
+const char *logLevelName(LogLevel level);
 
 inline void logDebug(const std::string &m) { logMessage(LogLevel::kDebug, m); }
 inline void logInfo(const std::string &m) { logMessage(LogLevel::kInfo, m); }
 inline void logWarn(const std::string &m) { logMessage(LogLevel::kWarn, m); }
+inline void logError(const std::string &m) { logMessage(LogLevel::kError, m); }
 
 /** User/configuration error: print and exit(1). */
 [[noreturn]] void fatal(const std::string &msg);

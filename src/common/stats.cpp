@@ -53,6 +53,15 @@ Histogram::bucketLo(std::size_t i) const
     return lo_ + width_ * static_cast<double>(i);
 }
 
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+}
+
 std::string
 Histogram::summary() const
 {

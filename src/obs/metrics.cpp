@@ -1,0 +1,109 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace parabit::obs {
+
+namespace {
+
+void
+appendEscaped(std::ostringstream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+std::uint64_t *
+MetricsRegistry::counterSlot(const std::string &name)
+{
+    if (!enabled_)
+        return nullptr;
+    return &counters_.try_emplace(name, 0).first->second;
+}
+
+double *
+MetricsRegistry::gaugeSlot(const std::string &name)
+{
+    if (!enabled_)
+        return nullptr;
+    return &gauges_.try_emplace(name, 0.0).first->second;
+}
+
+Histogram *
+MetricsRegistry::histogramSlot(const std::string &name, double lo, double hi,
+                               std::size_t buckets)
+{
+    if (!enabled_)
+        return nullptr;
+    return &hists_.try_emplace(name, lo, hi, buckets).first->second;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : counters_) {
+        os << (first ? "" : ",") << "\n    \"";
+        appendEscaped(os, name);
+        os << "\": " << v;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"";
+        appendEscaped(os, name);
+        os << "\": " << v;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : hists_) {
+        os << (first ? "" : ",") << "\n    \"";
+        appendEscaped(os, name);
+        os << "\": {\"total\": " << h.total()
+           << ", \"underflow\": " << h.underflow()
+           << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            os << (i ? "," : "") << h.bucketCount(i);
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+void
+MetricsRegistry::zero()
+{
+    for (auto &[name, v] : counters_)
+        v = 0;
+    for (auto &[name, v] : gauges_)
+        v = 0.0;
+    for (auto &[name, h] : hists_)
+        h.reset();
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    hists_.clear();
+}
+
+} // namespace parabit::obs

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * MetricsRegistry: hierarchically-named counters, gauges and histograms
+ * with near-zero cost when disabled.
+ *
+ * Instruments are handles (Counter / Gauge / Hist) that subsystems
+ * construct once, in their constructors, with a dotted hierarchical
+ * name ("ftl.pages.host_written", "sched.tx.completed", ...).  When the
+ * process-wide registry is disabled — the default, and the state every
+ * unit test runs in — constructing a handle performs no allocation and
+ * updating it touches only a local integer, so instrumenting a hot path
+ * costs one predictable branch.  When a bench enables the registry
+ * *before* building the device, the same handles additionally update
+ * registered slots that snapshots (obs/snapshot.hpp) and `--metrics-out`
+ * dumps read back out.
+ *
+ * Slots live in std::map nodes, so the pointers handed to instruments
+ * stay valid for the registry's lifetime; zero() resets values without
+ * invalidating them.  Two instruments constructed with the same name
+ * (e.g. two SsdDevice instances in one bench) share a slot — the
+ * registry view is the aggregate, each handle's value() stays local.
+ *
+ * Naming scheme (see DESIGN.md "Observability"):
+ *   <subsystem>.<noun>[.<qualifier>]   e.g. sched.tx.submitted,
+ *   parabit.ops.<mode>.<op>, ftl.gc.runs, host.timeouts.
+ */
+
+#ifndef PARABIT_OBS_METRICS_HPP_
+#define PARABIT_OBS_METRICS_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace parabit::obs {
+
+/** Process-wide instrument registry; see file comment. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &global();
+
+    /** Enable registration *before* constructing instrumented objects;
+     *  handles built while disabled stay local-only. */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Registered slot for @p name, or nullptr while disabled. */
+    std::uint64_t *counterSlot(const std::string &name);
+    double *gaugeSlot(const std::string &name);
+    Histogram *histogramSlot(const std::string &name, double lo, double hi,
+                             std::size_t buckets);
+
+    /** Sorted (std::map order) views for snapshots and dumps. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const { return gauges_; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    /** Render every instrument as a JSON document. */
+    std::string toJson() const;
+
+    /** Reset all values; registered slots stay valid. */
+    void zero();
+
+    /** Drop every registration (slot pointers become invalid — only for
+     *  tests that own the full instrument lifecycle). */
+    void clear();
+
+  private:
+    bool enabled_ = false;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> hists_;
+};
+
+/** Monotonic counter handle; local value plus optional registry slot. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(const std::string &name)
+        : slot_(MetricsRegistry::global().counterSlot(name))
+    {
+    }
+
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v_ += n;
+        if (slot_)
+            *slot_ += n;
+    }
+
+    Counter &
+    operator++()
+    {
+        inc();
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        inc(n);
+        return *this;
+    }
+
+    std::uint64_t value() const { return v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+    std::uint64_t *slot_ = nullptr;
+};
+
+/** Last-value / high-watermark gauge handle. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    explicit Gauge(const std::string &name)
+        : slot_(MetricsRegistry::global().gaugeSlot(name))
+    {
+    }
+
+    void
+    set(double v)
+    {
+        v_ = v;
+        if (slot_)
+            *slot_ = v;
+    }
+
+    /** Keep the maximum seen (queue depths, high watermarks). */
+    void
+    noteMax(double v)
+    {
+        if (v > v_)
+            v_ = v;
+        if (slot_ && v > *slot_)
+            *slot_ = v;
+    }
+
+    double value() const { return v_; }
+
+  private:
+    double v_ = 0.0;
+    double *slot_ = nullptr;
+};
+
+/** Histogram handle; live (and allocated) only while registered. */
+class Hist
+{
+  public:
+    Hist() = default;
+    Hist(const std::string &name, double lo, double hi, std::size_t buckets)
+        : h_(MetricsRegistry::global().histogramSlot(name, lo, hi, buckets))
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        if (h_)
+            h_->sample(v);
+    }
+
+    bool live() const { return h_ != nullptr; }
+    const Histogram *get() const { return h_; }
+
+  private:
+    Histogram *h_ = nullptr;
+};
+
+} // namespace parabit::obs
+
+#endif // PARABIT_OBS_METRICS_HPP_

@@ -1,0 +1,92 @@
+#include "obs/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace parabit::obs {
+
+void
+SnapshotSeries::record(Tick at)
+{
+    const MetricsRegistry &reg = MetricsRegistry::global();
+    if (columns_.empty()) {
+        for (const auto &[name, v] : reg.counters())
+            columns_.push_back(name);
+        counterCols_ = columns_.size();
+        for (const auto &[name, v] : reg.gauges())
+            columns_.push_back(name);
+    }
+    Row row;
+    row.at = at;
+    row.counters.reserve(counterCols_);
+    for (std::size_t i = 0; i < counterCols_; ++i) {
+        auto it = reg.counters().find(columns_[i]);
+        row.counters.push_back(it == reg.counters().end() ? 0 : it->second);
+    }
+    row.gauges.reserve(columns_.size() - counterCols_);
+    for (std::size_t i = counterCols_; i < columns_.size(); ++i) {
+        auto it = reg.gauges().find(columns_[i]);
+        row.gauges.push_back(it == reg.gauges().end() ? 0.0 : it->second);
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+SnapshotSeries::toCsv() const
+{
+    std::ostringstream os;
+    os << "tick";
+    for (const std::string &c : columns_)
+        os << ',' << c;
+    os << '\n';
+    for (const Row &r : rows_) {
+        os << r.at;
+        for (std::uint64_t v : r.counters)
+            os << ',' << v;
+        for (double v : r.gauges)
+            os << ',' << v;
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+SnapshotSeries::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"columns\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        os << (i ? ", " : "") << '"' << columns_[i] << '"';
+    os << "],\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const Row &r = rows_[i];
+        os << (i ? "," : "") << "\n    {\"tick\": " << r.at
+           << ", \"values\": [";
+        bool first = true;
+        for (std::uint64_t v : r.counters) {
+            os << (first ? "" : ", ") << v;
+            first = false;
+        }
+        for (double v : r.gauges) {
+            os << (first ? "" : ", ") << v;
+            first = false;
+        }
+        os << "]}";
+    }
+    os << (rows_.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+bool
+SnapshotSeries::writeFile(const std::string &path, const std::string &body)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << body;
+    return static_cast<bool>(out);
+}
+
+} // namespace parabit::obs

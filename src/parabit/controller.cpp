@@ -37,6 +37,54 @@ execStatusName(ExecStatus s)
 Controller::Controller(ssd::SsdDevice &ssd)
     : ssd_(&ssd), scratchLpn_(ssd.ftl().logicalPages() - 1)
 {
+    // One registered counter per (mode, op) pair, e.g.
+    // "parabit.ops.ParaBit-ReAlloc.XOR".
+    opCounters_.reserve(static_cast<std::size_t>(kNumModes) *
+                        flash::kNumBitwiseOps);
+    for (int m = 0; m < kNumModes; ++m) {
+        for (int o = 0; o < flash::kNumBitwiseOps; ++o) {
+            opCounters_.emplace_back(
+                std::string("parabit.ops.") +
+                modeName(static_cast<Mode>(m)) + "." +
+                flash::opName(static_cast<flash::BitwiseOp>(o)));
+        }
+    }
+}
+
+void
+Controller::noteOps(Mode mode, flash::BitwiseOp op, std::uint64_t n)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(mode) * flash::kNumBitwiseOps +
+        static_cast<std::size_t>(op);
+    opCounters_[idx] += n;
+}
+
+void
+Controller::noteExec(const ExecStats &stats)
+{
+    ++formulas_;
+    senseOps_ += stats.senseOps;
+    reallocPrograms_ += stats.pagePrograms;
+    reallocBytes_ += stats.reallocBytes;
+    ladderSelfTests_ += stats.selfTests;
+    ladderParityChecks_ += stats.parityChecks;
+    ladderDetections_ += stats.detections;
+    ladderVoteEscalations_ += stats.voteEscalations;
+    ladderRetries_ += stats.retries;
+    ladderHostFallbacks_ += stats.hostFallbacks;
+    ladderRetiredBlocks_ += stats.retiredBlocks;
+    if (obs::TraceSink *sink = obs::TraceSink::global()) {
+        // Formulas overlap in logical time, so they go out as async
+        // spans (matched by id), not complete events.
+        const std::uint64_t id = nextFormulaSpanId_++;
+        const obs::TrackId t = sink->track("host", "formulas");
+        sink->asyncBegin(t, "parabit", "formula", id, stats.start,
+                         {{"sense_ops", std::to_string(stats.senseOps),
+                           false}});
+        sink->asyncEnd(t, "parabit", "formula", id,
+                       std::max(stats.end, stats.start));
+    }
 }
 
 namespace {
@@ -673,6 +721,7 @@ Controller::executeBatches(const std::vector<nvme::Batch> &batches, Mode mode,
                                             : BitVector());
         }
         res.stats.end = std::max(res.stats.end, bo.done);
+        noteOps(mode, b.intraOp, b.subOps.size());
     }
 
     if (!batches.empty()) {
@@ -702,6 +751,7 @@ Controller::executeBatches(const std::vector<nvme::Batch> &batches, Mode mode,
         res.pages = std::move(last.pages);
     }
     res.stats.retiredBlocks += ssd_->ftl().retiredBlocks() - retired_before;
+    noteExec(res.stats);
     return res;
 }
 
@@ -804,6 +854,8 @@ Controller::executeNot(bool msb_page, nvme::Lpn x, std::uint32_t pages,
         res.stats.end = std::max(res.stats.end, so.done);
     }
     res.stats.retiredBlocks += ftl.retiredBlocks() - retired_before;
+    noteOps(mode, op, pages);
+    noteExec(res.stats);
     return res;
 }
 

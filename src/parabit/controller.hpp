@@ -34,6 +34,8 @@
 #include "common/bitvector.hpp"
 #include "flash/timing.hpp"
 #include "nvme/batch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ssd/ssd.hpp"
 
 namespace parabit::core {
@@ -45,6 +47,8 @@ enum class Mode : std::uint8_t
     kReAllocate,       ///< "ParaBit-ReAlloc"
     kLocationFree,     ///< "ParaBit-LocFree"
 };
+
+inline constexpr int kNumModes = 3;
 
 const char *modeName(Mode m);
 
@@ -281,11 +285,36 @@ class Controller
                    Tick &ready, BitVector *x_out = nullptr,
                    BitVector *y_out = nullptr);
 
+    /** Count @p n executed page ops of (@p mode, @p op) on the
+     *  registered per-mode/per-op instruments. */
+    void noteOps(Mode mode, flash::BitwiseOp op, std::uint64_t n);
+
+    /** Fold one finished execution into the registered ladder/traffic
+     *  counters and emit its formula span on the global TraceSink. */
+    void noteExec(const ExecStats &stats);
+
     ssd::SsdDevice *ssd_;
     nvme::Lpn scratchLpn_; ///< internal LPNs for reallocated copies
     ReliabilityPolicy policy_;
     /** Per-plane self-test verdicts (flat plane index -> trusted). */
     std::unordered_map<ssd::PlaneIndex, bool> planeTrust_;
+
+    /** @name Registered instruments (obs/metrics.hpp). */
+    /// @{
+    std::vector<obs::Counter> opCounters_; ///< [mode][op], built in ctor
+    obs::Counter formulas_{"parabit.formulas"};
+    obs::Counter senseOps_{"parabit.sense_ops"};
+    obs::Counter reallocPrograms_{"parabit.realloc.programs"};
+    obs::Counter reallocBytes_{"parabit.realloc.bytes"};
+    obs::Counter ladderSelfTests_{"parabit.ladder.self_tests"};
+    obs::Counter ladderParityChecks_{"parabit.ladder.parity_checks"};
+    obs::Counter ladderDetections_{"parabit.ladder.detections"};
+    obs::Counter ladderVoteEscalations_{"parabit.ladder.vote_escalations"};
+    obs::Counter ladderRetries_{"parabit.ladder.retries"};
+    obs::Counter ladderHostFallbacks_{"parabit.ladder.host_fallbacks"};
+    obs::Counter ladderRetiredBlocks_{"parabit.ladder.retired_blocks"};
+    /// @}
+    std::uint64_t nextFormulaSpanId_ = 0;
 };
 
 } // namespace parabit::core

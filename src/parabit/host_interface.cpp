@@ -1,9 +1,11 @@
 #include "parabit/host_interface.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace parabit::core {
 
@@ -35,7 +37,34 @@ toNvmeStatus(ExecStatus s)
     return nvme::kInternalError;
 }
 
+/** Host-visible command name for trace spans. */
+const char *
+cmdName(nvme::Opcode op)
+{
+    switch (op) {
+      case nvme::Opcode::kFlush: return "flush";
+      case nvme::Opcode::kWrite: return "write";
+      case nvme::Opcode::kRead: return "read";
+    }
+    return "?";
+}
+
 } // namespace
+
+void
+HostInterface::noteCmdSpan(std::uint16_t qid, const char *name, Tick start,
+                           Tick end, std::uint16_t status)
+{
+    obs::TraceSink *sink = obs::TraceSink::global();
+    if (sink == nullptr)
+        return;
+    const obs::TrackId t =
+        sink->track("host", "queue " + std::to_string(qid));
+    const std::uint64_t id = nextCmdSpanId_++;
+    sink->asyncBegin(t, "nvme", name, id, start,
+                     {{"status", std::to_string(status), false}});
+    sink->asyncEnd(t, "nvme", name, id, std::max(end, start));
+}
 
 std::optional<std::uint16_t>
 HostInterface::submitRead(std::uint16_t qid, nvme::Lpn lpn)
@@ -162,6 +191,9 @@ HostInterface::pump()
                 ++timeouts_;
                 qps_[d.qid].complete(d.f.cid, d.f.submittedAt, deadline,
                                      nvme::kCommandAborted);
+                noteCmdSpan(d.qid, cmdName(d.f.cmd.opcode()),
+                            d.f.submittedAt, deadline,
+                            nvme::kCommandAborted);
                 const auto cid = qps_[d.qid].submit(d.f.cmd, done);
                 if (!cid)
                     panic("HostInterface: ring full on requeue");
@@ -172,6 +204,8 @@ HostInterface::pump()
                 continue;
             }
             qps_[d.qid].complete(d.f.cid, d.f.submittedAt, done, d.status);
+            noteCmdSpan(d.qid, cmdName(d.f.cmd.opcode()), d.f.submittedAt,
+                        done, d.status);
             ++retired;
         }
         deferred.clear();
@@ -227,6 +261,8 @@ HostInterface::pump()
                         qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
                                              deadline,
                                              nvme::kCommandAborted);
+                        noteCmdSpan(p.qid, "formula", p.f.submittedAt,
+                                    deadline, nvme::kCommandAborted);
                         std::uint16_t last = 0;
                         for (const auto &c : group) {
                             const auto cid = qps_[p.qid].submit(c,
@@ -251,6 +287,8 @@ HostInterface::pump()
                     results_.at(p.qid).push_back(std::move(qc));
                     qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
                                          r.stats.end, status);
+                    noteCmdSpan(p.qid, "formula", p.f.submittedAt,
+                                r.stats.end, status);
                     ++retired;
                 }
                 continue;

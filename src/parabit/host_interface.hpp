@@ -24,6 +24,7 @@
 
 #include "nvme/parser.hpp"
 #include "nvme/queue.hpp"
+#include "obs/metrics.hpp"
 #include "parabit/device.hpp"
 
 namespace parabit::core {
@@ -115,11 +116,17 @@ class HostInterface
     void setCommandTimeout(Tick t) { commandTimeout_ = t; }
     Tick commandTimeout() const { return commandTimeout_; }
 
-    std::uint64_t timeouts() const { return timeouts_; }
-    std::uint64_t requeues() const { return requeues_; }
+    std::uint64_t timeouts() const { return timeouts_.value(); }
+    std::uint64_t requeues() const { return requeues_.value(); }
     /// @}
 
   private:
+    /** Emit an async host-command span (submit -> completion) on this
+     *  queue's trace track when the global sink is enabled.  Async
+     *  events because in-flight commands of one queue overlap. */
+    void noteCmdSpan(std::uint16_t qid, const char *name, Tick start,
+                     Tick end, std::uint16_t status);
+
     struct FormulaTicket
     {
         std::uint16_t qid;
@@ -137,10 +144,11 @@ class HostInterface
     /** Result pages held until the host reaps, keyed per queue FIFO. */
     std::vector<std::deque<QueuedCompletion>> results_;
     Tick commandTimeout_ = 0;
-    std::uint64_t timeouts_ = 0;
-    std::uint64_t requeues_ = 0;
+    obs::Counter timeouts_{"host.timeouts"};
+    obs::Counter requeues_{"host.requeues"};
     /** cids of re-submitted plain commands (per queue): run-to-completion. */
     std::vector<std::vector<std::uint16_t>> requeuedCids_;
+    std::uint64_t nextCmdSpanId_ = 0; ///< async trace span ids
 };
 
 } // namespace parabit::core

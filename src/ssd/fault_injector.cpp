@@ -164,6 +164,7 @@ FaultInjector::powerCutOnOp(bool is_program)
         if (f.attempts > f.spec.onset) {
             f.fired = true;
             powerLost_ = true;
+            ++powerCuts_;
             cut = (is_program && f.cutMid) ? PowerCut::kMidProgram
                                            : PowerCut::kBeforeOp;
         }

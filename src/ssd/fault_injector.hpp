@@ -43,6 +43,7 @@
 
 #include "common/rng.hpp"
 #include "flash/geometry.hpp"
+#include "obs/metrics.hpp"
 #include "flash/plane.hpp"
 #include "ssd/allocator.hpp"
 
@@ -163,8 +164,16 @@ class FaultInjector
 
     /** @name Injection counters. */
     /// @{
-    std::uint64_t programFailuresInjected() const { return progFails_; }
-    std::uint64_t eraseFailuresInjected() const { return eraseFails_; }
+    std::uint64_t programFailuresInjected() const
+    {
+        return progFails_.value();
+    }
+    std::uint64_t eraseFailuresInjected() const
+    {
+        return eraseFails_.value();
+    }
+    /** kPowerLoss faults that actually cut power. */
+    std::uint64_t powerCutsInjected() const { return powerCuts_.value(); }
     /// @}
 
     /**
@@ -193,8 +202,9 @@ class FaultInjector
     Rng rng_;
     std::vector<Active> active_;
     std::vector<FaultSpec> specs_;
-    std::uint64_t progFails_ = 0;
-    std::uint64_t eraseFails_ = 0;
+    obs::Counter progFails_{"fault.program_failures_injected"};
+    obs::Counter eraseFails_{"fault.erase_failures_injected"};
+    obs::Counter powerCuts_{"fault.power_cuts"};
     bool powerLost_ = false;
 };
 

@@ -35,6 +35,7 @@
 
 #include "common/bitvector.hpp"
 #include "flash/chip.hpp"
+#include "obs/metrics.hpp"
 #include "ssd/allocator.hpp"
 #include "ssd/config.hpp"
 #include "ssd/fault_injector.hpp"
@@ -168,33 +169,40 @@ class Ftl
     /** The modeled content of the reserved log region (tests). */
     const DurableLog &durableLog() const { return durable_; }
 
-    std::uint64_t checkpointsTaken() const { return checkpoints_; }
-    std::uint64_t journalRecordsWritten() const { return journalWrites_; }
+    std::uint64_t checkpointsTaken() const { return checkpoints_.value(); }
+    std::uint64_t journalRecordsWritten() const
+    {
+        return journalWrites_.value();
+    }
     /** Next OOB sequence number (monotonic across power cycles). */
     std::uint64_t sequence() const { return seq_; }
     /// @}
 
     /** @name Statistics (endurance / WAF). */
     /// @{
-    std::uint64_t hostPagesWritten() const { return hostWrites_; }
-    std::uint64_t gcPagesWritten() const { return gcWrites_; }
+    std::uint64_t hostPagesWritten() const { return hostWrites_.value(); }
+    std::uint64_t gcPagesWritten() const { return gcWrites_.value(); }
     std::uint64_t totalPagesWritten() const
     {
-        return hostWrites_ + gcWrites_ + parabitWrites_;
+        return hostWrites_.value() + gcWrites_.value() +
+               parabitWrites_.value();
     }
     /** Pages written by ParaBit reallocation (counted via writePair /
      *  writeLsbOnly / writeIntoFreeMsb). */
-    std::uint64_t parabitPagesWritten() const { return parabitWrites_; }
-    std::uint64_t blockErases() const { return erases_; }
-    std::uint64_t gcRuns() const { return gcRuns_; }
-    std::uint64_t wearLevelMoves() const { return wearMoves_; }
+    std::uint64_t parabitPagesWritten() const
+    {
+        return parabitWrites_.value();
+    }
+    std::uint64_t blockErases() const { return erases_.value(); }
+    std::uint64_t gcRuns() const { return gcRuns_.value(); }
+    std::uint64_t wearLevelMoves() const { return wearMoves_.value(); }
 
     /** @name Reliability counters. */
     /// @{
-    std::uint64_t programFailures() const { return programFailures_; }
-    std::uint64_t eraseFailures() const { return eraseFailures_; }
+    std::uint64_t programFailures() const { return programFailures_.value(); }
+    std::uint64_t eraseFailures() const { return eraseFailures_.value(); }
     /** Program attempts re-placed after a failure. */
-    std::uint64_t programRetries() const { return programRetries_; }
+    std::uint64_t programRetries() const { return programRetries_.value(); }
     std::uint64_t retiredBlocks() const { return alloc_.retiredBlocks(); }
     /// @}
 
@@ -203,7 +211,7 @@ class Ftl
     double
     writeAmplification() const
     {
-        const std::uint64_t host = hostWrites_ + parabitWrites_;
+        const std::uint64_t host = hostWrites_.value() + parabitWrites_.value();
         return host == 0 ? 1.0
                          : static_cast<double>(totalPagesWritten()) /
                                static_cast<double>(host);
@@ -282,15 +290,19 @@ class Ftl
      *  ParaBit placements store raw data and clear membership. */
     std::unordered_set<Lpn> scrambledLpns_;
 
-    std::uint64_t hostWrites_ = 0;
-    std::uint64_t gcWrites_ = 0;
-    std::uint64_t parabitWrites_ = 0;
-    std::uint64_t erases_ = 0;
-    std::uint64_t gcRuns_ = 0;
-    std::uint64_t wearMoves_ = 0;
-    std::uint64_t programFailures_ = 0;
-    std::uint64_t eraseFailures_ = 0;
-    std::uint64_t programRetries_ = 0;
+    /** @name Registered instruments (obs/metrics.hpp); value() feeds
+     *  the accessor API, the registry feeds snapshots and dumps. */
+    /// @{
+    obs::Counter hostWrites_{"ftl.pages.host_written"};
+    obs::Counter gcWrites_{"ftl.pages.gc_written"};
+    obs::Counter parabitWrites_{"ftl.pages.parabit_written"};
+    obs::Counter erases_{"ftl.block_erases"};
+    obs::Counter gcRuns_{"ftl.gc.runs"};
+    obs::Counter wearMoves_{"ftl.wear_level.moves"};
+    obs::Counter programFailures_{"ftl.program.failures"};
+    obs::Counter eraseFailures_{"ftl.erase.failures"};
+    obs::Counter programRetries_{"ftl.program.retries"};
+    /// @}
     std::uint32_t gcThresholdBlocks_;
     bool inGc_ = false;
 
@@ -305,9 +317,9 @@ class Ftl
     std::uint32_t logHead_ = 0; ///< next free log page in logHalf_
     std::uint32_t programsSinceCkpt_ = 0;
     bool inCheckpoint_ = false;
-    std::uint64_t checkpoints_ = 0;
-    std::uint64_t journalWrites_ = 0;
-    std::uint64_t logErases_ = 0;
+    obs::Counter checkpoints_{"ftl.ckpt.taken"};
+    obs::Counter journalWrites_{"ftl.journal.records"};
+    obs::Counter logErases_{"ftl.log.erases"};
     /** Unpaired interleaved LSB writes awaiting their partner MSB
      *  program, keyed by the LSB page's linear index (PLP-protected
      *  controller RAM; at most one entry per plane write cursor). */

@@ -13,6 +13,7 @@
 #ifndef PARABIT_SSD_SCHED_SCHED_CONFIG_HPP_
 #define PARABIT_SSD_SCHED_SCHED_CONFIG_HPP_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/units.hpp"
@@ -86,6 +87,15 @@ struct SchedConfig
      * not want.
      */
     bool latencySampling = false;
+
+    /**
+     * Bound the per-class latency sample vectors via reservoir sampling
+     * (SampleSeries cap).  0 (the default) keeps every sample — exact
+     * percentiles, unbounded growth; a nonzero cap keeps percentile
+     * estimates statistically sound at fixed memory for
+     * device-lifetime runs.  Only meaningful with latencySampling.
+     */
+    std::size_t latencySampleCap = 0;
 
     /**
      * Keep a full booking trace (every phase interval on every

@@ -10,8 +10,20 @@ TransactionScheduler::TransactionScheduler(
     const flash::FlashGeometry &geometry, const flash::FlashTiming &timing,
     const SchedConfig &cfg)
     : geo_(geometry), timing_(timing), cfg_(cfg), policy_(makePolicy(cfg)),
-      latency_(kNumTxClasses)
+      latency_(kNumTxClasses, SampleSeries(cfg.latencySampleCap)),
+      submitted_("sched.tx.submitted"),
+      completedCount_("sched.tx.completed"),
+      suspendCount_("sched.suspends"), batches_("sched.batch.groups"),
+      batchedJobs_("sched.batch.jobs"),
+      maxQueueDepth_("sched.queue.max_depth")
 {
+    latencyHist_.reserve(kNumTxClasses);
+    for (int c = 0; c < kNumTxClasses; ++c) {
+        latencyHist_.emplace_back(
+            std::string("sched.latency_us.") +
+                txClassName(static_cast<TxClass>(c)),
+            0.0, 10000.0, 100);
+    }
     resources_.resize(static_cast<std::size_t>(geo_.channels) +
                       geo_.planesTotal());
     for (std::uint32_t c = 0; c < geo_.channels; ++c)
@@ -31,6 +43,64 @@ std::size_t
 TransactionScheduler::channelResource(std::uint32_t channel) const
 {
     return channel;
+}
+
+std::string
+TransactionScheduler::dieTrackName(std::uint32_t plane_ordinal) const
+{
+    // Inverse of the arrayResource() linearisation, so the track name
+    // carries the full physical coordinate of the plane.
+    const std::uint32_t plane = plane_ordinal % geo_.planesPerDie;
+    std::uint32_t rest = plane_ordinal / geo_.planesPerDie;
+    const std::uint32_t die = rest % geo_.diesPerChip;
+    rest /= geo_.diesPerChip;
+    const std::uint32_t chip = rest % geo_.chipsPerChannel;
+    const std::uint32_t channel = rest / geo_.chipsPerChannel;
+    return "ch" + std::to_string(channel) + " chip" +
+           std::to_string(chip) + " die" + std::to_string(die) + " plane" +
+           std::to_string(plane);
+}
+
+void
+TransactionScheduler::setTraceSink(obs::TraceSink *sink)
+{
+    sink_ = sink;
+    resourceTracks_.clear();
+    if (!sink_)
+    {
+        return;
+    }
+    resourceTracks_.reserve(resources_.size());
+    for (const Resource &r : resources_)
+    {
+        if (r.onChannel)
+        {
+            resourceTracks_.push_back(sink_->track(
+                "channels", "channel " + std::to_string(r.index)));
+        }
+        else
+        {
+            resourceTracks_.push_back(
+                sink_->track("dies", dieTrackName(r.index)));
+        }
+    }
+}
+
+void
+TransactionScheduler::noteSpan(std::size_t res, const TxState &st,
+                               PhaseKind kind, Tick start, Tick end)
+{
+    const Resource &r = resources_[res];
+    if (cfg_.traceEnabled)
+    {
+        trace_.push_back({st.id, r.onChannel, r.index, kind, start, end});
+    }
+    if (sink_ != nullptr)
+    {
+        sink_->span(resourceTracks_[res], phaseKindName(kind), start, end,
+                    {{"tx", std::to_string(st.id), false},
+                     {"class", txClassName(st.tx.cls), true}});
+    }
 }
 
 std::size_t
@@ -124,7 +194,7 @@ TransactionScheduler::submit(const DeviceTransaction &tx)
         e.txIdx = txIdx;
         e.phaseIdx = p;
         r.q.push_back(e);
-        maxQueueDepth_ = std::max(maxQueueDepth_, r.q.size());
+        maxQueueDepth_.noteMax(static_cast<double>(r.q.size()));
     }
     return added.id;
 }
@@ -294,16 +364,11 @@ TransactionScheduler::onComplete(std::size_t res, std::uint64_t gen)
     const Phase &ph = st.phases[run.phaseIdx];
     r.tl.reserve(run.start, run.plannedEnd - run.start);
 
-    if (cfg_.traceEnabled)
+    if (run.isResume)
     {
-        if (run.isResume)
-        {
-            trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kResume,
-                              run.start, run.payloadStart});
-        }
-        trace_.push_back({st.id, r.onChannel, r.index, ph.kind,
-                          run.payloadStart, run.plannedEnd});
+        noteSpan(res, st, PhaseKind::kResume, run.start, run.payloadStart);
     }
+    noteSpan(res, st, ph.kind, run.payloadStart, run.plannedEnd);
     if (ph.kind == PhaseKind::kArray)
     {
         st.arrayExecuted += run.plannedEnd - run.payloadStart;
@@ -373,21 +438,15 @@ TransactionScheduler::maybeSuspend(std::size_t res)
     ++st.suspends;
     ++suspendCount_;
 
-    if (cfg_.traceEnabled)
+    if (run.isResume)
     {
-        if (run.isResume)
-        {
-            trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kResume,
-                              run.start, run.payloadStart});
-        }
-        if (executed > 0)
-        {
-            trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kArray,
-                              run.payloadStart, now});
-        }
-        trace_.push_back({st.id, r.onChannel, r.index, PhaseKind::kSuspend,
-                          now, now + timing_.tSuspend});
+        noteSpan(res, st, PhaseKind::kResume, run.start, run.payloadStart);
     }
+    if (executed > 0)
+    {
+        noteSpan(res, st, PhaseKind::kArray, run.payloadStart, now);
+    }
+    noteSpan(res, st, PhaseKind::kSuspend, now, now + timing_.tSuspend);
 
     QEntry e;
     e.txIdx = run.txIdx;
@@ -409,9 +468,12 @@ TransactionScheduler::finishTx(TxState &st, Tick end)
     st.complete = end;
     completions_[st.id] = end;
     ++completedCount_;
+    const auto cls = static_cast<std::size_t>(st.tx.cls);
+    // Tick is picoseconds; the registry histogram is bucketed in us.
+    latencyHist_[cls].sample(static_cast<double>(end - st.tx.readyAt) /
+                             1e6);
     if (cfg_.latencySampling)
     {
-        const auto cls = static_cast<std::size_t>(st.tx.cls);
         latency_[cls].sample(static_cast<double>(end - st.tx.readyAt));
     }
 }
@@ -457,12 +519,12 @@ TransactionScheduler::stats() const
     {
         s.dieBusy.push_back(resources_[geo_.channels + p].tl.bookedTicks());
     }
-    s.submitted = submitted_;
-    s.completed = completedCount_;
-    s.suspends = suspendCount_;
-    s.batches = batches_;
-    s.batchedJobs = batchedJobs_;
-    s.maxQueueDepth = maxQueueDepth_;
+    s.submitted = submitted_.value();
+    s.completed = completedCount_.value();
+    s.suspends = suspendCount_.value();
+    s.batches = batches_.value();
+    s.batchedJobs = batchedJobs_.value();
+    s.maxQueueDepth = static_cast<std::size_t>(maxQueueDepth_.value());
     return s;
 }
 

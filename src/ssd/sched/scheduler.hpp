@@ -35,6 +35,8 @@
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "flash/geometry.hpp"
 #include "flash/timing.hpp"
 #include "ssd/event_engine.hpp"
@@ -124,6 +126,15 @@ class TransactionScheduler
 
     SchedStats stats() const;
 
+    /**
+     * Emit every booked phase as a span on @p sink (one track per
+     * channel, one per plane-granular die), in addition to — and with
+     * the same intervals as — the TraceEntry record.  Pass nullptr to
+     * detach.  SsdDevice wires the global sink in automatically when
+     * tracing is enabled at construction time.
+     */
+    void setTraceSink(obs::TraceSink *sink);
+
     /** Completion-latency samples per class (latencySampling only). */
     const SampleSeries &latencySeries(TxClass c) const;
 
@@ -189,6 +200,12 @@ class TransactionScheduler
 
     std::size_t channelResource(std::uint32_t channel) const;
     std::size_t arrayResource(const flash::PhysPageAddr &a) const;
+    std::string dieTrackName(std::uint32_t plane_ordinal) const;
+
+    /** Record one booked interval in the TraceEntry log (traceEnabled)
+     *  and on the attached TraceSink track (if any). */
+    void noteSpan(std::size_t res, const TxState &st, PhaseKind kind,
+                  Tick start, Tick end);
 
     void buildPhases(TxState &st) const;
     Tick firstEarliest(const TxState &st) const;
@@ -210,18 +227,22 @@ class TransactionScheduler
     std::vector<TxState> txs_;        ///< current batch
     std::unordered_map<std::uint64_t, Tick> completions_;
     std::vector<SampleSeries> latency_; ///< one per TxClass
+    std::vector<obs::Hist> latencyHist_; ///< one per TxClass (us)
     std::vector<TraceEntry> trace_;
+
+    obs::TraceSink *sink_ = nullptr;
+    std::vector<obs::TrackId> resourceTracks_; ///< parallel to resources_
 
     EventEngine *eng_ = nullptr; ///< valid only inside drain()
     std::uint64_t nextId_ = 0;
     bool batchOpen_ = false;
 
-    std::uint64_t submitted_ = 0;
-    std::uint64_t completedCount_ = 0;
-    std::uint64_t suspendCount_ = 0;
-    std::uint64_t batches_ = 0;
-    std::uint64_t batchedJobs_ = 0;
-    std::size_t maxQueueDepth_ = 0;
+    obs::Counter submitted_;
+    obs::Counter completedCount_;
+    obs::Counter suspendCount_;
+    obs::Counter batches_;
+    obs::Counter batchedJobs_;
+    obs::Gauge maxQueueDepth_;
 };
 
 } // namespace parabit::ssd::sched

@@ -1,6 +1,9 @@
 #include "ssd/ssd.hpp"
 
+#include <string>
+
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace parabit::ssd {
 
@@ -18,6 +21,10 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
       ftl_(cfg, chips_),
       sched_(cfg.geometry, cfg.timing, cfg.sched)
 {
+    // Benches enable the global sink before constructing the device;
+    // every scheduler booking then lands on per-channel/per-die tracks.
+    if (obs::TraceSink *sink = obs::TraceSink::global())
+        sched_.setTraceSink(sink);
 }
 
 FaultInjector &
@@ -40,6 +47,20 @@ SsdDevice::powerCycle(Tick at)
     std::vector<PhysOp> ops;
     RecoveryReport rep = ftl_.powerCycle(ops);
     rep.scanTime = scheduleOps(ops, at) - at;
+    ++powerCycles_;
+    pagesScannedTotal_ += rep.pagesScanned;
+    journalReplayedTotal_ += rep.journalRecords;
+    mappingsRebuiltTotal_ += rep.mappingsRebuilt;
+    if (obs::TraceSink *sink = obs::TraceSink::global()) {
+        sink->span(sink->track("device", "recovery"), "power_cycle", at,
+                   at + rep.scanTime,
+                   {{"pages_scanned", std::to_string(rep.pagesScanned),
+                     false},
+                    {"journal_records", std::to_string(rep.journalRecords),
+                     false},
+                    {"mappings_rebuilt", std::to_string(rep.mappingsRebuilt),
+                     false}});
+    }
     return rep;
 }
 

@@ -179,6 +179,12 @@ class SsdDevice
     Ftl ftl_;
     sched::TransactionScheduler sched_;
     std::unique_ptr<FaultInjector> injector_;
+
+    /** Registered recovery instruments (obs/metrics.hpp). */
+    obs::Counter powerCycles_{"recovery.power_cycles"};
+    obs::Counter pagesScannedTotal_{"recovery.pages_scanned"};
+    obs::Counter journalReplayedTotal_{"recovery.journal_replayed"};
+    obs::Counter mappingsRebuiltTotal_{"recovery.mappings_rebuilt"};
 };
 
 } // namespace parabit::ssd

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the logging helpers: threshold filtering, the
+ * pluggable sink, and the logError convenience wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace parabit {
+namespace {
+
+/** Installs a capturing sink for the test's scope, then restores. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+        : previous_(setLogSink([this](LogLevel level,
+                                      const std::string &msg) {
+              lines_.emplace_back(level, msg);
+          }))
+    {
+    }
+
+    ~SinkCapture() { setLogSink(std::move(previous_)); }
+
+    const std::vector<std::pair<LogLevel, std::string>> &lines() const
+    {
+        return lines_;
+    }
+
+  private:
+    LogSink previous_;
+    std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+TEST(Logging, SinkCapturesMessages)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::kDebug);
+    {
+        SinkCapture cap;
+        logDebug("d");
+        logInfo("i");
+        logWarn("w");
+        logError("e");
+        ASSERT_EQ(cap.lines().size(), 4u);
+        EXPECT_EQ(cap.lines()[0].first, LogLevel::kDebug);
+        EXPECT_EQ(cap.lines()[3].first, LogLevel::kError);
+        EXPECT_EQ(cap.lines()[3].second, "e");
+    }
+    setLogLevel(saved);
+}
+
+TEST(Logging, ThresholdFiltersBeforeSink)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::kError);
+    {
+        SinkCapture cap;
+        logDebug("hidden");
+        logWarn("hidden");
+        logError("visible");
+        ASSERT_EQ(cap.lines().size(), 1u);
+        EXPECT_EQ(cap.lines()[0].second, "visible");
+    }
+    setLogLevel(saved);
+}
+
+TEST(Logging, SetLogSinkReturnsPrevious)
+{
+    std::vector<std::string> outer;
+    LogSink original =
+        setLogSink([&outer](LogLevel, const std::string &m) {
+            outer.push_back(m);
+        });
+    // Swap in a second sink; the first must come back out.
+    LogSink first = setLogSink({});
+    EXPECT_TRUE(static_cast<bool>(first));
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::kInfo);
+    first(LogLevel::kInfo, "direct");
+    EXPECT_EQ(outer, std::vector<std::string>{"direct"});
+    setLogLevel(saved);
+    setLogSink(std::move(original)); // restore the default
+}
+
+TEST(Logging, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::kDebug), "DEBUG");
+    EXPECT_STREQ(logLevelName(LogLevel::kInfo), "INFO");
+    EXPECT_STREQ(logLevelName(LogLevel::kWarn), "WARN");
+    EXPECT_STREQ(logLevelName(LogLevel::kError), "ERROR");
+}
+
+} // namespace
+} // namespace parabit

@@ -75,5 +75,104 @@ TEST(Histogram, BucketEdges)
     EXPECT_EQ(h.bucketCount(0), 1u);
 }
 
+TEST(Histogram, BucketLoWithNegativeRange)
+{
+    Histogram h(-2.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), -2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(2), 0.0);
+    h.sample(-1.5);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    h.sample(1.99);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, SummaryFormatting)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.summary(), "hist[0,10) n=0");
+    h.sample(5.0);
+    EXPECT_EQ(h.summary(), "hist[0,10) n=1");
+    h.sample(-1.0);
+    h.sample(10.0);
+    h.sample(11.0);
+    EXPECT_EQ(h.summary(), "hist[0,10) n=4 under=1 over=2");
+}
+
+TEST(Histogram, ResetPreservesLayout)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(3.0);
+    h.sample(42.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        EXPECT_EQ(h.bucketCount(b), 0u);
+    // Layout survives: same bucket edges, sampling works again.
+    EXPECT_DOUBLE_EQ(h.bucketLo(2), 4.0);
+    h.sample(3.0);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+}
+
+TEST(SampleSeries, ExactBelowCap)
+{
+    SampleSeries s(8);
+    for (int i = 0; i < 8; ++i)
+        s.sample(i);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_EQ(s.stored(), 8u);
+    // Every sample kept: percentiles are exact.
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+}
+
+TEST(SampleSeries, ReservoirCapsStorage)
+{
+    SampleSeries s(16);
+    for (int i = 0; i < 10000; ++i)
+        s.sample(i);
+    EXPECT_EQ(s.count(), 10000u);
+    EXPECT_EQ(s.stored(), 16u);
+    EXPECT_EQ(s.cap(), 16u);
+    // Scalar moments see every sample regardless of the reservoir.
+    EXPECT_DOUBLE_EQ(s.max(), 9999.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4999.5);
+    // The reservoir holds a genuine subset of the stream.
+    for (double p : {10.0, 50.0, 90.0}) {
+        const double v = s.percentile(p);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 9999.0);
+    }
+}
+
+TEST(SampleSeries, ReservoirIsDeterministic)
+{
+    SampleSeries a(8), b(8);
+    for (int i = 0; i < 5000; ++i) {
+        a.sample(i * 0.5);
+        b.sample(i * 0.5);
+    }
+    for (double p : {1.0, 25.0, 50.0, 75.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+    // reset() reseeds the reservoir stream: replays identically too.
+    a.reset();
+    for (int i = 0; i < 5000; ++i)
+        a.sample(i * 0.5);
+    for (double p : {1.0, 25.0, 50.0, 75.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+}
+
+TEST(SampleSeries, ZeroCapKeepsEverything)
+{
+    SampleSeries s;
+    for (int i = 0; i < 1000; ++i)
+        s.sample(i);
+    EXPECT_EQ(s.stored(), 1000u);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 989.0);
+}
+
 } // namespace
 } // namespace parabit

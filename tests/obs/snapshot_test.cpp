@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for periodic registry snapshots: frozen column sets,
+ * CSV/JSON rendering, and the EventEngine-driven sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "ssd/event_engine.hpp"
+
+namespace parabit::obs {
+namespace {
+
+/** Enables the global registry for the test's scope, then wipes it. */
+class RegistryScope
+{
+  public:
+    RegistryScope() { MetricsRegistry::global().setEnabled(true); }
+
+    ~RegistryScope()
+    {
+        MetricsRegistry::global().setEnabled(false);
+        MetricsRegistry::global().clear();
+    }
+};
+
+TEST(Snapshot, RecordsCountersAndGauges)
+{
+    RegistryScope scope;
+    Counter c("snap.count");
+    Gauge g("snap.gauge");
+    SnapshotSeries series;
+    c += 3;
+    g.set(1.5);
+    series.record(100);
+    c += 2;
+    g.set(2.5);
+    series.record(200);
+    ASSERT_EQ(series.size(), 2u);
+    ASSERT_EQ(series.columns().size(), 2u);
+    EXPECT_EQ(series.columns()[0], "snap.count");
+    EXPECT_EQ(series.columns()[1], "snap.gauge");
+
+    const std::string csv = series.toCsv();
+    EXPECT_NE(csv.find("tick,snap.count,snap.gauge"), std::string::npos);
+    EXPECT_NE(csv.find("100,3,1.5"), std::string::npos);
+    EXPECT_NE(csv.find("200,5,2.5"), std::string::npos);
+
+    const std::string json = series.toJson();
+    EXPECT_NE(json.find("\"columns\": [\"snap.count\", \"snap.gauge\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tick\": 200"), std::string::npos);
+}
+
+TEST(Snapshot, ColumnsFreezeAtFirstRecord)
+{
+    RegistryScope scope;
+    Counter c("snap.first");
+    ++c;
+    SnapshotSeries series;
+    series.record(10);
+    // An instrument registered after the first record() is ignored —
+    // every row keeps the same width.
+    Counter late("snap.late");
+    ++late;
+    series.record(20);
+    ASSERT_EQ(series.columns().size(), 1u);
+    EXPECT_EQ(series.columns()[0], "snap.first");
+    EXPECT_EQ(series.size(), 2u);
+}
+
+TEST(Snapshot, SamplerRecordsOnTheLogicalClock)
+{
+    RegistryScope scope;
+    Counter c("snap.engine");
+    SnapshotSeries series;
+    ssd::EventEngine eng;
+    // Simulated work: bump the counter at t=150 and t=450.
+    eng.schedule(150, [&c] { ++c; });
+    eng.schedule(450, [&c] { ++c; });
+    scheduleSampler(eng, series, /*period=*/100, /*horizon=*/500);
+    eng.run();
+    ASSERT_EQ(series.size(), 5u); // t = 100, 200, 300, 400, 500
+    const std::string csv = series.toCsv();
+    EXPECT_NE(csv.find("100,0"), std::string::npos);
+    EXPECT_NE(csv.find("200,1"), std::string::npos);
+    EXPECT_NE(csv.find("400,1"), std::string::npos);
+    EXPECT_NE(csv.find("500,2"), std::string::npos);
+}
+
+TEST(Snapshot, ZeroPeriodSchedulesNothing)
+{
+    RegistryScope scope;
+    SnapshotSeries series;
+    ssd::EventEngine eng;
+    scheduleSampler(eng, series, 0, 1000);
+    EXPECT_EQ(eng.pending(), 0u);
+    eng.run();
+    EXPECT_EQ(series.size(), 0u);
+}
+
+} // namespace
+} // namespace parabit::obs

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "parabit/host_interface.hpp"
 
 namespace parabit::core {
@@ -85,6 +86,50 @@ TEST(HostInterface, PlainIoCompletesWithDeviceLatency)
     // An LSB/MSB read takes at least one 25 us sensing.
     EXPECT_GE(c->latency, ticks::fromUs(25));
     EXPECT_TRUE(c->pages.empty());
+}
+
+TEST(HostInterface, CompletionsEmitAsyncTraceSpans)
+{
+    obs::TraceSink &sink = obs::TraceSink::enableGlobal();
+    sink.clear();
+    {
+        ParaBitDevice dev(ssd::SsdConfig::tiny());
+        const auto x = pages(dev.ssd().config(), 1, 1);
+        const auto y = pages(dev.ssd().config(), 1, 2);
+        dev.writeData(0, x);
+        dev.writeData(10, y);
+        HostInterface host(dev, 1, 8, Mode::kReAllocate);
+        ASSERT_TRUE(host.submitRead(0, 0));
+        nvme::Formula f;
+        f.terms.push_back(
+            nvme::Formula::Term{nvme::OperandRef::logical(0, 1),
+                                nvme::OperandRef::logical(10, 1),
+                                flash::BitwiseOp::kXor});
+        ASSERT_TRUE(host.submitFormula(0, f));
+        host.pump();
+        while (host.reap(0))
+            ;
+    }
+    const std::string json = sink.toJson();
+    obs::TraceSink::disableGlobal();
+    // The read and the formula each close one async begin/end pair on
+    // the host queue's track.
+    EXPECT_NE(json.find("\"cat\":\"nvme\",\"id\":\"0\",\"name\":\"read\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"formula\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"queue 0\"}"),
+              std::string::npos);
+    const auto count = [&json](const char *needle) {
+        std::size_t n = 0;
+        for (std::size_t at = json.find(needle); at != std::string::npos;
+             at = json.find(needle, at + 1))
+            ++n;
+        return n;
+    };
+    // Read + host formula + the controller's own formula span: every
+    // begin is closed by a matching end.
+    EXPECT_GE(count("\"ph\":\"b\""), 2u);
+    EXPECT_EQ(count("\"ph\":\"b\""), count("\"ph\":\"e\""));
 }
 
 TEST(HostInterface, RoundRobinServesBothQueues)

@@ -190,6 +190,33 @@ TEST(LintUsingNamespace, StdBannedEverywhereOthersOnlyInHeaders)
                          "using-namespace"));
 }
 
+TEST(LintRawStderr, FlagsDirectStderrWrites)
+{
+    EXPECT_TRUE(hasRule(lintCpp("std::fprintf(stderr, \"x\");\n"),
+                        "raw-stderr"));
+    EXPECT_TRUE(hasRule(lintCpp("std::cerr << \"oops\";\n"), "raw-stderr"));
+    EXPECT_TRUE(hasRule(lintCpp("std::clog << \"note\";\n"), "raw-stderr"));
+}
+
+TEST(LintRawStderr, AllowsLoggingBackendCommentsAndSuppression)
+{
+    SourceInfo info;
+    info.guardPath = "common/logging.cpp";
+    info.stderrAllowed = true;
+    EXPECT_FALSE(hasRule(lintSource("common/logging.cpp",
+                                    "std::fprintf(stderr, \"x\");\n", info),
+                         "raw-stderr"));
+    // Comments and string literals are stripped before the scan.
+    EXPECT_FALSE(hasRule(lintCpp("// falls back to stderr\n"),
+                         "raw-stderr"));
+    EXPECT_FALSE(hasRule(lintCpp("auto s = \"stderr\";\n"), "raw-stderr"));
+    // Identifiers merely containing the token are fine.
+    EXPECT_FALSE(hasRule(lintCpp("int cerrors = 0;\n"), "raw-stderr"));
+    EXPECT_FALSE(hasRule(
+        lintCpp("std::cerr << x; // lint:allow(raw-stderr)\n"),
+        "raw-stderr"));
+}
+
 TEST(LintJson, RendersFindings)
 {
     const auto fs = lintCpp("delete p;\n");

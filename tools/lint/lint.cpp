@@ -158,6 +158,7 @@ class Linter
     }
 
     void checkDurations();
+    void checkRawStderr();
     void checkNewDelete();
     void checkEnumSwitchDefault();
     void checkNondeterminism();
@@ -199,6 +200,21 @@ Linter::checkDurations()
             }
         }
     }
+}
+
+void
+Linter::checkRawStderr()
+{
+    if (info_.stderrAllowed)
+        return;
+    // stderr as a token catches fprintf(stderr, ...); cerr/clog catch
+    // the iostream spellings.  String/comment mentions are stripped, so
+    // documentation may say "stderr" freely.
+    static const char *const streams[] = {"stderr", "cerr", "clog"};
+    for (const char *s : streams)
+        forEachWord(s, "raw-stderr",
+                    "direct stderr write; route diagnostics through "
+                    "common/logging.hpp so the log sink sees them");
 }
 
 void
@@ -396,6 +412,7 @@ std::vector<Finding>
 Linter::run()
 {
     checkDurations();
+    checkRawStderr();
     checkNewDelete();
     checkEnumSwitchDefault();
     checkNondeterminism();
@@ -442,6 +459,7 @@ lintTree(const std::string &root)
         info.guardPath = prefix_base ? base + "/" + rel : rel;
         info.durationAllowed =
             rel == "common/units.hpp" || rel == "flash/timing.hpp";
+        info.stderrAllowed = prefix_base || rel == "common/logging.cpp";
         if (f.extension() == ".cpp") {
             fs::path header = f;
             header.replace_extension(".hpp");

@@ -26,6 +26,11 @@
  *    keeps every header compiling standalone (self-contained).
  *  - using-namespace: no `using namespace` in headers, no
  *    `using namespace std` anywhere.
+ *  - raw-stderr: no fprintf(stderr, ...) / std::cerr / std::clog in
+ *    simulator sources outside common/logging.cpp — diagnostics go
+ *    through common/logging.hpp so the pluggable log sink sees them
+ *    (tests capture them, benches can silence them).  Tool mains
+ *    (tools/) are exempt: their stderr is the user interface.
  *
  * A finding on a specific line can be suppressed with a trailing
  * `// lint:allow(<rule>)` comment; suppressions are deliberate and
@@ -60,6 +65,8 @@ struct SourceInfo
     bool hasMatchingHeader = false;
     /** File is an allowed home for duration construction. */
     bool durationAllowed = false;
+    /** File may write to stderr directly (logging backend, tool mains). */
+    bool stderrAllowed = false;
 };
 
 /**
