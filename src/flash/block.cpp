@@ -73,6 +73,8 @@ Block::erase()
         w.lsbOob.reset();
         w.msbOob.reset();
         w.torn = false;
+        w.disturb = 0;
+        w.programmedAt = 0;
     }
     validPages_ = 0;
     ++eraseCount_;
@@ -107,6 +109,30 @@ bool
 Block::torn(std::uint32_t i) const
 {
     return wl(i).torn;
+}
+
+void
+Block::chargeDisturb(std::uint32_t i, std::uint64_t senses)
+{
+    wl(i).disturb += senses;
+}
+
+std::uint64_t
+Block::disturbCount(std::uint32_t i) const
+{
+    return wl(i).disturb;
+}
+
+void
+Block::setProgramTick(std::uint32_t i, Tick now)
+{
+    wl(i).programmedAt = now;
+}
+
+Tick
+Block::programTick(std::uint32_t i) const
+{
+    return wl(i).programmedAt;
 }
 
 WordlineData

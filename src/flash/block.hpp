@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/units.hpp"
 #include "flash/latch_array.hpp"
 
 namespace parabit::flash {
@@ -93,6 +94,29 @@ class Block
     /** Whether a program on this wordline was torn by power loss. */
     bool torn(std::uint32_t wl) const;
 
+    /** @name Media-wear tracking (read disturb + retention).
+     *
+     * Disturb counts model the pass-through voltage stress a sensing
+     * puts on the *neighboring* wordlines of its block; retention age is
+     * measured from the wordline's last program.  Both live with the
+     * OOB/state metadata (physical charge state, so they survive
+     * invalidate() and power loss) and are cleared by erase().
+     */
+    /// @{
+
+    /** Absorb @p senses disturb units into wordline @p wl. */
+    void chargeDisturb(std::uint32_t wl, std::uint64_t senses);
+
+    /** Accumulated disturb senses since the last erase. */
+    std::uint64_t disturbCount(std::uint32_t wl) const;
+
+    /** Stamp the last-program time (device tick) of wordline @p wl. */
+    void setProgramTick(std::uint32_t wl, Tick now);
+
+    /** Last-program tick (0 = never stamped since erase). */
+    Tick programTick(std::uint32_t wl) const;
+    /// @}
+
     /** Both pages of a wordline, as the latch model consumes them. */
     WordlineData wordlineData(std::uint32_t wl) const;
 
@@ -110,6 +134,10 @@ class Block
         PageState lsbState = PageState::kFree;
         PageState msbState = PageState::kFree;
         bool torn = false;
+        /** Neighbor-sense disturb units absorbed since erase. */
+        std::uint64_t disturb = 0;
+        /** Device tick of the last program on this wordline. */
+        Tick programmedAt = 0;
     };
 
     Wordline &wl(std::uint32_t i);

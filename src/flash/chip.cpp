@@ -47,7 +47,9 @@ Chip::programPage(const ChipPageAddr &a, const BitVector *data,
         return false;
     if (faults_.programFails && faults_.programFails(a))
         return false;
-    blockAt(a).program(a.wordline, a.msb, data, oob);
+    Block &blk = blockAt(a);
+    blk.program(a.wordline, a.msb, data, oob);
+    blk.setProgramTick(a.wordline, now_);
     return true;
 }
 
@@ -57,6 +59,10 @@ Chip::readPage(const ChipPageAddr &a)
     Block &blk = blockAt(a);
     if (blk.pageState(a.wordline, a.msb) != PageState::kValid)
         logWarn("Chip::readPage: reading a non-valid page");
+    // A normal page read senses the wordline once (LSB) or twice (MSB),
+    // stressing the block neighbors like any other sensing.  The read
+    // itself stays ECC-clean (paper Section 5.8).
+    chargeNeighborDisturb(a, a.msb ? 2 : 1);
     const BitVector *d = blk.pageData(a.wordline, a.msb);
     return d ? *d : BitVector(geom_.pageBits(), true);
 }
@@ -74,11 +80,65 @@ Chip::eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
     return true;
 }
 
+void
+Chip::chargeNeighborDisturb(const ChipPageAddr &a, int senses)
+{
+    if (senses <= 0)
+        return;
+    double units = static_cast<double>(senses);
+    if (faults_.disturbMultiplier)
+        units *= faults_.disturbMultiplier(a);
+    const auto charge = static_cast<std::uint64_t>(units);
+    if (charge == 0)
+        return;
+    Block &blk = blockAt(a);
+    if (a.wordline > 0)
+        blk.chargeDisturb(a.wordline - 1, charge);
+    if (a.wordline + 1 < blk.wordlines())
+        blk.chargeDisturb(a.wordline + 1, charge);
+}
+
+double
+Chip::wearMultiplierAt(const ChipPageAddr &a)
+{
+    if (!errorModel_.wearTrackingEnabled())
+        return 1.0;
+    Block &blk = blockAt(a);
+    return errorModel_.wearMultiplier(blk.disturbCount(a.wordline),
+                                      wordlineAgeHours(a));
+}
+
+std::uint64_t
+Chip::wordlineDisturb(const ChipPageAddr &a)
+{
+    return blockAt(a).disturbCount(a.wordline);
+}
+
+double
+Chip::wordlineAgeHours(const ChipPageAddr &a)
+{
+    const Tick pt = blockAt(a).programTick(a.wordline);
+    const Tick age = now_ > pt ? now_ - pt : 0;
+    double hours = ticks::toSec(age) / 3600.0;
+    if (faults_.retentionMultiplier)
+        hours *= faults_.retentionMultiplier(a);
+    return hours;
+}
+
+double
+Chip::predictedRber(const ChipPageAddr &a)
+{
+    const double base = errorModel_.rberPerSense(blockAt(a).eraseCount());
+    const double fault =
+        faults_.rberMultiplier ? faults_.rberMultiplier(a) : 1.0;
+    return base * wearMultiplierAt(a) * fault;
+}
+
 BitVector
 Chip::runOp(const MicroProgram &prog, const ChipPageAddr &sense_addr,
             const WordlineData &self, const WordlineData &wl_m,
             const WordlineData &wl_n, std::uint32_t pe_cycles,
-            int *bit_errors)
+            int *bit_errors, double wear_mult)
 {
     const Plane &pl = plane(sense_addr.die, sense_addr.plane);
     if (pl.dead())
@@ -86,7 +146,8 @@ Chip::runOp(const MicroProgram &prog, const ChipPageAddr &sense_addr,
               "(callers must check planeOperational() first)");
 
     const double mult =
-        faults_.rberMultiplier ? faults_.rberMultiplier(sense_addr) : 1.0;
+        (faults_.rberMultiplier ? faults_.rberMultiplier(sense_addr) : 1.0) *
+        wear_mult;
     const bool noisy_rber = errorModel_.enabled() && mult > 0.0;
     const std::size_t width = geom_.pageBits();
 
@@ -118,8 +179,12 @@ Chip::opCoLocated(BitwiseOp op, const ChipPageAddr &a, int *bit_errors)
 {
     Block &blk = blockAt(a);
     const WordlineData wl = blk.wordlineData(a.wordline);
-    return runOp(coLocatedProgram(op), a, wl, {}, {}, blk.eraseCount(),
-                 bit_errors);
+    const MicroProgram &prog = coLocatedProgram(op);
+    // A multi-sensing chain stresses the operand wordline's neighbors
+    // once per SRO — the per-sense charging of the disturb model.
+    chargeNeighborDisturb(a, prog.senseCount());
+    return runOp(prog, a, wl, {}, {}, blk.eraseCount(), bit_errors,
+                 wearMultiplierAt(a));
 }
 
 BitVector
@@ -134,8 +199,14 @@ Chip::opLocationFree(BitwiseOp op, const ChipPageAddr &m,
     const WordlineData wm = bm.wordlineData(m.wordline);
     const WordlineData wn = bn.wordlineData(n.wordline);
     const std::uint32_t pe = std::max(bm.eraseCount(), bn.eraseCount());
-    return runOp(locationFreeProgram(op, variant), n, {}, wm, wn, pe,
-                 bit_errors);
+    const MicroProgram &prog = locationFreeProgram(op, variant);
+    // Both operand wordlines are selected across the chain; charging the
+    // full SRO count to each is the conservative split-free bound.
+    chargeNeighborDisturb(m, prog.senseCount());
+    chargeNeighborDisturb(n, prog.senseCount());
+    const double wear =
+        std::max(wearMultiplierAt(m), wearMultiplierAt(n));
+    return runOp(prog, n, {}, wm, wn, pe, bit_errors, wear);
 }
 
 BitVector
@@ -148,8 +219,11 @@ Chip::opBufferedOperand(BitwiseOp op, const BitVector &m_buffer,
     // sensings can err, but the shared noise hook is close enough at
     // the rates involved (the buffer path has no sense amplifier).
     const WordlineData wm{&m_buffer, nullptr};
-    return runOp(locationFreeProgram(op, LocFreeVariant::kLsbLsb), n, {}, wm,
-                 wn, bn.eraseCount(), bit_errors);
+    const MicroProgram &prog =
+        locationFreeProgram(op, LocFreeVariant::kLsbLsb);
+    chargeNeighborDisturb(n, prog.senseCount());
+    return runOp(prog, n, {}, wm, wn, bn.eraseCount(), bit_errors,
+                 wearMultiplierAt(n));
 }
 
 PageState

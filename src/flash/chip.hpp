@@ -54,6 +54,12 @@ struct ChipFaultHooks
     std::function<bool(const ChipPageAddr &)> programFails;
     /** Whether this block erase fails (consumed from the schedule). */
     std::function<bool(const ChipPageAddr &)> eraseFails;
+    /** Multiplier on the disturb units a sensing charges to this page's
+     *  neighbors (kReadDisturbHot regions accumulate stress faster). */
+    std::function<double(const ChipPageAddr &)> disturbMultiplier;
+    /** Multiplier on the retention age of this page's wordline
+     *  (kRetentionLoss regions leak charge faster). */
+    std::function<double(const ChipPageAddr &)> retentionMultiplier;
 };
 
 /** One flash chip; see file comment. */
@@ -77,6 +83,44 @@ class Chip
 
     /** Install reliability fault hooks (see ChipFaultHooks). */
     void setFaultHooks(ChipFaultHooks hooks) { faults_ = std::move(hooks); }
+
+    /** @name Media wear (read disturb + retention).
+     *
+     * The chip keeps a simulated-time cursor the device layer advances
+     * with its booking clock; programs stamp it into the wordline and
+     * sensings evaluate retention age against it.  Every sensing also
+     * charges disturb units to the sensed wordline's block neighbors
+     * (ParaBit chains charge per-SRO).  Tracking is always on — it is
+     * free — but it only changes sensing outcomes when the error model's
+     * disturb/retention factors are nonzero.
+     */
+    /// @{
+
+    /** Advance the chip's simulated-time cursor (monotonic). */
+    void
+    setNow(Tick now)
+    {
+        if (now > now_)
+            now_ = now;
+    }
+
+    Tick now() const { return now_; }
+
+    /** Accumulated disturb units of @p a's wordline. */
+    std::uint64_t wordlineDisturb(const ChipPageAddr &a);
+
+    /** Hours since @p a's wordline was last programmed, scaled by any
+     *  injected retention-loss acceleration. */
+    double wordlineAgeHours(const ChipPageAddr &a);
+
+    /**
+     * Predicted raw per-sensing RBER of @p a's wordline: the P/E-count
+     * base rate times the disturb/retention wear multiplier times any
+     * injected elevated-RBER multiplier.  This is what the patrol
+     * scrubber compares against its refresh threshold.
+     */
+    double predictedRber(const ChipPageAddr &a);
+    /// @}
 
     /** Whether the plane holding @p die/@p plane_idx accepts operations
      *  (false once a dead-plane/dead-chip fault was injected). */
@@ -172,18 +216,28 @@ class Chip
      * Execute @p prog with the error model and any plane-level faults
      * applied to every sensing; @p sense_addr locates the plane whose
      * latch column runs the program (and the wordline whose region may
-     * carry an elevated-RBER fault).
+     * carry an elevated-RBER fault).  @p wear_mult is the caller's
+     * disturb/retention multiplier for the sensed wordline(s).
      */
     BitVector runOp(const MicroProgram &prog, const ChipPageAddr &sense_addr,
                     const WordlineData &self, const WordlineData &wl_m,
                     const WordlineData &wl_n, std::uint32_t pe_cycles,
-                    int *bit_errors);
+                    int *bit_errors, double wear_mult = 1.0);
+
+    /** Charge @p senses disturb units (scaled by any injected hot-spot
+     *  multiplier) to the block neighbors of @p a's wordline. */
+    void chargeNeighborDisturb(const ChipPageAddr &a, int senses);
+
+    /** Disturb/retention multiplier of @p a's wordline (1.0 while wear
+     *  tracking is disabled in the error model). */
+    double wearMultiplierAt(const ChipPageAddr &a);
 
     FlashGeometry geom_;
     ErrorModel errorModel_;
     Rng rng_;
     ChipFaultHooks faults_;
     std::vector<Plane> planes_; ///< dies x planes, row-major
+    Tick now_ = 0; ///< simulated-time cursor (see setNow)
 };
 
 } // namespace parabit::flash

@@ -21,6 +21,17 @@ ErrorModel::rberPerSense(std::uint32_t pe_cycles) const
     return rber0_ * std::exp(growthK_ * static_cast<double>(pe_cycles));
 }
 
+double
+ErrorModel::wearMultiplier(std::uint64_t disturb, double age_hours) const
+{
+    double m = 1.0;
+    if (cfg_.readDisturbFactor > 0.0 && disturb > 0)
+        m *= 1.0 + cfg_.readDisturbFactor * static_cast<double>(disturb);
+    if (cfg_.retentionPerHour > 0.0 && age_hours > 0.0)
+        m *= 1.0 + cfg_.retentionPerHour * age_hours;
+    return m;
+}
+
 int
 ErrorModel::inject(BitVector &so, std::uint32_t pe_cycles, Rng &rng,
                    double rate_multiplier) const

@@ -54,6 +54,24 @@ struct ErrorModelConfig
     /** Decades of RBER growth between 0 and refPeCycles. */
     double decadesOverLife = 1.0;
 
+    /** @name Read-disturb / retention wear (media management).
+     *
+     * Both factors default to 0.0, which makes wearMultiplier() exactly
+     * 1.0 — the P/E-only model of the paper figures is the byte-identical
+     * default and the disturb/retention terms are strictly opt-in.
+     */
+    /// @{
+    /** Fractional RBER growth per accumulated neighbor-wordline sense:
+     *  disturb multiplier = 1 + readDisturbFactor * senses.  Pass-through
+     *  voltage stress on unselected wordlines is linear in the sense
+     *  count until refresh, the standard first-order disturb model. */
+    double readDisturbFactor = 0.0;
+    /** Fractional RBER growth per hour since the wordline was last
+     *  programmed: retention multiplier = 1 + retentionPerHour * hours
+     *  (charge leakage, reset by refresh-relocation). */
+    double retentionPerHour = 0.0;
+    /// @}
+
     /** Raw per-bit flip probability per sensing at the reference P/E. */
     double
     rberAtRef() const
@@ -80,6 +98,22 @@ class ErrorModel
 
     /** Per-bit flip probability for one sensing at @p pe_cycles. */
     double rberPerSense(std::uint32_t pe_cycles) const;
+
+    /**
+     * Combined read-disturb + retention multiplier on the per-sensing
+     * RBER of a wordline that has absorbed @p disturb neighbor senses
+     * and was programmed @p age_hours ago.  Exactly 1.0 while both
+     * config factors are 0 (the default), so the P/E-only model is
+     * unchanged unless wear tracking is opted into.
+     */
+    double wearMultiplier(std::uint64_t disturb, double age_hours) const;
+
+    /** Whether the disturb/retention terms can ever exceed 1.0. */
+    bool
+    wearTrackingEnabled() const
+    {
+        return cfg_.readDisturbFactor > 0.0 || cfg_.retentionPerHour > 0.0;
+    }
 
     /**
      * Flip bits of @p so with the per-sensing probability at

@@ -145,4 +145,13 @@ opLocationFreeVoted(Chip &chip, BitwiseOp op, const ChipPageAddr &m,
     return vote(std::move(runs), la.out());
 }
 
+int
+recommendedVotes(double rber)
+{
+    for (const RetryRung &r : kRetryLadder)
+        if (rber < r.maxRber)
+            return r.votes;
+    return kRetryVotesMax;
+}
+
 } // namespace parabit::flash

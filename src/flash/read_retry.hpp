@@ -60,6 +60,41 @@ BitVector majorityVote(const std::vector<BitVector> &runs);
 std::size_t lowMarginCount(const std::vector<BitVector> &runs,
                            int min_margin);
 
+/** One rung of the retry ladder: up to @p maxRber (exclusive) raw
+ *  per-sensing error rate, @p votes redundant executions suffice. */
+struct RetryRung
+{
+    double maxRber;
+    int votes;
+};
+
+/**
+ * The retry-ladder threshold table, mapping an estimated raw per-sensing
+ * RBER to a recommended vote count.  The rungs are anchored to the
+ * anchor wordline budget of <= 0.1 expected voted output errors per
+ * 65536-bit page for a 7-sensing chain with propagation survival 0.404
+ * (per-bit per-execution error q = 0.404 * 7 * p = 2.83 p):
+ *
+ *  - 1 vote  while 65536 * q        <= 0.1, i.e. p < ~5.4e-7 -> 1e-6 rung;
+ *  - 3 votes while 65536 * 3 * q^2  <= 0.1, i.e. p < ~2.5e-4 -> 1e-4 rung;
+ *  - 5 votes for the next decade span; 7 beyond.
+ *
+ * The scrubber's predicted RBER (Chip::predictedRber, which folds in
+ * disturb and retention wear) is the intended input, so refreshing a
+ * wordline drops it back down the ladder.
+ */
+inline constexpr RetryRung kRetryLadder[] = {
+    {1e-6, 1},
+    {1e-4, 3},
+    {1e-2, 5},
+};
+
+/** Maximum vote count, recommended above the last ladder rung. */
+inline constexpr int kRetryVotesMax = 7;
+
+/** Vote count the ladder recommends for raw per-sensing rate @p rber. */
+int recommendedVotes(double rber);
+
 } // namespace parabit::flash
 
 #endif // PARABIT_FLASH_READ_RETRY_HPP_

@@ -74,6 +74,21 @@ inline constexpr Tick kDefaultRetryBackoff = ticks::fromUs(100);
  */
 inline constexpr Tick kDefaultMaxSuspended = ticks::fromUs(640);
 
+/**
+ * Default spacing between patrol-scrub passes (media management): long
+ * against host operations (tens of thousands of page reads fit between
+ * passes) yet short enough that simulated soaks cross many passes.
+ */
+inline constexpr Tick kDefaultScrubInterval = ticks::fromMs(10);
+
+/**
+ * Default anti-starvation bound for background scrub transactions under
+ * priority scheduling: once a scrub scan has been deferred this long by
+ * host traffic it is promoted to normal arbitration (about two page
+ * programs' worth of deferral).
+ */
+inline constexpr Tick kDefaultScrubMaxDeferred = ticks::fromMs(1);
+
 } // namespace parabit::flash
 
 #endif // PARABIT_FLASH_TIMING_HPP_

@@ -415,8 +415,15 @@ Controller::executePageOp(flash::BitwiseOp op, std::optional<nvme::Lpn> x_lpn,
     out.senseLoc = *y_addr;
     Tick ready = at;
 
-    // A dead plane takes its resident operands with it: no execution
-    // path, in-flash or host-side, can reach that data any more.
+    // A dead plane takes its resident operands with it — unless the
+    // device carries RAIN parity, which rebuilds the page on a live
+    // plane; only when that fails too is the data genuinely gone.
+    if (!ftl.pageAccessible(y_lpn) && ssd_->repairPage(y_lpn, at)) {
+        y_addr = ftl.lookup(y_lpn);
+        out.senseLoc = *y_addr;
+    }
+    if (x_lpn && !ftl.pageAccessible(*x_lpn) && ssd_->repairPage(*x_lpn, at))
+        x_addr = ftl.lookup(*x_lpn);
     if (!ftl.pageAccessible(y_lpn) ||
         (x_lpn && !ftl.pageAccessible(*x_lpn))) {
         out.status = ExecStatus::kDataLoss;
@@ -791,8 +798,11 @@ Controller::executeNot(bool msb_page, nvme::Lpn x, std::uint32_t pages,
         auto addr = ftl.lookup(x + p);
         if (!addr)
             fatal("ParaBit NOT: operand LPN unmapped");
+        if (!ftl.pageAccessible(x + p) && ssd_->repairPage(x + p, at))
+            addr = ftl.lookup(x + p); // repaired copy lives elsewhere
         if (!ftl.pageAccessible(x + p)) {
-            // The operand's plane died: nothing left to invert.
+            // The operand's plane died and parity (if any) could not
+            // rebuild it: nothing left to invert.
             res.status = std::max(res.status, ExecStatus::kDataLoss);
             if (functional)
                 res.pages.emplace_back();

@@ -21,6 +21,17 @@ namespace parabit::ssd {
  * write-ahead-journal region, attaches OOB metadata arbitration to
  * every mapping change, and can rebuild its tables after a power cut
  * (see DESIGN.md "Crash consistency").
+ *
+ * Interaction with media management: a scrub-triggered refresh
+ * relocation is an ordinary sequence of OOB-stamped programs and
+ * invalidations, so it inherits the same journaling/arbitration
+ * guarantees — a power cut mid-refresh leaves either the old or the new
+ * copy as the sequence-arbitration winner, never neither.  Paired
+ * LSB/MSB operand refreshes go through the writePair copy-then-remap
+ * path, so operands stay readable mid-refresh.  Disturb counters and
+ * program timestamps are physical charge state: they survive a power
+ * cut with the cells, and patrol scanning simply resumes after
+ * powerCycle().
  */
 struct RecoveryConfig
 {
@@ -38,6 +49,69 @@ struct RecoveryConfig
      * (even, >= 2: the region is two ping-pong halves).
      */
     std::uint32_t reservedBlocksPerPlane = 2;
+};
+
+/**
+ * Background media management: patrol scrub + refresh relocation.
+ *
+ * The patrol scrubber walks the physical pages of the device in
+ * low-priority scan batches (TxClass::kScrub through the transaction
+ * scheduler), predicts each mapped wordline's raw per-sensing RBER from
+ * its P/E count, accumulated read disturb and retention age
+ * (Chip::predictedRber), and refresh-relocates wordlines whose
+ * prediction crosses refreshRberThreshold.  Relocation re-places pages
+ * with their OOB tags preserved; paired ParaBit operands move through
+ * the atomic writePair copy-then-remap.  Disabled (the default) the
+ * subsystem adds no transactions and no state: the device is
+ * tick-identical to a build without it.
+ */
+struct MediaConfig
+{
+    bool enabled = false;
+
+    /**
+     * Simulated time between patrol passes; a pass is started by the
+     * first host I/O whose submission tick crosses the deadline (or by
+     * an explicit SsdDevice::pumpMedia()).  0 = never scan.
+     */
+    Tick scrubInterval = flash::kDefaultScrubInterval;
+
+    /** Wordlines scanned per patrol pass (bounds the burst a pass can
+     *  impose on the device; anti-starvation at the batch level). */
+    std::uint32_t scrubWordlinesPerPass = 256;
+
+    /** Predicted raw per-sensing RBER beyond which a scanned wordline
+     *  is refresh-relocated. */
+    double refreshRberThreshold = 1e-4;
+
+    /** Optional pure-count trigger: refresh once a wordline's disturb
+     *  counter alone reaches this many senses (0 = disabled). */
+    std::uint64_t refreshDisturbThreshold = 0;
+};
+
+/**
+ * Die-level RAIN (Redundant Array of Independent NAND) parity.
+ *
+ * When enabled, every data-page program XORs its payload into a parity
+ * page per stripe; a stripe is the set of pages at the same (plane,
+ * block, wordline, page-kind) position across every die of one channel,
+ * so any single die (or plane/chip) failure leaves at most one member
+ * unreadable per stripe and RainController::rebuildPage() recovers it
+ * as parity XOR surviving members.  Parity lives in the controller's
+ * battery-backed stripe buffer (recomputed from flash on power cycle)
+ * and its destage traffic is booked on the timing model.  Requires a
+ * running patrol scrubber (scrubInterval > 0) so dead-die pages are
+ * found and rebuilt in the background — validateMediaConfig() rejects
+ * parity with scrubbing off.
+ */
+struct RainConfig
+{
+    bool enabled = false;
+
+    /** Book one parity-destage program on the timing model for every
+     *  data program of a stripe member (off = parity kept consistent
+     *  functionally but destage bandwidth not charged). */
+    bool chargeParityPrograms = true;
 };
 
 /** Configuration of a simulated SSD. */
@@ -85,6 +159,12 @@ struct SsdConfig
      *  greedy timing exactly; see ssd/sched/sched_config.hpp). */
     sched::SchedConfig sched;
 
+    /** Background media management (off by default). */
+    MediaConfig media;
+
+    /** Die-level RAIN parity (off by default). */
+    RainConfig rain;
+
     /** The paper's evaluated device (Section 5.1) in timing mode. */
     static SsdConfig
     paperSsd()
@@ -105,6 +185,27 @@ struct SsdConfig
         return c;
     }
 };
+
+/**
+ * Validate the media-management/RAIN corner of @p cfg.  Returns nullptr
+ * when consistent, else a static description of the violation.
+ * SsdDevice's constructor treats a violation as fatal; parabit-verify
+ * and the config tests call this directly.
+ */
+inline const char *
+validateMediaConfig(const SsdConfig &cfg)
+{
+    if (cfg.rain.enabled &&
+        (!cfg.media.enabled || cfg.media.scrubInterval == 0))
+        return "rain.enabled requires a running patrol scrubber "
+               "(media.enabled with media.scrubInterval > 0): parity "
+               "rebuild of failed-die pages happens from scrub passes";
+    if (cfg.media.enabled && cfg.media.scrubInterval > 0 &&
+        cfg.media.scrubWordlinesPerPass == 0)
+        return "media.scrubWordlinesPerPass must be nonzero when patrol "
+               "scrubbing is enabled";
+    return nullptr;
+}
 
 } // namespace parabit::ssd
 

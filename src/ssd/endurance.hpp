@@ -7,10 +7,16 @@
  * With a rated budget of TBW terabytes written, the host-visible
  * endurance shrinks to
  *
- *   TBW_eff = TBW * host_bytes / (host_bytes + realloc_bytes + gc_bytes)
+ *   TBW_eff = TBW * host_bytes / (host_bytes + realloc_bytes + gc_bytes
+ *                                 + refresh_bytes)
  *
  * which reproduces the paper's 600 -> 200.67 / 257.51 / 300 figures for
- * the bitmap / segmentation / encryption case studies.
+ * the bitmap / segmentation / encryption case studies (refresh_bytes is
+ * zero there: the paper's model has no read-disturb/retention wear, so
+ * the media scrubber never relocates anything).  When the opt-in
+ * disturb/retention model is active, refresh-relocation traffic from
+ * patrol scrubbing consumes P/E budget exactly like GC relocation and
+ * is accounted in the same way.
  */
 
 #ifndef PARABIT_SSD_ENDURANCE_HPP_
@@ -28,12 +34,13 @@ struct EnduranceStats
     Bytes hostBytes = 0;    ///< host-intended data
     Bytes reallocBytes = 0; ///< ParaBit operand reallocation traffic
     Bytes gcBytes = 0;      ///< garbage-collection relocation traffic
+    Bytes refreshBytes = 0; ///< scrub-triggered refresh relocation
     std::uint64_t blockErases = 0;
 
     Bytes
     totalBytes() const
     {
-        return hostBytes + reallocBytes + gcBytes;
+        return hostBytes + reallocBytes + gcBytes + refreshBytes;
     }
 
     /** Write amplification seen by the flash array. */

@@ -13,6 +13,9 @@ faultClassName(FaultClass c)
       case FaultClass::kDeadPlane: return "dead-plane";
       case FaultClass::kDeadChip: return "dead-chip";
       case FaultClass::kPowerLoss: return "power-loss";
+      case FaultClass::kReadDisturbHot: return "read-disturb-hot";
+      case FaultClass::kRetentionLoss: return "retention-loss";
+      case FaultClass::kDieFail: return "die-fail";
     }
     return "?";
 }
@@ -92,6 +95,26 @@ FaultInjector::rberMultiplier(const flash::PhysPageAddr &a) const
     return mult;
 }
 
+double
+FaultInjector::disturbMultiplier(const flash::PhysPageAddr &a) const
+{
+    double mult = 1.0;
+    for (const Active &f : active_)
+        if (f.spec.cls == FaultClass::kReadDisturbHot && matches(f, a))
+            mult *= f.spec.rberMultiplier;
+    return mult;
+}
+
+double
+FaultInjector::retentionMultiplier(const flash::PhysPageAddr &a) const
+{
+    double mult = 1.0;
+    for (const Active &f : active_)
+        if (f.spec.cls == FaultClass::kRetentionLoss && matches(f, a))
+            mult *= f.spec.rberMultiplier;
+    return mult;
+}
+
 bool
 FaultInjector::planeDead(PlaneIndex p) const
 {
@@ -102,6 +125,9 @@ FaultInjector::planeDead(PlaneIndex p) const
             return true;
         if (f.spec.cls == FaultClass::kDeadChip &&
             f.spec.plane / planes_per_chip == p / planes_per_chip)
+            return true;
+        if (f.spec.cls == FaultClass::kDieFail &&
+            f.spec.plane / geom_.planesPerDie == p / geom_.planesPerDie)
             return true;
     }
     return false;

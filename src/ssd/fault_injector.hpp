@@ -17,6 +17,16 @@
  *  - kEraseFailure: block erases fail on the same periodic schedule;
  *  - kDeadPlane / kDeadChip: the plane (or every plane of the chip)
  *    rejects all array operations;
+ *  - kReadDisturbHot: sensings into the region charge their neighbor
+ *    wordlines rberMultiplier times the normal disturb units, so the
+ *    region's predicted RBER climbs that much faster under read traffic
+ *    (drives the patrol scrubber's disturb-triggered refresh);
+ *  - kRetentionLoss: the region's wordlines age rberMultiplier times
+ *    faster than simulated time (charge-leak acceleration), driving
+ *    retention-triggered refresh;
+ *  - kDieFail: every plane of the die containing the target plane
+ *    rejects all array operations — the whole-die failure RAIN parity
+ *    is built to survive;
  *  - kPowerLoss: sudden power-off — execution is cut deterministically
  *    at a seeded PhysOp boundary (spec.onset = number of op boundaries
  *    that complete first).  When the boundary lands on a page program
@@ -59,6 +69,12 @@ enum class FaultClass : std::uint8_t
     kDeadPlane,
     kDeadChip,
     kPowerLoss,
+    // Media-management classes (PR "background media management").
+    // Deliberately outside randomSchedule()'s draw range so legacy
+    // seeded schedules stay bit-identical; arm them with addFault().
+    kReadDisturbHot,
+    kRetentionLoss,
+    kDieFail,
 };
 
 const char *faultClassName(FaultClass c);
@@ -80,7 +96,9 @@ struct FaultSpec
     /** Restrict kElevatedRber / kProgramFailure / kEraseFailure to one
      *  block of the plane (nullopt = whole plane). */
     std::optional<std::uint32_t> block;
-    /** kElevatedRber: multiplier on the raw per-sensing RBER. */
+    /** kElevatedRber: multiplier on the raw per-sensing RBER.
+     *  kReadDisturbHot / kRetentionLoss reuse this field as their
+     *  acceleration factor (disturb charge / aging-rate multiplier). */
     double rberMultiplier = 100.0;
     /** kStuckBitline: number of stuck columns (positions drawn from the
      *  injector seed) and the value they are pinned to. */
@@ -132,6 +150,14 @@ class FaultInjector
 
     /** Combined RBER multiplier for a sensing of @p a's wordline. */
     double rberMultiplier(const flash::PhysPageAddr &a) const;
+
+    /** Combined disturb-charge multiplier for a sensing of @p a's
+     *  wordline (kReadDisturbHot hot spots). */
+    double disturbMultiplier(const flash::PhysPageAddr &a) const;
+
+    /** Combined retention-aging multiplier for @p a's wordline
+     *  (kRetentionLoss charge-leak acceleration). */
+    double retentionMultiplier(const flash::PhysPageAddr &a) const;
 
     bool planeDead(PlaneIndex p) const;
 

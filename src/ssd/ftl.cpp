@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "ssd/rain.hpp"
 
 namespace parabit::ssd {
 
@@ -56,6 +57,22 @@ flash::ChipPageAddr
 Ftl::chipAddr(const flash::PhysPageAddr &a) const
 {
     return flash::ChipPageAddr{a.die, a.plane, a.block, a.wordline, a.msb};
+}
+
+void
+Ftl::invalidatePhys(const flash::PhysPageAddr &a)
+{
+    if (rain_)
+        rain_->willInvalidate(a);
+    chipAt(a).plane(a.die, a.plane).block(a.block).invalidate(a.wordline,
+                                                              a.msb);
+}
+
+Lpn
+Ftl::lpnAt(const flash::PhysPageAddr &a) const
+{
+    auto it = reverse_.find(flash::linearPageIndex(cfg_.geometry, a));
+    return it == reverse_.end() ? kNoLpn : it->second;
 }
 
 void
@@ -126,6 +143,8 @@ Ftl::programPhys(const flash::PhysPageAddr &a, const BitVector *data,
             }
         }
     }
+    if (rain_)
+        rain_->onProgram(a, ops);
     return true;
 }
 
@@ -159,10 +178,8 @@ Ftl::mapLpn(Lpn lpn, const flash::PhysPageAddr &a, std::vector<PhysOp> &ops)
     // Invalidate any previous mapping of this LPN.
     auto old = map_.find(lpn);
     if (old != map_.end()) {
-        const flash::PhysPageAddr &o = old->second;
-        chipAt(o).plane(o.die, o.plane)
-            .block(o.block)
-            .invalidate(o.wordline, o.msb);
+        const flash::PhysPageAddr o = old->second;
+        invalidatePhys(o);
         reverse_.erase(flash::linearPageIndex(cfg_.geometry, o));
     }
     (void)ops;
@@ -259,7 +276,7 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
             }
             ++gcWrites_;
 
-            blk.invalidate(wl, msb);
+            invalidatePhys(src);
             if (rit != reverse_.end()) {
                 reverse_.erase(rit);
                 map_[lpn] = *dst;
@@ -404,7 +421,7 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
                 break;
             }
             ++gcWrites_;
-            blk.invalidate(wl, msb);
+            invalidatePhys(src);
             if (rit != reverse_.end()) {
                 reverse_.erase(rit);
                 map_[lpn] = *dst;
@@ -574,8 +591,7 @@ Ftl::trim(Lpn lpn, std::vector<PhysOp> *ops)
                        o))
         return false; // cut before the record flushed: trim not acked
     const flash::PhysPageAddr a = it->second;
-    chipAt(a).plane(a.die, a.plane).block(a.block).invalidate(a.wordline,
-                                                              a.msb);
+    invalidatePhys(a);
     reverse_.erase(flash::linearPageIndex(cfg_.geometry, a));
     map_.erase(it);
     scrambledLpns_.erase(lpn);
@@ -618,10 +634,7 @@ Ftl::writePair(Lpn lpn_x, Lpn lpn_y, const BitVector *data_x,
             // garbage so GC never relocates it.  Until both halves are
             // durable neither LPN's mapping moves (copy-then-remap), so
             // a cut here fully rolls the pair placement back.
-            chipAt(pair->lsb)
-                .plane(pair->lsb.die, pair->lsb.plane)
-                .block(pair->lsb.block)
-                .invalidate(pair->lsb.wordline, false);
+            invalidatePhys(pair->lsb);
             ++programRetries_;
             continue;
         }
@@ -725,10 +738,7 @@ Ftl::writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
     if (!programPhys(msb, data, false, ops, lpn, OobTag::kParabitChainMsb)) {
         // Block retired or power cut; roll the protocol back.
         if (backup && !powerLost_)
-            chipAt(*backup)
-                .plane(backup->die, backup->plane)
-                .block(backup->block)
-                .invalidate(backup->wordline, false);
+            invalidatePhys(*backup);
         return false;
     }
     if (backup) {
@@ -746,10 +756,7 @@ Ftl::writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
                           flash::linearPageIndex(cfg_.geometry, lsb_addr)},
             ops);
         if (!powerLost_)
-            chipAt(*backup)
-                .plane(backup->die, backup->plane)
-                .block(backup->block)
-                .invalidate(backup->wordline, false);
+            invalidatePhys(*backup);
     } else if (recoveryEnabled()) {
         journalAppend(
             JournalRecord{JournalRecord::Kind::kRemap, 0, lpn,
@@ -761,6 +768,138 @@ Ftl::writeIntoFreeMsb(Lpn lpn, const flash::PhysPageAddr &lsb_addr,
     mapLpn(lpn, msb, ops);
     maybeCheckpoint(ops);
     return true;
+}
+
+bool
+Ftl::refreshOnePage(const flash::PhysPageAddr &src, Lpn lpn, OobTag tag,
+                    bool lsb_only, std::vector<PhysOp> &ops)
+{
+    if (powerBoundary(false) != PowerCut::kNone)
+        return false;
+    BitVector data = chipAt(src).readPage(chipAddr(src));
+    ops.push_back(PhysOp{PhysOp::Kind::kPageRead, src, true});
+    const bool scr = scrambledLpns_.count(lpn) > 0;
+    for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        if (powerLost_)
+            break;
+        const PlaneIndex p = pickAlivePlane();
+        const auto a = allocateOrGc(p, lsb_only, ops);
+        if (!a) {
+            ++programRetries_;
+            continue;
+        }
+        if (!programPhys(*a, cfg_.storeData ? &data : nullptr, true, ops,
+                         lpn, tag, scr)) {
+            ++programRetries_;
+            continue;
+        }
+        ++refreshWrites_;
+        mapLpn(lpn, *a, ops);
+        maybeCheckpoint(ops);
+        return true;
+    }
+    if (!powerLost_)
+        logWarn("Ftl::refreshOnePage: program retries exhausted for LPN " +
+                std::to_string(lpn));
+    return false;
+}
+
+bool
+Ftl::refreshWordline(const flash::PhysPageAddr &wl, std::vector<PhysOp> &ops)
+{
+    if (powerLost_)
+        return false;
+    flash::PhysPageAddr lsb = wl;
+    lsb.msb = false;
+    flash::PhysPageAddr msb = wl;
+    msb.msb = true;
+    flash::Chip &chip = chipAt(wl);
+    const bool lsb_valid =
+        chip.pageState(chipAddr(lsb)) == flash::PageState::kValid;
+    const bool msb_valid =
+        chip.pageState(chipAddr(msb)) == flash::PageState::kValid;
+    const Lpn lsb_lpn = lsb_valid ? lpnAt(lsb) : kNoLpn;
+    const Lpn msb_lpn = msb_valid ? lpnAt(msb) : kNoLpn;
+
+    auto tag_of = [&](const flash::PhysPageAddr &a) {
+        const flash::PageOob *oob = chip.pageOob(chipAddr(a));
+        return oob ? static_cast<OobTag>(oob->tag) : OobTag::kNone;
+    };
+    auto is_parabit = [](OobTag t) {
+        return t == OobTag::kParabitPair || t == OobTag::kParabitLsbOnly ||
+               t == OobTag::kParabitChainMsb;
+    };
+
+    // A co-located ParaBit operand pair moves atomically through
+    // writePair (copy-then-remap): both operands land on one fresh
+    // wordline, so co-location — and mid-refresh readability — hold.
+    // ParaBit operands are stored raw, so the writePair path's
+    // scrambling reset is a no-op for them.
+    if (lsb_valid && msb_valid && lsb_lpn != kNoLpn && msb_lpn != kNoLpn &&
+        is_parabit(tag_of(lsb)) && is_parabit(tag_of(msb))) {
+        if (powerBoundary(false) != PowerCut::kNone)
+            return false;
+        BitVector dx = chip.readPage(chipAddr(lsb));
+        ops.push_back(PhysOp{PhysOp::Kind::kPageRead, lsb, true});
+        BitVector dy = chip.readPage(chipAddr(msb));
+        ops.push_back(PhysOp{PhysOp::Kind::kPageRead, msb, true});
+        const auto pair =
+            writePair(lsb_lpn, msb_lpn, cfg_.storeData ? &dx : nullptr,
+                      cfg_.storeData ? &dy : nullptr, ops);
+        return pair.has_value();
+    }
+
+    // Everything else relocates per page, preserving tag semantics:
+    // LSB-only placements keep their free-MSB property, data pages
+    // move as GC-style copies with their scrambling flag intact.
+    // Unmapped valid pages (pair backups mid-protocol) are left alone.
+    bool ok = true;
+    if (lsb_valid && lsb_lpn != kNoLpn) {
+        const OobTag t = tag_of(lsb);
+        const bool lsb_only = t == OobTag::kParabitLsbOnly;
+        ok = refreshOnePage(lsb, lsb_lpn,
+                            lsb_only ? OobTag::kParabitLsbOnly
+                                     : OobTag::kGcRelocated,
+                            lsb_only, ops) &&
+             ok;
+    }
+    if (msb_valid && msb_lpn != kNoLpn)
+        ok = refreshOnePage(msb, msb_lpn, OobTag::kGcRelocated, false,
+                            ops) &&
+             ok;
+    return ok;
+}
+
+bool
+Ftl::relocatePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end())
+        return false;
+    const bool scr = scrambledLpns_.count(lpn) > 0;
+    for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+        if (powerLost_)
+            break;
+        const PlaneIndex p = pickAlivePlane();
+        const auto a = allocateOrGc(p, false, ops);
+        if (!a) {
+            ++programRetries_;
+            continue;
+        }
+        if (!programPhys(*a, data, true, ops, lpn, OobTag::kGcRelocated,
+                         scr)) {
+            ++programRetries_;
+            continue;
+        }
+        ++refreshWrites_;
+        mapLpn(lpn, *a, ops);
+        maybeCheckpoint(ops);
+        return true;
+    }
+    if (!powerLost_)
+        logWarn("Ftl::relocatePage: program retries exhausted for LPN " +
+                std::to_string(lpn));
+    return false;
 }
 
 } // namespace parabit::ssd

@@ -44,6 +44,8 @@
 
 namespace parabit::ssd {
 
+class RainController;
+
 /** One physical flash operation, for the timing layer. */
 struct PhysOp
 {
@@ -52,6 +54,7 @@ struct PhysOp
         kPageRead,    ///< array sense (1 SRO LSB / 2 SRO MSB) + page out
         kPageProgram, ///< page in + program
         kBlockErase,  ///< erase (addr.block significant)
+        kScrubRead,   ///< patrol-scrub scan sense (low-priority, no xfer)
     };
 
     Kind kind;
@@ -132,6 +135,44 @@ class Ftl
                           const BitVector *data, std::vector<PhysOp> &ops);
     /// @}
 
+    /** @name Media management (patrol scrub / RAIN); see ssd/media.hpp. */
+    /// @{
+
+    /**
+     * Attach the device's RAIN parity controller.  Every data-page
+     * program and invalidation is then reported to it, keeping stripe
+     * parity consistent across host writes, GC, wear leveling, trims,
+     * refresh relocation and ParaBit reallocation.
+     */
+    void setRain(RainController *rain) { rain_ = rain; }
+
+    /** LPN mapped to physical page @p a, or kNoLpn. */
+    Lpn lpnAt(const flash::PhysPageAddr &a) const;
+
+    /**
+     * Refresh-relocate the wordline of @p wl (patrol scrubber, elevated
+     * predicted RBER): every valid mapped page moves to a fresh
+     * location with tag and scrambling preserved, old copies are
+     * invalidated copy-then-remap style.  A co-located ParaBit operand
+     * pair moves through writePair(), keeping both operands on one
+     * fresh wordline.  @return false when any page could not be
+     * re-placed (it then keeps its old location — degraded, not lost).
+     */
+    bool refreshWordline(const flash::PhysPageAddr &wl,
+                         std::vector<PhysOp> &ops);
+
+    /**
+     * Re-place @p lpn's content (e.g. a RAIN rebuild of a dead-die
+     * page) on a fresh page of an operational plane and remap; the old
+     * copy is invalidated.  @p data may be null in timing mode.
+     */
+    bool relocatePage(Lpn lpn, const BitVector *data,
+                      std::vector<PhysOp> &ops);
+
+    /** Pages re-placed by refresh/repair relocation. */
+    std::uint64_t refreshPagesWritten() const { return refreshWrites_.value(); }
+    /// @}
+
     /** @name Crash consistency (SPOR); see file comment. */
     /// @{
 
@@ -185,7 +226,7 @@ class Ftl
     std::uint64_t totalPagesWritten() const
     {
         return hostWrites_.value() + gcWrites_.value() +
-               parabitWrites_.value();
+               parabitWrites_.value() + refreshWrites_.value();
     }
     /** Pages written by ParaBit reallocation (counted via writePair /
      *  writeLsbOnly / writeIntoFreeMsb). */
@@ -226,6 +267,14 @@ class Ftl
   private:
     flash::ChipPageAddr chipAddr(const flash::PhysPageAddr &a) const;
     void unmapPhys(const flash::PhysPageAddr &a);
+    /** Invalidate the physical page at @p a, folding it out of RAIN
+     *  parity first (invalidate drops the payload the XOR needs).  The
+     *  only invalidation gateway, as programPhys is for programs. */
+    void invalidatePhys(const flash::PhysPageAddr &a);
+    /** Relocate one page to @p plane with @p tag (refreshWordline's
+     *  per-page path); retries across retired blocks like GC. */
+    bool refreshOnePage(const flash::PhysPageAddr &src, Lpn lpn, OobTag tag,
+                        bool lsb_only, std::vector<PhysOp> &ops);
     void mapLpn(Lpn lpn, const flash::PhysPageAddr &a,
                 std::vector<PhysOp> &ops);
     /** Allocate in @p plane, running GC first if needed.  nullopt when
@@ -302,7 +351,9 @@ class Ftl
     obs::Counter programFailures_{"ftl.program.failures"};
     obs::Counter eraseFailures_{"ftl.erase.failures"};
     obs::Counter programRetries_{"ftl.program.retries"};
+    obs::Counter refreshWrites_{"ftl.pages.refresh_written"};
     /// @}
+    RainController *rain_ = nullptr;
     std::uint32_t gcThresholdBlocks_;
     bool inGc_ = false;
 

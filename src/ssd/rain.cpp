@@ -1,0 +1,165 @@
+#include "ssd/rain.hpp"
+
+namespace parabit::ssd {
+
+RainController::RainController(const SsdConfig &cfg,
+                               std::vector<flash::Chip> &chips)
+    : geom_(cfg.geometry), storeData_(cfg.storeData),
+      chargeParity_(cfg.rain.chargeParityPrograms), chips_(&chips)
+{
+}
+
+std::uint64_t
+RainController::stripeKey(const flash::PhysPageAddr &a) const
+{
+    // Everything but (chip, die): the stripe spans the dies of the
+    // channel at one (plane, block, wordline, page-kind) position.
+    std::uint64_t k = a.channel;
+    k = k * geom_.planesPerDie + a.plane;
+    k = k * geom_.blocksPerPlane + a.block;
+    k = k * geom_.wordlinesPerBlock + a.wordline;
+    return k * 2 + (a.msb ? 1 : 0);
+}
+
+flash::PhysPageAddr
+RainController::parityAddr(const flash::PhysPageAddr &a) const
+{
+    const std::uint32_t dies_per_channel =
+        geom_.chipsPerChannel * geom_.diesPerChip;
+    const std::uint32_t d = (a.block + a.wordline) % dies_per_channel;
+    flash::PhysPageAddr p = a;
+    p.chip = d / geom_.diesPerChip;
+    p.die = d % geom_.diesPerChip;
+    return p;
+}
+
+const BitVector *
+RainController::payloadAt(const flash::PhysPageAddr &a) const
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(a.channel) * geom_.chipsPerChannel + a.chip;
+    const flash::Plane &pl = (*chips_)[idx].plane(a.die, a.plane);
+    const flash::Block *blk = pl.blockIfExists(a.block);
+    return blk ? blk->pageData(a.wordline, a.msb) : nullptr;
+}
+
+bool
+RainController::planeAlive(const flash::PhysPageAddr &a) const
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(a.channel) * geom_.chipsPerChannel + a.chip;
+    return (*chips_)[idx].planeOperational(a.die, a.plane);
+}
+
+void
+RainController::xorInto(std::uint64_t key, const BitVector &v)
+{
+    auto it = parity_.find(key);
+    if (it == parity_.end())
+        it = parity_.emplace(key, BitVector(geom_.pageBits(), false)).first;
+    it->second ^= v;
+}
+
+void
+RainController::onProgram(const flash::PhysPageAddr &a,
+                          std::vector<PhysOp> &ops)
+{
+    if (storeData_) {
+        if (const BitVector *d = payloadAt(a))
+            xorInto(stripeKey(a), *d);
+    }
+    ++updates_;
+    if (chargeParity_) {
+        // One stripe-buffer destage program rides along with the data
+        // program; it is booked as background traffic on the rotating
+        // parity die and has no functional side effect.
+        ops.push_back(PhysOp{PhysOp::Kind::kPageProgram, parityAddr(a),
+                             true});
+        ++destages_;
+    }
+}
+
+void
+RainController::willInvalidate(const flash::PhysPageAddr &a)
+{
+    if (!storeData_)
+        return;
+    if (const BitVector *d = payloadAt(a)) {
+        xorInto(stripeKey(a), *d);
+        ++updates_;
+    }
+}
+
+std::optional<BitVector>
+RainController::rebuildPage(const flash::PhysPageAddr &a)
+{
+    auto it = parity_.find(stripeKey(a));
+    if (it == parity_.end()) {
+        ++rebuildFails_;
+        return std::nullopt;
+    }
+    BitVector acc = it->second;
+    for (std::uint32_t chip = 0; chip < geom_.chipsPerChannel; ++chip) {
+        for (std::uint32_t die = 0; die < geom_.diesPerChip; ++die) {
+            flash::PhysPageAddr m = a;
+            m.chip = chip;
+            m.die = die;
+            if (m == a)
+                continue;
+            const BitVector *d = payloadAt(m);
+            if (!d)
+                continue;
+            if (!planeAlive(m)) {
+                // Two unreadable members in one stripe: single-parity
+                // RAIN cannot separate their contributions.
+                ++rebuildFails_;
+                return std::nullopt;
+            }
+            acc ^= *d;
+        }
+    }
+    ++rebuilds_;
+    return acc;
+}
+
+void
+RainController::recomputeAll()
+{
+    ++recomputes_;
+    parity_.clear();
+    if (!storeData_)
+        return;
+    for (std::size_t i = 0; i < chips_->size(); ++i) {
+        flash::PhysPageAddr a;
+        a.channel = static_cast<std::uint32_t>(i / geom_.chipsPerChannel);
+        a.chip = static_cast<std::uint32_t>(i % geom_.chipsPerChannel);
+        for (a.die = 0; a.die < geom_.diesPerChip; ++a.die) {
+            for (a.plane = 0; a.plane < geom_.planesPerDie; ++a.plane) {
+                const flash::Plane &pl =
+                    (*chips_)[i].plane(a.die, a.plane);
+                for (a.block = 0; a.block < geom_.blocksPerPlane;
+                     ++a.block) {
+                    const flash::Block *blk = pl.blockIfExists(a.block);
+                    if (!blk)
+                        continue;
+                    for (a.wordline = 0;
+                         a.wordline < geom_.wordlinesPerBlock;
+                         ++a.wordline) {
+                        if (const BitVector *lsb =
+                                blk->pageData(a.wordline, false)) {
+                            a.msb = false;
+                            xorInto(stripeKey(a), *lsb);
+                        }
+                        if (const BitVector *msb =
+                                blk->pageData(a.wordline, true)) {
+                            a.msb = true;
+                            xorInto(stripeKey(a), *msb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace parabit::ssd

@@ -32,6 +32,8 @@ txClassName(TxClass c)
         return "erase";
     case TxClass::kParaBit:
         return "parabit";
+    case TxClass::kScrub:
+        return "scrub";
     }
     panic("unknown TxClass");
 }
@@ -126,15 +128,23 @@ class OooDieFirstPolicy final : public SchedulerPolicy
  *     the first suspension) has passed — with the per-op suspend budget
  *     this is the bounded-extra-latency guarantee;
  *  2. the oldest ready host/FTL read;
- *  3. the oldest other ready entry.
+ *  3. the oldest other ready non-scrub entry;
+ *  4. the oldest ready background scrub scan.
  *
- * An arriving ready read additionally suspends a running program/erase
- * array phase (the scheduler enforces the budget and transition
- * costs).
+ * A scrub scan deferred longer than the configured anti-starvation
+ * bound leaves bucket 4 and rejoins bucket 3, so host floods cannot
+ * starve patrol coverage indefinitely.  An arriving ready read
+ * additionally suspends a running program/erase/scrub array phase (the
+ * scheduler enforces the budget and transition costs).
  */
 class ReadPriorityPolicy final : public SchedulerPolicy
 {
   public:
+    explicit ReadPriorityPolicy(Tick scrub_max_deferred)
+        : scrubMaxDeferred_(scrub_max_deferred)
+    {
+    }
+
     const char *name() const override { return "read_priority"; }
 
     std::size_t
@@ -143,6 +153,7 @@ class ReadPriorityPolicy final : public SchedulerPolicy
         std::size_t forced = kNoPick;
         std::size_t read = kNoPick;
         std::size_t any = kNoPick;
+        std::size_t scrub = kNoPick;
         for (std::size_t i = 0; i < views.size(); ++i)
         {
             const PendingView &v = views[i];
@@ -164,6 +175,15 @@ class ReadPriorityPolicy final : public SchedulerPolicy
                     read = i;
                 }
             }
+            if (v.cls == TxClass::kScrub && !v.isResume &&
+                now < v.earliest + scrubMaxDeferred_)
+            {
+                if (scrub == kNoPick || v.seq < views[scrub].seq)
+                {
+                    scrub = i;
+                }
+                continue;
+            }
             if (any == kNoPick || v.seq < views[any].seq)
             {
                 any = i;
@@ -177,15 +197,23 @@ class ReadPriorityPolicy final : public SchedulerPolicy
         {
             return read;
         }
-        return any;
+        if (any != kNoPick)
+        {
+            return any;
+        }
+        return scrub;
     }
 
     bool
     preempts(TxClass incoming, TxClass running) const override
     {
         return incoming == TxClass::kRead &&
-               (running == TxClass::kProgram || running == TxClass::kErase);
+               (running == TxClass::kProgram || running == TxClass::kErase ||
+                running == TxClass::kScrub);
     }
+
+  private:
+    Tick scrubMaxDeferred_;
 };
 
 } // namespace
@@ -200,7 +228,7 @@ makePolicy(const SchedConfig &cfg)
     case SchedPolicyKind::kOutOfOrderDieFirst:
         return std::make_unique<OooDieFirstPolicy>();
     case SchedPolicyKind::kReadPriority:
-        return std::make_unique<ReadPriorityPolicy>();
+        return std::make_unique<ReadPriorityPolicy>(cfg.scrubMaxDeferredTicks);
     }
     panic("unknown SchedPolicyKind");
 }

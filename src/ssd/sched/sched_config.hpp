@@ -81,6 +81,14 @@ struct SchedConfig
     Tick maxSuspendedTicks = flash::kDefaultMaxSuspended;
 
     /**
+     * Read-priority policy: a background scrub scan (TxClass::kScrub)
+     * normally yields to every other ready entry, but once it has been
+     * deferred this long past its earliest start it rejoins normal
+     * oldest-first arbitration — the scrubber's anti-starvation bound.
+     */
+    Tick scrubMaxDeferredTicks = flash::kDefaultScrubMaxDeferred;
+
+    /**
      * Record per-transaction completion latencies (per class) for
      * percentile reporting.  Off by default: the sample vectors grow
      * with every transaction, which device-lifetime endurance runs do

@@ -33,9 +33,10 @@ enum class TxClass : std::uint8_t
     kProgram,  ///< page program (kPageProgram)
     kErase,    ///< block erase (kBlockErase)
     kParaBit,  ///< in-flash bitwise sensing sequence (ArrayJob)
+    kScrub,    ///< background patrol-scrub scan read (kScrubRead)
 };
 
-inline constexpr int kNumTxClasses = 4;
+inline constexpr int kNumTxClasses = 5;
 
 const char *txClassName(TxClass c);
 
@@ -69,11 +70,15 @@ struct DeviceTransaction
     Tick arrayTicks = 0;
     Tick xferOutTicks = 0;
 
-    /** Whether the array phase accepts suspend commands. */
+    /** Whether the array phase accepts suspend commands.  Scrub scans
+     *  are suspendable by construction: a patrol sensing holds no latch
+     *  state a host read cares about, so the controller may abandon and
+     *  re-issue it at any pulse boundary. */
     bool
     suspendable() const
     {
-        return cls == TxClass::kProgram || cls == TxClass::kErase;
+        return cls == TxClass::kProgram || cls == TxClass::kErase ||
+               cls == TxClass::kScrub;
     }
 };
 

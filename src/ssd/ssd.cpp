@@ -1,5 +1,6 @@
 #include "ssd/ssd.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/logging.hpp"
@@ -25,6 +26,76 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
     // every scheduler booking then lands on per-channel/per-die tracks.
     if (obs::TraceSink *sink = obs::TraceSink::global())
         sched_.setTraceSink(sink);
+    if (const char *err = validateMediaConfig(cfg_))
+        fatal(std::string("SsdDevice: ") + err);
+    if (cfg_.rain.enabled)
+        rain_ = std::make_unique<RainController>(cfg_, chips_);
+    ftl_.setRain(rain_.get());
+    if (cfg_.media.enabled)
+        media_ = std::make_unique<MediaScrubber>(cfg_, ftl_, chips_,
+                                                 rain_.get());
+}
+
+void
+SsdDevice::advanceClock(Tick now)
+{
+    for (flash::Chip &c : chips_)
+        c.setNow(now);
+}
+
+Tick
+SsdDevice::pumpMedia(Tick now)
+{
+    if (!media_)
+        return now;
+    advanceClock(now);
+    std::vector<PhysOp> ops;
+    const ScrubPassStats s = media_->pump(now, ops);
+    if (!s.ran)
+        return now;
+    const Tick done = ops.empty() ? now : scheduleOps(ops, now);
+    if (obs::TraceSink *sink = obs::TraceSink::global()) {
+        const Tick s0 = std::max(now, mediaSpanEnd_);
+        const Tick s1 = std::max(done, s0);
+        mediaSpanEnd_ = s1;
+        sink->span(sink->track("device", "media"), "scrub_pass", s0, s1,
+                   {{"wordlines", std::to_string(s.wordlinesScanned), false},
+                    {"scrub_reads", std::to_string(s.scrubReads), false},
+                    {"refreshes", std::to_string(s.refreshes), false},
+                    {"refresh_failures", std::to_string(s.refreshFailures),
+                     false},
+                    {"repairs", std::to_string(s.repairs), false},
+                    {"uncorrectable", std::to_string(s.uncorrectable),
+                     false}});
+    }
+    return done;
+}
+
+bool
+SsdDevice::repairPage(Lpn lpn, Tick at)
+{
+    const auto loc = ftl_.lookup(lpn);
+    if (!loc)
+        return false;
+    if (planeAlive(*loc))
+        return true; // readable already, nothing to rebuild
+    if (!rain_)
+        return false;
+    std::optional<BitVector> data = rain_->rebuildPage(*loc);
+    if (!data && cfg_.storeData)
+        return false;
+    std::vector<PhysOp> ops;
+    if (!ftl_.relocatePage(lpn, data ? &*data : nullptr, ops))
+        return false;
+    const Tick done = scheduleOps(ops, at);
+    if (obs::TraceSink *sink = obs::TraceSink::global()) {
+        const Tick s0 = std::max(at, mediaSpanEnd_);
+        const Tick s1 = std::max(done, s0);
+        mediaSpanEnd_ = s1;
+        sink->span(sink->track("device", "media"), "rain_rebuild", s0, s1,
+                   {{"lpn", std::to_string(lpn), false}});
+    }
+    return true;
 }
 
 FaultInjector &
@@ -44,9 +115,14 @@ SsdDevice::powerCycle(Tick at)
 {
     if (injector_)
         injector_->clearPowerLoss();
+    advanceClock(at);
     std::vector<PhysOp> ops;
     RecoveryReport rep = ftl_.powerCycle(ops);
     rep.scanTime = scheduleOps(ops, at) - at;
+    // The stripe buffer is volatile controller RAM: rebuild parity from
+    // flash before any post-recovery read can ask for a rebuild.
+    if (rain_)
+        rain_->recomputeAll();
     ++powerCycles_;
     pagesScannedTotal_ += rep.pagesScanned;
     journalReplayedTotal_ += rep.journalRecords;
@@ -94,6 +170,14 @@ SsdDevice::installFaultHooks()
         hooks.eraseFails = [inj, to_phys](const flash::ChipPageAddr &a) {
             return inj->eraseShouldFail(to_phys(a));
         };
+        hooks.disturbMultiplier = [inj,
+                                   to_phys](const flash::ChipPageAddr &a) {
+            return inj->disturbMultiplier(to_phys(a));
+        };
+        hooks.retentionMultiplier = [inj,
+                                     to_phys](const flash::ChipPageAddr &a) {
+            return inj->retentionMultiplier(to_phys(a));
+        };
         chips_[i].setFaultHooks(std::move(hooks));
     }
 }
@@ -138,6 +222,13 @@ SsdDevice::toTransaction(const PhysOp &op, Tick ready_at) const
       case PhysOp::Kind::kBlockErase:
         tx.cls = sched::TxClass::kErase;
         tx.arrayTicks = t.tErase;
+        break;
+      case PhysOp::Kind::kScrubRead:
+        // Patrol scan: same array sensing as a read, but the page stays
+        // in the die (the on-die comparator checks it), so no channel
+        // transfer out — and the background class for arbitration.
+        tx.cls = sched::TxClass::kScrub;
+        tx.arrayTicks = op.addr.msb ? t.msbReadTime() : t.lsbReadTime();
         break;
     }
     return tx;
@@ -239,23 +330,29 @@ Tick
 SsdDevice::writePages(Lpn start, const std::vector<const BitVector *> &data,
                       Tick at)
 {
+    advanceClock(at);
     std::vector<PhysOp> ops;
     for (std::size_t i = 0; i < data.size(); ++i)
         ftl_.writePage(start + i, data[i], ops);
-    return scheduleOps(ops, at);
+    const Tick done = scheduleOps(ops, at);
+    pumpMedia(done);
+    return done;
 }
 
 Tick
 SsdDevice::readPages(Lpn start, std::size_t count, std::vector<BitVector> *out,
                      Tick at)
 {
+    advanceClock(at);
     std::vector<PhysOp> ops;
     for (std::size_t i = 0; i < count; ++i) {
         BitVector page = ftl_.readPage(start + i, ops);
         if (out)
             out->push_back(std::move(page));
     }
-    return scheduleOps(ops, at);
+    const Tick done = scheduleOps(ops, at);
+    pumpMedia(done);
+    return done;
 }
 
 EnduranceStats

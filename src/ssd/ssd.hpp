@@ -33,6 +33,8 @@
 #include "ssd/endurance.hpp"
 #include "ssd/fault_injector.hpp"
 #include "ssd/ftl.hpp"
+#include "ssd/media.hpp"
+#include "ssd/rain.hpp"
 #include "ssd/sched/scheduler.hpp"
 
 namespace parabit::ssd {
@@ -167,6 +169,34 @@ class SsdDevice
     }
     /// @}
 
+    /** @name Background media management (scrub + RAIN). */
+    /// @{
+
+    /** The RAIN parity controller, or null (cfg.rain.enabled false). */
+    RainController *rain() { return rain_.get(); }
+
+    /** The patrol scrubber, or null (cfg.media.enabled false). */
+    MediaScrubber *media() { return media_.get(); }
+
+    /**
+     * Give the patrol scrubber a chance to run at simulated time @p now
+     * (called automatically after every timed host I/O; benches and
+     * tests may pump idle time explicitly).  Books any patrol/refresh
+     * traffic on the timing model and emits a "scrub_pass" trace span.
+     * @return the completion time of the pass's traffic (@p now when no
+     * pass was due).
+     */
+    Tick pumpMedia(Tick now);
+
+    /**
+     * On-demand repair of an unreadable logical page (dead plane/die):
+     * rebuild its content from the RAIN stripe and re-place it on an
+     * operational plane.  @return true when @p lpn is readable again
+     * (including the page-was-fine case); false on genuine data loss.
+     */
+    bool repairPage(Lpn lpn, Tick at);
+    /// @}
+
   private:
     sched::DeviceTransaction toTransaction(const PhysOp &op,
                                            Tick ready_at) const;
@@ -174,11 +204,23 @@ class SsdDevice
                                            Tick ready_at) const;
     void installFaultHooks();
 
+    /** Advance every chip's simulated-time cursor (retention ages
+     *  against it); monotonic, so out-of-order calls are safe. */
+    void advanceClock(Tick now);
+
     SsdConfig cfg_;
     std::vector<flash::Chip> chips_;
     Ftl ftl_;
     sched::TransactionScheduler sched_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<RainController> rain_;
+    std::unique_ptr<MediaScrubber> media_;
+
+    /** End tick of the last span emitted on the device/media trace
+     *  track.  Spans there must not overlap (parabit-trace checks
+     *  per-track exclusivity) but callers may pump or repair at ticks
+     *  before earlier booked work completed, so starts are clamped. */
+    Tick mediaSpanEnd_ = 0;
 
     /** Registered recovery instruments (obs/metrics.hpp). */
     obs::Counter powerCycles_{"recovery.power_cycles"};

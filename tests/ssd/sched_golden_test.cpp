@@ -69,6 +69,15 @@ class GreedyReference
                 end = a_start + t.tErase;
                 break;
               }
+              case PhysOp::Kind::kScrubRead: {
+                // Patrol scan: array sense only, no channel transfer.
+                const Tick array =
+                    op.addr.msb ? t.msbReadTime() : t.lsbReadTime();
+                const Tick a_start =
+                    die.reserve(ready_at + t.tCmdOverhead, array);
+                end = a_start + array;
+                break;
+              }
             }
             done = std::max(done, end);
         }

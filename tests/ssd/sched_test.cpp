@@ -339,5 +339,86 @@ TEST(SchedTrace, PhaseOrderAndNonOverlapObservable)
     EXPECT_LE(tr[0].end, tr[1].start);
 }
 
+DeviceTransaction
+scrubTx(const flash::PhysPageAddr &a, Tick ready, Tick array)
+{
+    DeviceTransaction tx;
+    tx.cls = TxClass::kScrub;
+    tx.addr = a;
+    tx.readyAt = ready;
+    tx.arrayTicks = array;
+    return tx;
+}
+
+TEST(SchedScrub, ClassNameAndSuspendability)
+{
+    EXPECT_STREQ(txClassName(TxClass::kScrub), "scrub");
+}
+
+TEST(SchedScrub, RunsAfterEveryForegroundClass)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    // A running read holds the plane 0-50 (reads are never preempted),
+    // so the next three arbitrate when it frees.  The scan was queued
+    // FIRST (oldest seq) yet both the read and the program beat it.
+    s.submit(readTx(planeAddr(0, 0, 0), 0, 50, 0));
+    const auto sc = s.submit(scrubTx(planeAddr(0, 0, 0), 0, 10));
+    const auto pr = s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    const auto rd = s.submit(readTx(planeAddr(0, 0, 0), 0, 10, 0));
+    s.drain();
+    EXPECT_EQ(s.completionOf(rd), 60u);
+    EXPECT_EQ(s.completionOf(pr), 160u);
+    EXPECT_EQ(s.completionOf(sc), 170u); // background: strictly last
+}
+
+TEST(SchedScrub, AntiStarvationBoundPromotesDeferredScan)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    cfg.scrubMaxDeferredTicks = 50;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    // The blocker read holds the plane 0-100.  By then the scan has
+    // been deferred past the 50-tick bound, left the background bucket
+    // and — as the oldest entry — beats the program to the plane.
+    s.submit(readTx(planeAddr(0, 0, 0), 0, 100, 0));
+    const auto sc = s.submit(scrubTx(planeAddr(0, 0, 0), 0, 10));
+    const auto pr = s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    s.drain();
+    EXPECT_EQ(s.completionOf(sc), 110u); // promoted ahead of the program
+    EXPECT_EQ(s.completionOf(pr), 210u);
+}
+
+TEST(SchedScrub, WithoutBoundHostTrafficKeepsWinning)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    cfg.scrubMaxDeferredTicks = ticks::fromMs(1); // far beyond this run
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    s.submit(readTx(planeAddr(0, 0, 0), 0, 100, 0));
+    const auto sc = s.submit(scrubTx(planeAddr(0, 0, 0), 0, 10));
+    const auto pr = s.submit(programTx(planeAddr(0, 0, 0), 0, 100));
+    s.drain();
+    EXPECT_EQ(s.completionOf(pr), 200u);
+    EXPECT_EQ(s.completionOf(sc), 210u); // still dead last
+}
+
+TEST(SchedScrub, ArrivingReadSuspendsRunningScan)
+{
+    SchedConfig cfg;
+    cfg.policy = SchedPolicyKind::kReadPriority;
+    TransactionScheduler s(flash::FlashGeometry::tiny(), testTiming(), cfg);
+    // Same arithmetic as SuspendResumeArithmetic, with the scan in the
+    // program's role: scan 0-40, suspend (7) to 47, read 47-57, resume
+    // (9) to 66, remainder 66-126.
+    const auto sc = s.submit(scrubTx(planeAddr(0, 0, 0), 0, 100));
+    const auto rd = s.submit(readTx(planeAddr(0, 0, 0), 40, 10, 0));
+    s.drain();
+    EXPECT_EQ(s.completionOf(rd), 57u);
+    EXPECT_EQ(s.completionOf(sc), 126u);
+    EXPECT_EQ(s.stats().suspends, 1u);
+}
+
 } // namespace
 } // namespace parabit::ssd::sched
