@@ -39,9 +39,12 @@ constexpr ssd::Lpn kHotLpns = 128; ///< overwrite-heavy working set
 constexpr int kSteps = 3000;       ///< mixed host ops per run
 
 ssd::SsdConfig
-soakCfg(std::uint64_t seed)
+soakCfg(std::uint64_t seed, std::uint64_t audit_interval)
 {
     ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    // Whole-device invariant audit every N drains when requested; a
+    // violation panics with the violating suite's context.
+    cfg.invariants.auditInterval = audit_interval;
     cfg.geometry.blocksPerPlane = 16;
     cfg.recovery.enabled = true;
     cfg.recovery.checkpointIntervalPrograms = 32;
@@ -81,10 +84,10 @@ struct RunOut
 };
 
 RunOut
-run(std::uint64_t seed)
+run(std::uint64_t seed, std::uint64_t audit_interval)
 {
     const auto t0 = std::chrono::steady_clock::now();
-    ssd::SsdDevice dev(soakCfg(seed));
+    ssd::SsdDevice dev(soakCfg(seed, audit_interval));
     ssd::Ftl &ftl = dev.ftl();
     const std::size_t bits = dev.geometry().pageBits();
     Rng rng(seed * 0x5DEECE66Dull + 7);
@@ -221,7 +224,7 @@ main(int argc, char **argv)
     std::vector<RunOut> rows;
     RunOut sum;
     for (std::uint64_t s = 0; s < seeds; ++s) {
-        const RunOut r = run(s);
+        const RunOut r = run(s, obs.auditInterval);
         rows.push_back(r);
         sum.hostOps += r.hostOps;
         sum.hostPhysOps += r.hostPhysOps;
@@ -303,7 +306,7 @@ main(int argc, char **argv)
     // the Perfetto file (a single device: tracks stay untangled).
     if (obs.traceWanted()) {
         obs::TraceSink::enableGlobal();
-        (void)run(0);
+        (void)run(0, obs.auditInterval);
     }
 
     int bad = sum.uncorrectable > 0 || sum.mismatches > 0 ||

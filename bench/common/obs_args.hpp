@@ -10,6 +10,11 @@
  *                         ui.perfetto.dev; validate with parabit-trace)
  *   --snapshots-out FILE  write the periodic counter snapshots the
  *                         bench records (JSON time series)
+ *   --audit-interval N    run the device's registered invariant suites
+ *                         every N transaction drains (0 = off); a
+ *                         violation aborts the bench with full context.
+ *                         Benches that build an SsdDevice copy this
+ *                         into SsdConfig::invariants.auditInterval.
  *
  * enableMetrics() must run before any device/scheduler is constructed:
  * instruments bind to registry slots at construction time and stay
@@ -22,6 +27,8 @@
 #ifndef PARABIT_BENCH_COMMON_OBS_ARGS_HPP_
 #define PARABIT_BENCH_COMMON_OBS_ARGS_HPP_
 
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -38,6 +45,8 @@ struct ObsOptions
     std::string metricsOut;
     std::string traceOut;
     std::string snapshotsOut;
+    /** Invariant audit cadence (drains between audits; 0 = off). */
+    std::uint64_t auditInterval = 0;
     obs::SnapshotSeries snapshots;
 
     /** Try to consume argv[i] (and a value) as an obs flag. */
@@ -57,6 +66,10 @@ struct ObsOptions
             snapshotsOut = argv[++i];
             return true;
         }
+        if (arg == "--audit-interval" && i + 1 < argc) {
+            auditInterval = std::strtoull(argv[++i], nullptr, 10);
+            return true;
+        }
         return false;
     }
 
@@ -65,7 +78,7 @@ struct ObsOptions
     help()
     {
         return "  [--metrics-out FILE] [--trace-out FILE] "
-               "[--snapshots-out FILE]";
+               "[--snapshots-out FILE] [--audit-interval N]";
     }
 
     bool traceWanted() const { return !traceOut.empty(); }

@@ -1,8 +1,9 @@
 #include "common/bitvector.hpp"
 
 #include <bit>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/invariant.hpp"
 
 namespace parabit {
 
@@ -29,14 +30,16 @@ BitVector::fromString(const std::string &s)
 bool
 BitVector::get(std::size_t i) const
 {
-    assert(i < numBits_);
+    PARABIT_CHECK(i < numBits_, "BitVector::get: bit " + std::to_string(i) +
+                                    " of " + std::to_string(numBits_));
     return (words_[i / 64] >> (i % 64)) & 1u;
 }
 
 void
 BitVector::set(std::size_t i, bool v)
 {
-    assert(i < numBits_);
+    PARABIT_CHECK(i < numBits_, "BitVector::set: bit " + std::to_string(i) +
+                                    " of " + std::to_string(numBits_));
     const std::uint64_t mask = std::uint64_t{1} << (i % 64);
     if (v)
         words_[i / 64] |= mask;
@@ -72,7 +75,10 @@ BitVector::popcount() const
 BitVector
 BitVector::slice(std::size_t pos, std::size_t len) const
 {
-    assert(pos + len <= numBits_);
+    PARABIT_CHECK(pos + len <= numBits_,
+                  "BitVector::slice: [" + std::to_string(pos) + ", " +
+                      std::to_string(pos + len) + ") of " +
+                      std::to_string(numBits_));
     BitVector out(len);
     for (std::size_t i = 0; i < len; ++i)
         out.set(i, get(pos + i));
@@ -82,7 +88,10 @@ BitVector::slice(std::size_t pos, std::size_t len) const
 void
 BitVector::assign(std::size_t pos, const BitVector &other)
 {
-    assert(pos + other.size() <= numBits_);
+    PARABIT_CHECK(pos + other.size() <= numBits_,
+                  "BitVector::assign: [" + std::to_string(pos) + ", " +
+                      std::to_string(pos + other.size()) + ") of " +
+                      std::to_string(numBits_));
     for (std::size_t i = 0; i < other.size(); ++i)
         set(pos + i, other.get(i));
 }
@@ -90,7 +99,9 @@ BitVector::assign(std::size_t pos, const BitVector &other)
 BitVector &
 BitVector::operator&=(const BitVector &rhs)
 {
-    assert(numBits_ == rhs.numBits_);
+    PARABIT_CHECK(numBits_ == rhs.numBits_,
+                  "BitVector::operator&=: size " + std::to_string(numBits_) +
+                      " vs " + std::to_string(rhs.numBits_));
     for (std::size_t i = 0; i < words_.size(); ++i)
         words_[i] &= rhs.words_[i];
     return *this;
@@ -99,7 +110,9 @@ BitVector::operator&=(const BitVector &rhs)
 BitVector &
 BitVector::operator|=(const BitVector &rhs)
 {
-    assert(numBits_ == rhs.numBits_);
+    PARABIT_CHECK(numBits_ == rhs.numBits_,
+                  "BitVector::operator|=: size " + std::to_string(numBits_) +
+                      " vs " + std::to_string(rhs.numBits_));
     for (std::size_t i = 0; i < words_.size(); ++i)
         words_[i] |= rhs.words_[i];
     return *this;
@@ -108,7 +121,9 @@ BitVector::operator|=(const BitVector &rhs)
 BitVector &
 BitVector::operator^=(const BitVector &rhs)
 {
-    assert(numBits_ == rhs.numBits_);
+    PARABIT_CHECK(numBits_ == rhs.numBits_,
+                  "BitVector::operator^=: size " + std::to_string(numBits_) +
+                      " vs " + std::to_string(rhs.numBits_));
     for (std::size_t i = 0; i < words_.size(); ++i)
         words_[i] ^= rhs.words_[i];
     return *this;

@@ -1,0 +1,81 @@
+#include "common/invariant.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace parabit {
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            const std::string &msg)
+{
+    std::ostringstream os;
+    os << "check failed at " << file << ":" << line << ": (" << expr << ") "
+       << msg;
+    panic(os.str());
+}
+
+bool
+InvariantReport::has(const std::string &id) const
+{
+    for (const Violation &v : violations)
+        if (v.id == id)
+            return true;
+    return false;
+}
+
+std::string
+InvariantReport::describe() const
+{
+    std::ostringstream os;
+    for (const Violation &v : violations)
+        os << "[" << v.id << "] " << v.subject << ": " << v.detail << "\n";
+    return os.str();
+}
+
+void
+InvariantRegistry::registerSuite(const std::string &name, Suite suite)
+{
+    for (auto &s : suites_) {
+        if (s.first == name) {
+            s.second = std::move(suite);
+            return;
+        }
+    }
+    suites_.emplace_back(name, std::move(suite));
+}
+
+void
+InvariantRegistry::runAll(InvariantReport &r) const
+{
+    for (const auto &s : suites_) {
+        s.second(r);
+        ++r.suitesRun;
+    }
+}
+
+bool
+InvariantRegistry::runSuite(const std::string &name, InvariantReport &r) const
+{
+    for (const auto &s : suites_) {
+        if (s.first == name) {
+            s.second(r);
+            ++r.suitesRun;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+InvariantRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(suites_.size());
+    for (const auto &s : suites_)
+        out.push_back(s.first);
+    return out;
+}
+
+} // namespace parabit

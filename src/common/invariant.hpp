@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Whole-device invariant framework: named, registered invariant suites
+ * plus the always-on check macro.
+ *
+ * Two tiers of machine-checked correctness, both routed through
+ * common/logging.hpp:
+ *
+ *  - PARABIT_CHECK(cond, msg): an always-compiled precondition check
+ *    (bounds, size agreement) that panics on failure.  It replaces bare
+ *    assert() in code whose Release-mode behaviour must stay checked —
+ *    an out-of-range BitVector access in a bench is a bug whether or
+ *    not NDEBUG was set.
+ *
+ *  - PARABIT_INVARIANT(cond, msg): a hot-path assertion compiled in
+ *    only when the PARABIT_INVARIANTS CMake option is ON
+ *    (-DPARABIT_INVARIANTS=ON defines PARABIT_INVARIANTS_ENABLED).
+ *    With the option OFF the macro expands to nothing, so the default
+ *    build is byte-identical to one that never heard of it.
+ *
+ * On top of the macros sits the audit layer: each subsystem contributes
+ * a *suite* — a named callable that appends structured Violations to an
+ * InvariantReport — and the device registers its suites with an
+ * InvariantRegistry it audits at a configurable drain cadence
+ * (ssd::InvariantConfig).  Suites are plain always-compiled code:
+ * negative tests corrupt state and assert the matching violation ID in
+ * any build, and the parabit-model bounded checker asserts every
+ * registered suite along each explored path.
+ */
+
+#ifndef PARABIT_COMMON_INVARIANT_HPP_
+#define PARABIT_COMMON_INVARIANT_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace parabit {
+
+/** Report a failed PARABIT_CHECK/PARABIT_INVARIANT; panics (never
+ *  returns).  Out of line so the macro's expansion stays small. */
+[[noreturn]] void checkFailed(const char *file, int line, const char *expr,
+                              const std::string &msg);
+
+/** One audited invariant that did not hold. */
+struct Violation
+{
+    /** Stable identifier, dotted like metric names — e.g.
+     *  "ftl.map.bijection" — so tests and CI triage match on it. */
+    std::string id;
+    /** What was being audited (an LPN, a resource, a stripe...). */
+    std::string subject;
+    /** Expected-vs-actual detail, rendered for a human. */
+    std::string detail;
+};
+
+/** Aggregate outcome of running one or more invariant suites. */
+struct InvariantReport
+{
+    std::vector<Violation> violations;
+    /** Individual predicate evaluations (a zero count after an audit
+     *  means the audit checked nothing — itself suspicious). */
+    std::uint64_t checksRun = 0;
+    /** Suites executed. */
+    std::uint64_t suitesRun = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    /** Count one evaluated predicate; @return @p held unchanged so
+     *  audits can write `if (!r.check(cond)) r.fail(...)`. */
+    bool
+    check(bool held)
+    {
+        ++checksRun;
+        return held;
+    }
+
+    void
+    fail(std::string id, std::string subject, std::string detail)
+    {
+        violations.push_back(
+            {std::move(id), std::move(subject), std::move(detail)});
+    }
+
+    /** True when some violation carries @p id (negative tests). */
+    bool has(const std::string &id) const;
+
+    /** One line per violation, "[id] subject: detail". */
+    std::string describe() const;
+};
+
+/**
+ * Named invariant suites, run together or individually.  Registration
+ * order is preserved (audits are deterministic like everything else).
+ */
+class InvariantRegistry
+{
+  public:
+    using Suite = std::function<void(InvariantReport &)>;
+
+    /** Register @p suite under @p name (e.g. "ftl", "sched");
+     *  re-registering a name replaces the previous suite. */
+    void registerSuite(const std::string &name, Suite suite);
+
+    /** Run every registered suite into @p r. */
+    void runAll(InvariantReport &r) const;
+
+    /** Run just @p name; no-op (and returns false) when unknown. */
+    bool runSuite(const std::string &name, InvariantReport &r) const;
+
+    std::vector<std::string> names() const;
+    std::size_t size() const { return suites_.size(); }
+
+  private:
+    std::vector<std::pair<std::string, Suite>> suites_;
+};
+
+} // namespace parabit
+
+/** Always-on check; panics through common/logging.hpp on failure. */
+#define PARABIT_CHECK(cond, msg)                                              \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::parabit::checkFailed(__FILE__, __LINE__, #cond, (msg));         \
+    } while (0)
+
+/** Hot-path assertion, compiled only with -DPARABIT_INVARIANTS=ON. */
+#ifdef PARABIT_INVARIANTS_ENABLED
+#define PARABIT_INVARIANT(cond, msg) PARABIT_CHECK(cond, msg)
+#else
+#define PARABIT_INVARIANT(cond, msg)                                          \
+    do {                                                                      \
+    } while (0)
+#endif
+
+#endif // PARABIT_COMMON_INVARIANT_HPP_

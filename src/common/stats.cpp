@@ -1,8 +1,9 @@
 #include "common/stats.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "common/invariant.hpp"
 
 namespace parabit {
 
@@ -28,7 +29,10 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0)
 {
-    assert(hi > lo && buckets > 0);
+    PARABIT_CHECK(hi > lo && buckets > 0,
+                  "Histogram: bad range [" + std::to_string(lo) + ", " +
+                      std::to_string(hi) + ") / " + std::to_string(buckets) +
+                      " buckets");
 }
 
 void

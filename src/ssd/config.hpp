@@ -114,6 +114,40 @@ struct RainConfig
     bool chargeParityPrograms = true;
 };
 
+/**
+ * Whole-device invariant audits (common/invariant.hpp).
+ *
+ * Every subsystem registers a named audit suite with the device's
+ * InvariantRegistry at construction (FTL mapping bijection and OOB
+ * agreement, scheduler booking exclusivity and work conservation, RAIN
+ * stripe parity, media wear monotonicity).  The device runs all suites
+ * every auditInterval transaction drains; a violation is dumped
+ * through the obs/logging layer and treated as a panic (an audit
+ * firing means the simulator state is corrupt — continuing would turn
+ * a detected bug into silent wrong numbers).
+ *
+ * Audits are pure observation: they never book traffic or schedule
+ * events, so enabling them changes no simulated timing — only wall
+ * clock.  The default cadence is 0 (never) unless the build was
+ * configured with -DPARABIT_INVARIANTS=ON, which flips it to every
+ * drain; SsdDevice::auditInvariants() is available in every build for
+ * tests and the parabit-model checker.
+ */
+struct InvariantConfig
+{
+    /** Run all registered audit suites every N drains (0 = never). */
+    std::uint32_t auditInterval =
+#ifdef PARABIT_INVARIANTS_ENABLED
+        1;
+#else
+        0;
+#endif
+
+    /** Panic on a cadence-audit violation (tests running audits
+     *  explicitly inspect the report instead). */
+    bool fatalOnViolation = true;
+};
+
 /** Configuration of a simulated SSD. */
 struct SsdConfig
 {
@@ -164,6 +198,10 @@ struct SsdConfig
 
     /** Die-level RAIN parity (off by default). */
     RainConfig rain;
+
+    /** Whole-device invariant audit cadence (defaults follow the
+     *  PARABIT_INVARIANTS build option). */
+    InvariantConfig invariants;
 
     /** The paper's evaluated device (Section 5.1) in timing mode. */
     static SsdConfig

@@ -902,4 +902,120 @@ Ftl::relocatePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
     return false;
 }
 
+void
+Ftl::auditInvariants(InvariantReport &r) const
+{
+    const flash::FlashGeometry &g = cfg_.geometry;
+
+    // ftl.map.bijection: map_ and reverse_ are exact inverses.  Equal
+    // sizes plus every forward entry round-tripping implies the reverse
+    // map holds nothing else.
+    if (!r.check(map_.size() == reverse_.size()))
+        r.fail("ftl.map.bijection", "table sizes",
+               "map has " + std::to_string(map_.size()) +
+                   " entries, reverse has " +
+                   std::to_string(reverse_.size()));
+    for (const auto &[lpn, addr] : map_) {
+        const std::uint64_t lin = flash::linearPageIndex(g, addr);
+        const auto rit = reverse_.find(lin);
+        if (!r.check(rit != reverse_.end() && rit->second == lpn)) {
+            r.fail("ftl.map.bijection", "lpn " + std::to_string(lpn),
+                   "maps to linear page " + std::to_string(lin) +
+                       ", whose reverse entry is " +
+                       (rit == reverse_.end()
+                            ? std::string("missing")
+                            : "lpn " + std::to_string(rit->second)));
+            continue; // the OOB checks below would only cascade
+        }
+
+        // ftl.map.oob: the mapped page is valid on flash and its OOB
+        // metadata agrees with the tables.
+        const flash::Chip &chip =
+            (*chips_)[static_cast<std::size_t>(addr.channel) *
+                          g.chipsPerChannel +
+                      addr.chip];
+        const flash::Block *blk =
+            chip.plane(addr.die, addr.plane).blockIfExists(addr.block);
+        const std::string subj = "lpn " + std::to_string(lpn);
+        if (!r.check(blk != nullptr &&
+                     blk->pageState(addr.wordline, addr.msb) ==
+                         flash::PageState::kValid)) {
+            r.fail("ftl.map.oob", subj,
+                   "mapped physical page is not valid on flash");
+            continue;
+        }
+        const flash::PageOob *oob = blk->pageOob(addr.wordline, addr.msb);
+        if (!r.check(oob != nullptr && oob->lpn == lpn)) {
+            r.fail("ftl.map.oob", subj,
+                   std::string("OOB ") +
+                       (oob ? "lpn " + std::to_string(oob->lpn)
+                            : "metadata missing") +
+                       " does not name the mapped lpn");
+            continue;
+        }
+        if (!r.check(oob->seq < seq_))
+            r.fail("ftl.map.oob", subj,
+                   "OOB seq " + std::to_string(oob->seq) +
+                       " >= next sequence " + std::to_string(seq_));
+        if (!r.check(oob->scrambled == (scrambledLpns_.count(lpn) > 0)))
+            r.fail("ftl.map.oob", subj,
+                   std::string("OOB scrambled flag ") +
+                       (oob->scrambled ? "set" : "clear") +
+                       " disagrees with the scrambled-LPN table");
+    }
+
+    // One walk over every materialised block: valid-count accounting
+    // and the MLC program-order pairing invariant.
+    for (PlaneIndex p = 0; p < g.planesTotal(); ++p) {
+        const PlaneCoord c = planeCoord(g, p);
+        const flash::Chip &chip =
+            (*chips_)[static_cast<std::size_t>(c.channel) *
+                          g.chipsPerChannel +
+                      c.chip];
+        const flash::Plane &pl = chip.plane(c.die, c.plane);
+        for (std::uint32_t b = 0; b < g.blocksPerPlane; ++b) {
+            const flash::Block *blk = pl.blockIfExists(b);
+            if (!blk)
+                continue;
+            const std::string subj = "plane " + std::to_string(p) +
+                                     " block " + std::to_string(b);
+            std::uint32_t valid = 0;
+            for (std::uint32_t wl = 0; wl < blk->wordlines(); ++wl) {
+                const flash::PageState lsb = blk->pageState(wl, false);
+                const flash::PageState msb = blk->pageState(wl, true);
+                valid += (lsb == flash::PageState::kValid) +
+                         (msb == flash::PageState::kValid);
+                // ftl.pair.lsb_msb: an MSB page is only ever programmed
+                // over a non-free LSB (interleaved order, writePair,
+                // writeIntoFreeMsb all guarantee it).
+                if (!r.check(msb == flash::PageState::kFree ||
+                             lsb != flash::PageState::kFree))
+                    r.fail("ftl.pair.lsb_msb",
+                           subj + " wordline " + std::to_string(wl),
+                           "MSB page programmed while the LSB page is "
+                           "free");
+            }
+            if (!r.check(valid == blk->validPages()))
+                r.fail("ftl.blocks.valid_count", subj,
+                       "block counter says " +
+                           std::to_string(blk->validPages()) +
+                           " valid pages, recount says " +
+                           std::to_string(valid));
+        }
+    }
+}
+
+bool
+Ftl::debugCorruptMapping(Lpn lpn)
+{
+    const auto it = map_.find(lpn);
+    if (it == map_.end())
+        return false;
+    // Reroute the forward entry one wordline over; reverse_ still holds
+    // the old linear index, so the bijection audit must fire.
+    it->second.wordline =
+        (it->second.wordline + 1) % cfg_.geometry.wordlinesPerBlock;
+    return true;
+}
+
 } // namespace parabit::ssd

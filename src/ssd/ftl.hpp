@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/invariant.hpp"
 #include "flash/chip.hpp"
 #include "obs/metrics.hpp"
 #include "ssd/allocator.hpp"
@@ -257,6 +258,36 @@ class Ftl
                          : static_cast<double>(totalPagesWritten()) /
                                static_cast<double>(host);
     }
+    /// @}
+
+    /** @name Invariant audit (common/invariant.hpp). */
+    /// @{
+
+    /**
+     * Audit the FTL's structural invariants against the chip array,
+     * appending violations to @p r:
+     *
+     *  - ftl.map.bijection: map_ and reverse_ are exact inverses;
+     *  - ftl.map.oob: every mapped page is valid on flash and its OOB
+     *    metadata (LPN, sequence bound, scrambled flag) agrees with the
+     *    mapping tables;
+     *  - ftl.blocks.valid_count: every block's incremental valid-page
+     *    counter equals a recount of its page states;
+     *  - ftl.pair.lsb_msb: no wordline has a programmed MSB page over a
+     *    free LSB page (MLC shared-wordline program order, which the
+     *    ParaBit pairing/chaining placements rely on).
+     *
+     * Pure observation: no flash traffic, no timing effect.
+     */
+    void auditInvariants(InvariantReport &r) const;
+
+    /**
+     * Deliberately corrupt the mapping of @p lpn — the physical address
+     * is rerouted without updating reverse_ — so negative tests and the
+     * parabit-model counterexample path can prove the audit fires.
+     * @return false when @p lpn is unmapped.  Test-only.
+     */
+    bool debugCorruptMapping(Lpn lpn);
     /// @}
 
     /** Direct chip access for the controller layer. */

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/invariant.hpp"
 #include "obs/metrics.hpp"
 #include "ssd/ftl.hpp"
 #include "ssd/rain.hpp"
@@ -70,6 +71,25 @@ class MediaScrubber
 
     /** Earliest simulated time the next pass may run. */
     Tick nextPassAt() const { return nextPassAt_; }
+
+    /**
+     * Audit media.cursor.range: the persistent patrol cursor points at
+     * a real (plane, block, wordline) of the configured geometry, so a
+     * resumed patrol can never scan out of bounds.  Violations are
+     * appended to @p r (common/invariant.hpp).
+     */
+    void
+    auditInvariants(InvariantReport &r) const
+    {
+        const flash::FlashGeometry &g = cfg_.geometry;
+        if (!r.check(plane_ < g.planesTotal() && block_ < g.blocksPerPlane &&
+                     wl_ < g.wordlinesPerBlock))
+            r.fail("media.cursor.range",
+                   "cursor (" + std::to_string(plane_) + ", " +
+                       std::to_string(block_) + ", " + std::to_string(wl_) +
+                       ")",
+                   "patrol cursor escaped the device geometry");
+    }
 
     /** @name Lifetime metric accessors (registry names media.*). */
     /// @{

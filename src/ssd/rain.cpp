@@ -129,6 +129,19 @@ RainController::recomputeAll()
     parity_.clear();
     if (!storeData_)
         return;
+    computeParityFromFlash(parity_);
+}
+
+void
+RainController::computeParityFromFlash(
+    std::unordered_map<std::uint64_t, BitVector> &out) const
+{
+    auto xor_into = [&](std::uint64_t key, const BitVector &v) {
+        auto it = out.find(key);
+        if (it == out.end())
+            it = out.emplace(key, BitVector(geom_.pageBits(), false)).first;
+        it->second ^= v;
+    };
     for (std::size_t i = 0; i < chips_->size(); ++i) {
         flash::PhysPageAddr a;
         a.channel = static_cast<std::uint32_t>(i / geom_.chipsPerChannel);
@@ -148,18 +161,87 @@ RainController::recomputeAll()
                         if (const BitVector *lsb =
                                 blk->pageData(a.wordline, false)) {
                             a.msb = false;
-                            xorInto(stripeKey(a), *lsb);
+                            xor_into(stripeKey(a), *lsb);
                         }
                         if (const BitVector *msb =
                                 blk->pageData(a.wordline, true)) {
                             a.msb = true;
-                            xorInto(stripeKey(a), *msb);
+                            xor_into(stripeKey(a), *msb);
                         }
                     }
                 }
             }
         }
     }
+}
+
+void
+RainController::auditParity(InvariantReport &r) const
+{
+    if (!storeData_)
+        return; // no payloads, no functional parity to audit
+    std::unordered_map<std::uint64_t, BitVector> truth;
+    computeParityFromFlash(truth);
+
+    // A stripe with a member on a dead plane legitimately diverges from
+    // the surviving members' XOR: the buffer still remembers the lost
+    // payloads — exactly what rebuildPage() consumes to restore them.
+    // Audit only stripes whose members are all alive.  The stripe key's
+    // top component is (channel * planesPerDie + plane), so one flag per
+    // channel-plane position covers every member die.
+    std::vector<bool> degraded(
+        static_cast<std::size_t>(geom_.channels) * geom_.planesPerDie,
+        false);
+    for (std::uint32_t ch = 0; ch < geom_.channels; ++ch)
+        for (std::uint32_t chip = 0; chip < geom_.chipsPerChannel; ++chip)
+            for (std::uint32_t die = 0; die < geom_.diesPerChip; ++die)
+                for (std::uint32_t pl = 0; pl < geom_.planesPerDie; ++pl)
+                    if (!(*chips_)[static_cast<std::size_t>(ch) *
+                                       geom_.chipsPerChannel +
+                                   chip]
+                             .planeOperational(die, pl))
+                        degraded[static_cast<std::size_t>(ch) *
+                                     geom_.planesPerDie +
+                                 pl] = true;
+    const std::uint64_t stripesPerPlane =
+        2ull * geom_.blocksPerPlane * geom_.wordlinesPerBlock;
+    auto stripeDegraded = [&](std::uint64_t key) {
+        return degraded[static_cast<std::size_t>(key / stripesPerPlane)];
+    };
+
+    const BitVector zero(geom_.pageBits(), false);
+    for (const auto &[key, page] : parity_) {
+        if (stripeDegraded(key))
+            continue;
+        const auto it = truth.find(key);
+        // A stripe whose members all dropped their payloads folds back
+        // to all-zero parity but keeps its buffer entry.
+        const BitVector &expect = it == truth.end() ? zero : it->second;
+        if (!r.check(page == expect))
+            r.fail("rain.parity.stripe_xor",
+                   "stripe " + std::to_string(key),
+                   "stripe-buffer parity diverges from the XOR of the "
+                   "members' stored payloads");
+    }
+    for (const auto &[key, page] : truth) {
+        if (stripeDegraded(key))
+            continue;
+        if (!r.check(parity_.count(key) > 0 || page == zero))
+            r.fail("rain.parity.stripe_xor",
+                   "stripe " + std::to_string(key),
+                   "members hold payload but the stripe buffer tracks "
+                   "no parity page");
+    }
+}
+
+bool
+RainController::debugCorruptParity()
+{
+    if (parity_.empty())
+        return false;
+    BitVector &page = parity_.begin()->second;
+    page.set(0, !page.get(0));
+    return true;
 }
 
 } // namespace parabit::ssd

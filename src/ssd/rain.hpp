@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/invariant.hpp"
 #include "obs/metrics.hpp"
 #include "ssd/ftl.hpp"
 
@@ -71,6 +72,29 @@ class RainController
     /** Rebuild the parity map from flash contents (power cycle). */
     void recomputeAll();
 
+    /** @name Invariant audit (common/invariant.hpp). */
+    /// @{
+
+    /**
+     * Audit rain.parity.stripe_xor: every tracked stripe's parity page
+     * equals the XOR of its members' stored payloads, recomputed from
+     * flash (a stripe whose members all dropped their payloads must
+     * hold all-zero parity).  Stripes with a member on a dead plane are
+     * skipped: their buffers deliberately diverge from the survivors'
+     * XOR — that difference IS the lost data, until rebuild.  Only
+     * meaningful with stored data; in timing mode the audit contributes
+     * no checks.  Violations are appended to @p r.
+     */
+    void auditParity(InvariantReport &r) const;
+
+    /**
+     * Deliberately flip a bit of one tracked parity page so negative
+     * tests can prove the audit fires.  @return false when no stripe
+     * holds parity yet.  Test-only.
+     */
+    bool debugCorruptParity();
+    /// @}
+
     /** @name Introspection / metrics accessors. */
     /// @{
     std::size_t stripesTracked() const { return parity_.size(); }
@@ -95,6 +119,12 @@ class RainController
     bool planeAlive(const flash::PhysPageAddr &a) const;
 
     void xorInto(std::uint64_t key, const BitVector &v);
+
+    /** XOR every stored payload into @p out by stripe key (the ground
+     *  truth recomputeAll() and auditParity() share). */
+    void
+    computeParityFromFlash(std::unordered_map<std::uint64_t, BitVector> &out)
+        const;
 
     flash::FlashGeometry geom_;
     bool storeData_;

@@ -554,4 +554,102 @@ TransactionScheduler::records() const
     return out;
 }
 
+void
+TransactionScheduler::auditInvariants(InvariantReport &r) const
+{
+    // sched.queue.drained: a drain boundary leaves no residual work.
+    for (std::size_t i = 0; i < resources_.size(); ++i) {
+        const Resource &res = resources_[i];
+        const std::string subj =
+            std::string(res.onChannel ? "channel " : "die ") +
+            std::to_string(res.index);
+        if (!r.check(res.q.empty()))
+            r.fail("sched.queue.drained", subj,
+                   std::to_string(res.q.size()) +
+                       " queue entries survived the drain");
+        if (!r.check(!res.busy))
+            r.fail("sched.queue.drained", subj,
+                   "a booking is still marked running after the drain");
+    }
+
+    // sched.queue.accounting: lifetime submit/complete balance plus
+    // full completion coverage of the last batch.
+    if (!r.check(submitted_.value() == completedCount_.value()))
+        r.fail("sched.queue.accounting", "lifetime counters",
+               "submitted " + std::to_string(submitted_.value()) +
+                   " != completed " +
+                   std::to_string(completedCount_.value()));
+    if (!r.check(completions_.size() == txs_.size()))
+        r.fail("sched.queue.accounting", "last batch",
+               std::to_string(txs_.size()) + " transactions but " +
+                   std::to_string(completions_.size()) +
+                   " completion entries");
+
+    // sched.work.conservation: suspend-resume never loses or invents
+    // array work, and nothing completes before it was ready.
+    for (const TxState &st : txs_) {
+        const std::string subj = "tx " + std::to_string(st.id);
+        if (!r.check(st.done))
+            r.fail("sched.work.conservation", subj,
+                   "transaction never finished");
+        if (!r.check(st.arrayExecuted == st.tx.arrayTicks))
+            r.fail("sched.work.conservation", subj,
+                   "planned " + std::to_string(st.tx.arrayTicks) +
+                       " array ticks, executed " +
+                       std::to_string(st.arrayExecuted) +
+                       " across " + std::to_string(st.suspends) +
+                       " suspends");
+        if (!r.check(st.complete >= st.tx.readyAt))
+            r.fail("sched.work.conservation", subj,
+                   "completed at " + std::to_string(st.complete) +
+                       " before ready time " +
+                       std::to_string(st.tx.readyAt));
+    }
+
+    // sched.booking.exclusivity: per-resource bookings never overlap.
+    // The interval log only exists with cfg.traceEnabled; without it
+    // this leg simply contributes no checks.
+    std::vector<std::vector<TraceEntry>> byResource(resources_.size());
+    for (const TraceEntry &e : trace_) {
+        const std::size_t idx =
+            e.onChannel ? channelResource(e.resource)
+                        : geo_.channels + e.resource;
+        if (idx < byResource.size())
+            byResource[idx].push_back(e);
+    }
+    for (std::size_t i = 0; i < byResource.size(); ++i) {
+        auto &v = byResource[i];
+        std::sort(v.begin(), v.end(),
+                  [](const TraceEntry &a, const TraceEntry &b) {
+                      return a.start != b.start ? a.start < b.start
+                                                : a.end < b.end;
+                  });
+        for (std::size_t j = 1; j < v.size(); ++j) {
+            if (!r.check(v[j].start >= v[j - 1].end))
+                r.fail("sched.booking.exclusivity",
+                       std::string(v[j].onChannel ? "channel "
+                                                  : "die ") +
+                           std::to_string(v[j].resource),
+                       "tx " + std::to_string(v[j].txId) + " booked [" +
+                           std::to_string(v[j].start) + ", " +
+                           std::to_string(v[j].end) +
+                           ") overlapping tx " +
+                           std::to_string(v[j - 1].txId) + " [" +
+                           std::to_string(v[j - 1].start) + ", " +
+                           std::to_string(v[j - 1].end) + ")");
+        }
+    }
+}
+
+bool
+TransactionScheduler::debugCorruptTraceForAudit()
+{
+    if (trace_.empty())
+        return false;
+    TraceEntry dup = trace_.front();
+    dup.end = std::max(dup.end, dup.start + 1);
+    trace_.push_back(dup);
+    return true;
+}
+
 } // namespace parabit::ssd::sched

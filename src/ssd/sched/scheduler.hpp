@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/invariant.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
@@ -143,6 +144,34 @@ class TransactionScheduler
 
     /** Per-transaction records of the last drained batch. */
     std::vector<TxRecord> records() const;
+
+    /** @name Invariant audit (common/invariant.hpp). */
+    /// @{
+
+    /**
+     * Audit the scheduler's invariants at a drain boundary, appending
+     * violations to @p r:
+     *
+     *  - sched.queue.drained: no residual queue entries or running
+     *    bookings survive a drain;
+     *  - sched.queue.accounting: lifetime submitted == completed and
+     *    the last batch's completion map covers every transaction;
+     *  - sched.work.conservation: every transaction's executed array
+     *    time equals its planned array time (suspend-resume conserves
+     *    work) and it completed no earlier than it became ready;
+     *  - sched.booking.exclusivity: no two booked intervals overlap on
+     *    one channel or one plane-granular die resource (evaluated
+     *    from the booking trace, so it needs cfg.traceEnabled).
+     */
+    void auditInvariants(InvariantReport &r) const;
+
+    /**
+     * Deliberately double-book the first traced interval so negative
+     * tests can prove the exclusivity audit fires.  No-op (returns
+     * false) when the booking trace is empty.  Test-only.
+     */
+    bool debugCorruptTraceForAudit();
+    /// @}
 
   private:
     /** One phase booking request against a specific resource. */

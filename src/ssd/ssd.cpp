@@ -34,6 +34,127 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
     if (cfg_.media.enabled)
         media_ = std::make_unique<MediaScrubber>(cfg_, ftl_, chips_,
                                                  rain_.get());
+    registerInvariantSuites();
+}
+
+void
+SsdDevice::registerInvariantSuites()
+{
+    invariants_.registerSuite(
+        "ftl", [this](InvariantReport &r) { ftl_.auditInvariants(r); });
+    invariants_.registerSuite(
+        "sched", [this](InvariantReport &r) { sched_.auditInvariants(r); });
+    if (rain_)
+        invariants_.registerSuite(
+            "rain", [this](InvariantReport &r) { rain_->auditParity(r); });
+    invariants_.registerSuite(
+        "media", [this](InvariantReport &r) { auditMedia(r); });
+}
+
+void
+SsdDevice::auditMedia(InvariantReport &r)
+{
+    const flash::FlashGeometry &g = cfg_.geometry;
+    for (std::size_t ci = 0; ci < chips_.size(); ++ci) {
+        const flash::Chip &chip = chips_[ci];
+        const Tick now = chip.now();
+        for (std::uint32_t die = 0; die < g.diesPerChip; ++die) {
+            for (std::uint32_t pl = 0; pl < g.planesPerDie; ++pl) {
+                const flash::Plane &plane = chip.plane(die, pl);
+                for (std::uint32_t b = 0; b < g.blocksPerPlane; ++b) {
+                    const flash::Block *blk = plane.blockIfExists(b);
+                    if (!blk)
+                        continue;
+                    const std::uint64_t key =
+                        ((static_cast<std::uint64_t>(ci) * g.diesPerChip +
+                          die) *
+                             g.planesPerDie +
+                         pl) *
+                            g.blocksPerPlane +
+                        b;
+                    WearSnapshot &seen = wearSeen_[key];
+                    const bool erased = blk->eraseCount() > seen.erases;
+                    if (!r.check(blk->eraseCount() >= seen.erases))
+                        r.fail("media.wear.monotonic",
+                               "block " + std::to_string(key),
+                               "erase count went backwards: " +
+                                   std::to_string(blk->eraseCount()) +
+                                   " after " + std::to_string(seen.erases));
+                    seen.erases = blk->eraseCount();
+                    seen.disturb.resize(g.wordlinesPerBlock, 0);
+                    for (std::uint32_t wl = 0; wl < g.wordlinesPerBlock;
+                         ++wl) {
+                        const Tick programmed = blk->programTick(wl);
+                        if (!r.check(programmed <= now))
+                            r.fail("media.clock.monotonic",
+                                   "block " + std::to_string(key) +
+                                       " wordline " + std::to_string(wl),
+                                   "programmed at tick " +
+                                       std::to_string(programmed) +
+                                       ", after the chip clock " +
+                                       std::to_string(now));
+                        const std::uint64_t d = blk->disturbCount(wl);
+                        // erase() legitimately resets disturb charge;
+                        // otherwise it only ever accumulates.
+                        if (!r.check(erased || d >= seen.disturb[wl]))
+                            r.fail("media.wear.monotonic",
+                                   "block " + std::to_string(key) +
+                                       " wordline " + std::to_string(wl),
+                                   "disturb charge shrank without an "
+                                   "erase: " +
+                                       std::to_string(d) + " after " +
+                                       std::to_string(seen.disturb[wl]));
+                        seen.disturb[wl] = d;
+                    }
+                }
+            }
+        }
+    }
+    if (media_)
+        media_->auditInvariants(r);
+}
+
+InvariantReport
+SsdDevice::auditInvariants()
+{
+    InvariantReport r;
+    // Between a mid-program cut and powerCycle() the device is
+    // legitimately inconsistent (torn wordlines, stale parity); audits
+    // resume after recovery.
+    if (ftl_.powerLost())
+        return r;
+    invariants_.runAll(r);
+    ++auditRuns_;
+    auditChecks_ += r.checksRun;
+    if (!r.ok()) {
+        auditViolations_ += r.violations.size();
+        logError("invariant audit failed:\n" + r.describe());
+    }
+    return r;
+}
+
+void
+SsdDevice::maybeAudit()
+{
+    const std::uint32_t interval = cfg_.invariants.auditInterval;
+    if (interval == 0)
+        return;
+    if (++drainCount_ < interval)
+        return;
+    drainCount_ = 0;
+    const InvariantReport r = auditInvariants();
+    if (!r.ok() && cfg_.invariants.fatalOnViolation)
+        panic("invariant audit failed (" +
+              std::to_string(r.violations.size()) + " violation(s)); see "
+              "the log for [id] subject: detail lines");
+}
+
+Tick
+SsdDevice::drainTransactions()
+{
+    const Tick done = sched_.drain();
+    maybeAudit();
+    return done;
 }
 
 void
@@ -118,11 +239,13 @@ SsdDevice::powerCycle(Tick at)
     advanceClock(at);
     std::vector<PhysOp> ops;
     RecoveryReport rep = ftl_.powerCycle(ops);
-    rep.scanTime = scheduleOps(ops, at) - at;
     // The stripe buffer is volatile controller RAM: rebuild parity from
-    // flash before any post-recovery read can ask for a rebuild.
+    // flash before any post-recovery read can ask for a rebuild — and
+    // before scheduling the recovery ops, whose drain may run a cadence
+    // audit that would otherwise see the stale pre-cut buffer.
     if (rain_)
         rain_->recomputeAll();
+    rep.scanTime = scheduleOps(ops, at) - at;
     ++powerCycles_;
     pagesScannedTotal_ += rep.pagesScanned;
     journalReplayedTotal_ += rep.journalRecords;
@@ -314,7 +437,7 @@ Tick
 SsdDevice::scheduleOps(const std::vector<PhysOp> &ops, Tick ready_at)
 {
     const sched::TxGroup g = submitOps(ops, ready_at);
-    sched_.drain();
+    drainTransactions();
     return sched_.groupCompletion(g, ready_at);
 }
 
@@ -322,7 +445,7 @@ Tick
 SsdDevice::scheduleArrayJobs(const std::vector<ArrayJob> &jobs, Tick ready_at)
 {
     const sched::TxGroup g = submitArrayJobs(jobs, ready_at);
-    sched_.drain();
+    drainTransactions();
     return sched_.groupCompletion(g, ready_at);
 }
 

@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/invariant.hpp"
 #include "ssd/config.hpp"
 #include "ssd/endurance.hpp"
 #include "ssd/fault_injector.hpp"
@@ -105,9 +107,11 @@ class SsdDevice
     sched::TxGroup submitArrayJobs(const std::vector<ArrayJob> &jobs,
                                    Tick ready_at);
 
-    /** Arbitrate and run every queued transaction to completion.
+    /** Arbitrate and run every queued transaction to completion, then
+     *  audit the registered invariant suites when the configured cadence
+     *  (InvariantConfig::auditInterval) says this drain is due.
      *  @return the latest completion tick of the batch. */
-    Tick drainTransactions() { return sched_.drain(); }
+    Tick drainTransactions();
 
     /** Latest completion over @p g (query before the next submit);
      *  @p fallback when @p g is empty. */
@@ -119,6 +123,31 @@ class SsdDevice
 
     sched::TransactionScheduler &scheduler() { return sched_; }
     const sched::TransactionScheduler &scheduler() const { return sched_; }
+    /// @}
+
+    /** @name Whole-device invariant audits (common/invariant.hpp). */
+    /// @{
+
+    /**
+     * The device's invariant registry.  Suites registered at
+     * construction: "ftl" (map bijection, OOB agreement, valid-count
+     * accounting, LSB/MSB pairing), "sched" (queue drain/accounting,
+     * work conservation, booking exclusivity), "rain" (stripe parity,
+     * only when RAIN is enabled) and "media" (clock/wear monotonicity
+     * and the patrol-cursor range).  Tools (parabit-model) and tests
+     * may run suites individually or register extra ones.
+     */
+    InvariantRegistry &invariantRegistry() { return invariants_; }
+
+    /**
+     * Run every registered suite now and return the report.  Violations
+     * are counted on the invariant.* metrics and dumped — one
+     * structured "[id] subject: detail" line each — through the log
+     * sink.  While power is lost (mid-cut, before powerCycle()) device
+     * state is legitimately inconsistent, so the audit reports an empty
+     * run instead of false positives.
+     */
+    InvariantReport auditInvariants();
     /// @}
 
     /**
@@ -208,6 +237,19 @@ class SsdDevice
      *  against it); monotonic, so out-of-order calls are safe. */
     void advanceClock(Tick now);
 
+    /** Wire the per-subsystem suites into invariants_ (ctor). */
+    void registerInvariantSuites();
+
+    /** The "media" suite body: media.clock.monotonic (no wordline was
+     *  programmed in the future of its chip's clock), media.wear.
+     *  monotonic (erase counts and disturb charge never run backwards
+     *  between audits) and the scrubber's media.cursor.range. */
+    void auditMedia(InvariantReport &r);
+
+    /** Run a cadenced audit after a drain; panics (fatalOnViolation)
+     *  or logs when a suite reports violations. */
+    void maybeAudit();
+
     SsdConfig cfg_;
     std::vector<flash::Chip> chips_;
     Ftl ftl_;
@@ -221,6 +263,23 @@ class SsdDevice
      *  per-track exclusivity) but callers may pump or repair at ticks
      *  before earlier booked work completed, so starts are clamped. */
     Tick mediaSpanEnd_ = 0;
+
+    InvariantRegistry invariants_;
+    std::uint64_t drainCount_ = 0; ///< drains since the last audit
+
+    /** Last audited wear state of one block (media.wear.monotonic). */
+    struct WearSnapshot
+    {
+        std::uint32_t erases = 0;
+        std::vector<std::uint64_t> disturb; ///< per wordline
+    };
+    /** Linear block id -> wear seen at the previous audit. */
+    std::unordered_map<std::uint64_t, WearSnapshot> wearSeen_;
+
+    /** Registered invariant instruments (obs/metrics.hpp). */
+    obs::Counter auditRuns_{"invariant.audits"};
+    obs::Counter auditChecks_{"invariant.checks"};
+    obs::Counter auditViolations_{"invariant.violations"};
 
     /** Registered recovery instruments (obs/metrics.hpp). */
     obs::Counter powerCycles_{"recovery.power_cycles"};

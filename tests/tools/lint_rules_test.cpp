@@ -217,6 +217,74 @@ TEST(LintRawStderr, AllowsLoggingBackendCommentsAndSuppression)
         "raw-stderr"));
 }
 
+TEST(LintTimeline, FlagsDirectUseOutsideScheduler)
+{
+    const auto fs = lintCpp("Timeline tl;\ntl.reserve(now, dur);\n");
+    ASSERT_TRUE(hasRule(fs, "timeline-booking"));
+    EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(LintTimeline, AllowsSchedulerSubsystemCommentsAndSuppression)
+{
+    SourceInfo info;
+    info.guardPath = "ssd/sched/scheduler.hpp";
+    info.timelineAllowed = true;
+    EXPECT_FALSE(hasRule(lintSource("ssd/sched/scheduler.hpp",
+                                    "Timeline tl;\n", info),
+                         "timeline-booking"));
+    // Comments, strings and longer identifiers do not trip the rule.
+    EXPECT_FALSE(hasRule(lintCpp("// one Timeline per die\n"),
+                         "timeline-booking"));
+    EXPECT_FALSE(hasRule(lintCpp("auto s = \"Timeline\";\n"),
+                         "timeline-booking"));
+    EXPECT_FALSE(hasRule(lintCpp("int TimelineCount = 0;\n"),
+                         "timeline-booking"));
+    EXPECT_FALSE(hasRule(
+        lintCpp("Timeline tl; // lint:allow(timeline-booking)\n"),
+        "timeline-booking"));
+}
+
+TEST(LintMetricName, FlagsNonConformingLiterals)
+{
+    // Too few segments.
+    EXPECT_TRUE(hasRule(lintCpp("obs::Counter c_{\"reads\"};\n"),
+                        "metric-name"));
+    // Uppercase.
+    EXPECT_TRUE(hasRule(lintCpp("obs::Gauge g_{\"Sched.depth\"};\n"),
+                        "metric-name"));
+    // Too many segments.
+    EXPECT_TRUE(hasRule(lintCpp("obs::Hist h_(\"a.b.c.d.e\");\n"),
+                        "metric-name"));
+    // Empty segment.
+    EXPECT_TRUE(hasRule(lintCpp("obs::Counter c_{\"ftl..runs\"};\n"),
+                        "metric-name"));
+    // Segment starting with a digit.
+    EXPECT_TRUE(hasRule(lintCpp("obs::Counter c_{\"ftl.2nd\"};\n"),
+                        "metric-name"));
+}
+
+TEST(LintMetricName, AllowsConformingNamesAndNonLiteralConstruction)
+{
+    EXPECT_FALSE(hasRule(lintCpp("obs::Counter c_{\"ftl.gc.runs\"};\n"),
+                         "metric-name"));
+    EXPECT_FALSE(hasRule(
+        lintCpp("obs::Hist h_(\"sched.latency.read_us\");\n"),
+        "metric-name"));
+    // No literal to check: declarations, element types, references and
+    // runtime-computed names.
+    EXPECT_FALSE(hasRule(lintCpp("obs::Counter submitted_;\n"),
+                         "metric-name"));
+    EXPECT_FALSE(hasRule(lintCpp("std::vector<obs::Counter> cs_;\n"),
+                         "metric-name"));
+    EXPECT_FALSE(hasRule(lintCpp("void f(obs::Counter &c);\n"),
+                         "metric-name"));
+    EXPECT_FALSE(hasRule(lintCpp("obs::Counter c_{name};\n"),
+                         "metric-name"));
+    EXPECT_FALSE(hasRule(
+        lintCpp("obs::Counter c_{\"x\"}; // lint:allow(metric-name)\n"),
+        "metric-name"));
+}
+
 TEST(LintJson, RendersFindings)
 {
     const auto fs = lintCpp("delete p;\n");

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * parabit-model: clean bounded exploration across all three policies,
+ * POR soundness, and the pinned counterexample-replay round trip
+ * (corrupt -> finding with decision trace -> JSON -> parse -> replay
+ * reproduces the same violation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace parabit::model {
+namespace {
+
+TEST(Model, AlphabetCoversWritesReadsTrimAndCrash)
+{
+    ModelOptions opts;
+    const std::vector<Action> a = actionAlphabet(opts);
+    ASSERT_EQ(a.size(), 6u); // W0 W1 R0 R1 T0 CRASH
+    EXPECT_EQ(a[0].describe(), "W(0)");
+    EXPECT_EQ(a[5].describe(), "CRASH");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].index, static_cast<int>(i));
+
+    opts.faultBudget = 0;
+    EXPECT_EQ(actionAlphabet(opts).size(), 5u); // no crash action
+}
+
+TEST(Model, CleanBoundedExplorationAllPolicies)
+{
+    ModelOptions opts; // depth 3, 1 fault point, all three policies
+    const ModelReport r = runModel(opts);
+    EXPECT_TRUE(r.ok()) << toJson(r, opts);
+    EXPECT_GE(r.maxDepth, 3u);
+    EXPECT_GT(r.pathsExplored, 0u);
+    EXPECT_GT(r.pathsPruned, 0u);
+    EXPECT_GT(r.crashesInjected, 0u);
+    EXPECT_GT(r.checksRun, 0u);
+    EXPECT_EQ(r.auditsRun, r.actionsApplied); // one audit per action
+}
+
+TEST(Model, PartialOrderReductionIsSound)
+{
+    // POR must cut paths without changing the verdict: both runs clean,
+    // the reduced one strictly smaller.
+    ModelOptions por;
+    por.depth = 3;
+    por.policies = {"fcfs"};
+    ModelOptions full = por;
+    full.por = false;
+    const ModelReport a = runModel(por);
+    const ModelReport b = runModel(full);
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(b.ok());
+    EXPECT_LT(a.pathsExplored, b.pathsExplored);
+    EXPECT_EQ(b.pathsPruned, 0u);
+}
+
+TEST(Model, JsonReportCarriesSchemaAndProvenance)
+{
+    ModelOptions opts;
+    opts.depth = 1;
+    opts.policies = {"fcfs"};
+    const ModelReport r = runModel(opts);
+    const std::string json = toJson(r, opts);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"tool\": \"parabit-model\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"policies\": [\"fcfs\"]"), std::string::npos);
+}
+
+TEST(Model, PinnedCounterexampleReplaysFromJson)
+{
+    // Corrupt the FTL mapping of LPN 0 right after the first action:
+    // every path opening with W(0) now violates ftl.map.bijection, and
+    // the very first explored path — [0, 0] — is the pinned
+    // counterexample whose decision trace must survive the JSON round
+    // trip and reproduce the same violation on replay.
+    ModelOptions opts;
+    opts.depth = 2;
+    opts.policies = {"fcfs"};
+    opts.corruptAfterStep = 0;
+    opts.corruptLpn = 0;
+    const ModelReport found = runModel(opts);
+    ASSERT_FALSE(found.ok());
+    const ModelFinding &f = found.findings.front();
+    EXPECT_EQ(f.check, "invariant");
+    EXPECT_EQ(f.subject, "ftl.map.bijection");
+    EXPECT_EQ(f.path, std::vector<int>{0}); // pinned: corrupted W(0)
+
+    const std::string json = toJson(found, opts);
+    std::vector<int> path;
+    std::uint64_t seed = 0;
+    std::string err;
+    ASSERT_TRUE(parseTrace(json, path, seed, err)) << err;
+    EXPECT_EQ(path, f.path);
+    EXPECT_EQ(seed, opts.seed);
+
+    const ModelReport replayed = replayPath(opts, path);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_EQ(replayed.findings.front().check, "invariant");
+    EXPECT_EQ(replayed.findings.front().subject, "ftl.map.bijection");
+}
+
+TEST(Model, ReplayOfCleanPathStaysClean)
+{
+    ModelOptions opts;
+    opts.policies = {"fcfs", "read_priority"};
+    const ModelReport r = replayPath(opts, {0, 5, 2}); // W0, CRASH, R0
+    EXPECT_TRUE(r.ok()) << toJson(r, opts);
+    EXPECT_EQ(r.pathsExplored, 1u);
+    EXPECT_EQ(r.crashesInjected, 2u); // once per policy
+}
+
+TEST(Model, ParseTraceRejectsGarbage)
+{
+    std::vector<int> path;
+    std::uint64_t seed = 0;
+    std::string err;
+    EXPECT_FALSE(parseTrace("{}", path, seed, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseTrace("{\"path\": []}", path, seed, err));
+}
+
+} // namespace
+} // namespace parabit::model

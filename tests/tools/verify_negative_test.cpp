@@ -158,6 +158,10 @@ TEST(VerifyReport, JsonCarriesFindingsAndCounters)
     const std::string clean = toJson(verifyAll());
     EXPECT_NE(clean.find("\"ok\": true"), std::string::npos);
     EXPECT_NE(clean.find("\"programs_checked\": 24"), std::string::npos);
+    // Schema/provenance header consumers key on.
+    EXPECT_NE(clean.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(clean.find("\"tool\": \"parabit-verify\""), std::string::npos);
+    EXPECT_NE(clean.find("\"sched_sweep\": false"), std::string::npos);
 }
 
 } // namespace

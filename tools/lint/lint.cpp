@@ -158,6 +158,8 @@ class Linter
     }
 
     void checkDurations();
+    void checkTimelineBooking();
+    void checkMetricNames();
     void checkRawStderr();
     void checkNewDelete();
     void checkEnumSwitchDefault();
@@ -199,6 +201,103 @@ Linter::checkDurations()
                     "instead of a literal here");
             }
         }
+    }
+}
+
+void
+Linter::checkTimelineBooking()
+{
+    if (info_.timelineAllowed)
+        return;
+    // Any mention of the Timeline type outside the scheduler subsystem
+    // is a booking bypass waiting to happen: the scheduler's trace and
+    // the sched.booking.exclusivity invariant only see reservations
+    // made through TransactionScheduler::submit.
+    forEachWord("Timeline", "timeline-booking",
+                "direct Timeline use outside src/ssd/sched/; submit "
+                "work through the TransactionScheduler so arbitration, "
+                "tracing and the exclusivity invariant see it");
+}
+
+void
+Linter::checkMetricNames()
+{
+    // MetricsRegistry handle names feed dashboards and snapshot diffs
+    // that group by dotted prefix, so a literal name passed to
+    // obs::Counter / obs::Gauge / obs::Hist must read
+    // <subsystem>.<noun>[.<qualifier>[.<qualifier>]] in lowercase.
+    static const char *const kinds[] = {"Counter", "Gauge", "Hist"};
+    for (std::size_t p = code_.find("obs::"); p != std::string::npos;
+         p = code_.find("obs::", p + 5)) {
+        const std::size_t after = p + 5;
+        std::size_t tok_end = 0;
+        for (const char *kind : kinds) {
+            const std::size_t len = std::string(kind).size();
+            if (code_.compare(after, len, kind) == 0 &&
+                (after + len >= code_.size() ||
+                 !isWordChar(code_[after + len])))
+                tok_end = after + len;
+        }
+        if (tok_end == 0)
+            continue;
+        // Accept both a named handle (obs::Counter foo_{"..."} / ("...")
+        // and a temporary (obs::Counter{"..."}).  Anything else — a
+        // vector element type, a reference parameter — has no literal
+        // to check.
+        std::size_t q = tok_end;
+        while (q < code_.size() &&
+               (isWordChar(code_[q]) ||
+                std::isspace(static_cast<unsigned char>(code_[q]))))
+            ++q;
+        if (q >= code_.size() || (code_[q] != '{' && code_[q] != '('))
+            continue;
+        ++q;
+        while (q < code_.size() &&
+               std::isspace(static_cast<unsigned char>(code_[q])))
+            ++q;
+        if (q >= code_.size() || code_[q] != '"')
+            continue;
+        // The literal's contents were blanked by the stripper but the
+        // quote characters survive; read the name from the raw text.
+        const std::size_t close = code_.find('"', q + 1);
+        if (close == std::string::npos)
+            continue;
+        const std::string name = raw_.substr(q + 1, close - q - 1);
+
+        bool ok = !name.empty();
+        int segments = 0;
+        for (std::size_t i = 0; ok && i < name.size();) {
+            std::size_t j = i;
+            while (j < name.size() && name[j] != '.')
+                ++j;
+            ++segments;
+            if (j == i ||
+                !(name[i] >= 'a' && name[i] <= 'z')) {
+                ok = false;
+                break;
+            }
+            for (std::size_t k = i + 1; k < j; ++k) {
+                const char c = name[k];
+                if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_')) {
+                    ok = false;
+                    break;
+                }
+            }
+            i = j + (j < name.size() ? 1 : 0);
+            if (j == name.size())
+                break;
+            if (j == name.size() - 1)
+                ok = false; // trailing dot
+        }
+        if (segments < 2 || segments > 4)
+            ok = false;
+        if (!ok)
+            add(lineOfOffset(code_, p), "metric-name",
+                "metric handle name \"" + name +
+                    "\" must be 2-4 lowercase dotted segments "
+                    "(<subsystem>.<noun>[.<qualifier>]), each matching "
+                    "[a-z][a-z0-9_]*");
     }
 }
 
@@ -412,6 +511,8 @@ std::vector<Finding>
 Linter::run()
 {
     checkDurations();
+    checkTimelineBooking();
+    checkMetricNames();
     checkRawStderr();
     checkNewDelete();
     checkEnumSwitchDefault();
@@ -460,6 +561,10 @@ lintTree(const std::string &root)
         info.durationAllowed =
             rel == "common/units.hpp" || rel == "flash/timing.hpp";
         info.stderrAllowed = prefix_base || rel == "common/logging.cpp";
+        info.timelineAllowed = prefix_base ||
+                               rel.rfind("ssd/sched/", 0) == 0 ||
+                               rel == "ssd/timeline.hpp" ||
+                               rel == "ssd/timeline.cpp";
         if (f.extension() == ".cpp") {
             fs::path header = f;
             header.replace_extension(".hpp");

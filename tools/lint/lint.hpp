@@ -31,6 +31,16 @@
  *    through common/logging.hpp so the pluggable log sink sees them
  *    (tests capture them, benches can silence them).  Tool mains
  *    (tools/) are exempt: their stderr is the user interface.
+ *  - timeline-booking: the Timeline resource type is used only inside
+ *    src/ssd/sched/ (and its own header) — everything else books
+ *    device time through the TransactionScheduler, or a booking would
+ *    bypass arbitration, the trace and the exclusivity invariant.
+ *    Tools are exempt (the verifier rebuilds bookings to check them).
+ *  - metric-name: MetricsRegistry handles (obs::Counter / obs::Gauge /
+ *    obs::Hist) constructed with a literal name must follow the
+ *    <subsystem>.<noun>[.<qualifier>] convention — 2 to 4 lowercase
+ *    dotted segments — so dashboards and snapshot diffs can group by
+ *    prefix.
  *
  * A finding on a specific line can be suppressed with a trailing
  * `// lint:allow(<rule>)` comment; suppressions are deliberate and
@@ -67,6 +77,9 @@ struct SourceInfo
     bool durationAllowed = false;
     /** File may write to stderr directly (logging backend, tool mains). */
     bool stderrAllowed = false;
+    /** File may use the Timeline type directly (the scheduler subsystem
+     *  and ssd/timeline.hpp itself). */
+    bool timelineAllowed = false;
 };
 
 /**

@@ -508,8 +508,15 @@ toJson(const Report &r)
 {
     std::ostringstream os;
     os << "{\n"
+       << "  \"schema_version\": 1,\n"
        << "  \"tool\": \"parabit-verify\",\n"
        << "  \"ok\": " << (r.ok() ? "true" : "false") << ",\n"
+       << "  \"config\": {\n"
+       << "    \"flavors\": " << kNumFlavors << ",\n"
+       << "    \"bitwise_ops\": " << flash::kNumBitwiseOps << ",\n"
+       << "    \"sched_sweep\": "
+       << (r.schedChecksRun > 0 ? "true" : "false") << "\n"
+       << "  },\n"
        << "  \"programs_checked\": " << r.programsChecked << ",\n"
        << "  \"combos_checked\": " << r.combosChecked << ",\n"
        << "  \"chains_checked\": " << r.chainsChecked << ",\n"
