@@ -89,6 +89,31 @@ inline constexpr Tick kDefaultScrubInterval = ticks::fromMs(10);
  */
 inline constexpr Tick kDefaultScrubMaxDeferred = ticks::fromMs(1);
 
+/**
+ * Default half-life of the device-health pressure budget
+ * (ssd::HealthConfig): error signals charged during a fault burst decay
+ * to half their weight after this much simulated time, so the state
+ * machine reacts to sustained distress rather than isolated events.
+ * Long against single operations (thousands of page reads fit in one
+ * half-life), short against a soak run.
+ */
+inline constexpr Tick kDefaultHealthHalfLife = ticks::fromMs(5);
+
+/**
+ * Default minimum dwell in a degraded health state before the machine
+ * may step back toward healthy: together with the hysteresis margin it
+ * prevents oscillation when pressure sits near a threshold.
+ */
+inline constexpr Tick kDefaultHealthMinDwell = ticks::fromMs(1);
+
+/**
+ * Default base delay before a timed-out host command is re-submitted
+ * when the retry policy enables backoff (core::RetryPolicy): the delay
+ * doubles per attempt from here, with deterministic seeded jitter on
+ * top so synchronized retry storms spread out.
+ */
+inline constexpr Tick kDefaultRequeueBackoff = ticks::fromUs(200);
+
 } // namespace parabit::flash
 
 #endif // PARABIT_FLASH_TIMING_HPP_

@@ -11,7 +11,9 @@ statusName(std::uint16_t status)
       case kSuccess: return "success";
       case kInternalError: return "internal-error";
       case kCommandAborted: return "command-aborted";
+      case kWriteProtected: return "write-protected";
       case kUnrecoveredReadError: return "unrecovered-read-error";
+      case kAdmissionShed: return "admission-shed";
     }
     return "?";
 }
@@ -33,6 +35,18 @@ QueuePair::submit(NvmeCommand cmd, Tick now)
     const std::uint16_t cid = nextCid_++;
     sq_[sqTail_] = SqSlot{cmd, cid, now};
     sqTail_ = next;
+    return cid;
+}
+
+std::optional<std::uint16_t>
+QueuePair::reject(Tick now, std::uint16_t status)
+{
+    const std::uint16_t next = static_cast<std::uint16_t>((cqTail_ + 1) %
+                                                          depth_);
+    if (next == cqHead_)
+        return std::nullopt; // CQ full: caller must retry after reaping
+    const std::uint16_t cid = nextCid_++;
+    complete(cid, now, now, status);
     return cid;
 }
 

@@ -38,9 +38,18 @@ enum Status : std::uint16_t
     kInternalError = 0x0006,
     /** Generic-command-status: command aborted (host timeout/requeue). */
     kCommandAborted = 0x0007,
+    /** Generic-command-status: attempted write to a write-protected
+     *  range — the device health machine is in its read-only state and
+     *  refuses to take new data it might not be able to keep. */
+    kWriteProtected = 0x0020,
     /** Media-error status type: unrecovered read error (operand data is
      *  gone — its plane or chip died). */
     kUnrecoveredReadError = 0x0281,
+    /** Vendor-specific status type: the host-side admission controller
+     *  shed the command before it entered the submission ring (queue
+     *  backpressure or a degraded device refusing new formula work).
+     *  Distinct from kCommandAborted: a shed command never executed. */
+    kAdmissionShed = 0x0701,
 };
 
 const char *statusName(std::uint16_t status);
@@ -81,6 +90,15 @@ class QueuePair
      * command identifier is assigned and returned; nullopt if full.
      */
     std::optional<std::uint16_t> submit(NvmeCommand cmd, Tick now);
+
+    /**
+     * Refuse a command without it ever entering the submission ring:
+     * allocate a fresh cid and post an immediate zero-latency completion
+     * with @p status (admission shed, write-protected, ...).  The host
+     * still reaps a terminal completion for the command — rejection is
+     * loud, never a silent drop.  nullopt if the CQ is full.
+     */
+    std::optional<std::uint16_t> reject(Tick now, std::uint16_t status);
 
     /** Entries currently waiting in the SQ. */
     std::uint16_t sqOccupancy() const;

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
+#include "ssd/health.hpp"
 
 namespace parabit::core {
 
@@ -20,7 +21,7 @@ HostInterface::HostInterface(ParaBitDevice &dev, std::uint16_t num_queues,
         qps_.emplace_back(q, depth);
     tickets_.resize(num_queues);
     results_.resize(num_queues);
-    requeuedCids_.resize(num_queues);
+    attempts_.resize(num_queues);
 }
 
 namespace {
@@ -66,9 +67,47 @@ HostInterface::noteCmdSpan(std::uint16_t qid, const char *name, Tick start,
     sink->asyncEnd(t, "nvme", name, id, std::max(end, start));
 }
 
+Tick
+HostInterface::requeueDelay(std::uint32_t attempt)
+{
+    if (retry_.backoffBase == 0)
+        return 0;
+    // Exponential backoff with the shift clamped well below the Tick
+    // width; the jitter draw keeps a storm's retries from re-converging
+    // on one instant while staying a pure function of the seed.
+    const std::uint32_t shift = std::min(attempt - 1, 20u);
+    return (retry_.backoffBase << shift) +
+           jitterRng_.below(retry_.backoffBase);
+}
+
+bool
+HostInterface::shedIfOverloaded(std::uint16_t qid, std::size_t cmds,
+                                std::optional<std::uint16_t> &cid)
+{
+    nvme::QueuePair &qp = qps_.at(qid);
+    if (ssd::DeviceHealth *health = dev_->ssd().health()) {
+        const ssd::HealthConfig &hc = dev_->ssd().config().health;
+        if (static_cast<double>(qp.sqOccupancy() + cmds) >=
+            hc.queuePressureFraction * static_cast<double>(qp.depth()))
+            health->noteQueuePressure();
+    }
+    if (admissionLimit_ == 0 || qp.sqOccupancy() + cmds <= admissionLimit_)
+        return false;
+    cid = qp.reject(dev_->now(), nvme::kAdmissionShed);
+    if (cid) {
+        ++sheds_;
+        noteCmdSpan(qid, "shed", dev_->now(), dev_->now(),
+                    nvme::kAdmissionShed);
+    }
+    return true;
+}
+
 std::optional<std::uint16_t>
 HostInterface::submitRead(std::uint16_t qid, nvme::Lpn lpn)
 {
+    std::optional<std::uint16_t> shed;
+    if (shedIfOverloaded(qid, 1, shed))
+        return shed;
     nvme::NvmeCommand c;
     c.setOpcode(nvme::Opcode::kRead);
     c.setSlba(lpn * parser_.sectorsPerPage());
@@ -79,6 +118,9 @@ HostInterface::submitRead(std::uint16_t qid, nvme::Lpn lpn)
 std::optional<std::uint16_t>
 HostInterface::submitWrite(std::uint16_t qid, nvme::Lpn lpn)
 {
+    std::optional<std::uint16_t> shed;
+    if (shedIfOverloaded(qid, 1, shed))
+        return shed;
     nvme::NvmeCommand c;
     c.setOpcode(nvme::Opcode::kWrite);
     c.setSlba(lpn * parser_.sectorsPerPage());
@@ -89,6 +131,9 @@ HostInterface::submitWrite(std::uint16_t qid, nvme::Lpn lpn)
 std::optional<std::uint16_t>
 HostInterface::submitFlush(std::uint16_t qid)
 {
+    std::optional<std::uint16_t> shed;
+    if (shedIfOverloaded(qid, 1, shed))
+        return shed;
     nvme::NvmeCommand c;
     c.setOpcode(nvme::Opcode::kFlush);
     return qps_.at(qid).submit(c, dev_->now());
@@ -98,9 +143,13 @@ std::optional<std::uint16_t>
 HostInterface::submitFormula(std::uint16_t qid, const nvme::Formula &formula)
 {
     const auto cmds = parser_.encode(formula);
+    if (cmds.empty())
+        return std::nullopt;
+    std::optional<std::uint16_t> shed;
+    if (shedIfOverloaded(qid, cmds.size(), shed))
+        return shed;
     nvme::QueuePair &qp = qps_.at(qid);
-    if (cmds.empty() ||
-        qp.sqOccupancy() + cmds.size() >= qp.depth())
+    if (qp.sqOccupancy() + cmds.size() >= qp.depth())
         return std::nullopt; // all-or-nothing submission
     std::uint16_t last_cid = 0;
     const Tick now = dev_->now();
@@ -168,6 +217,7 @@ HostInterface::pump()
 
     std::size_t retired = 0;
     bool more = true;
+    ssd::DeviceHealth *health = dev_->ssd().health();
 
     // Drain the scheduler and complete every deferred command.  Must
     // run before anything that opens a new scheduler batch (formula
@@ -180,24 +230,27 @@ HostInterface::pump()
         for (DeferredPlain &d : deferred) {
             const Tick done =
                 dev_->ssd().groupCompletion(d.group, d.submittedNow);
-            auto &requeued = requeuedCids_.at(d.qid);
-            const auto rit =
-                std::find(requeued.begin(), requeued.end(), d.f.cid);
-            const bool second_attempt = rit != requeued.end();
-            if (second_attempt)
-                requeued.erase(rit);
-            const Tick deadline = d.f.submittedAt + commandTimeout_;
-            if (commandTimeout_ > 0 && !second_attempt && done > deadline) {
+            auto &attempts = attempts_.at(d.qid);
+            std::uint32_t attempt = 0;
+            if (const auto it = attempts.find(d.f.cid);
+                it != attempts.end()) {
+                attempt = it->second;
+                attempts.erase(it);
+            }
+            const Tick deadline = d.f.submittedAt + retry_.commandTimeout;
+            if (retry_.commandTimeout > 0 && attempt < retry_.maxRequeues &&
+                done > deadline) {
                 ++timeouts_;
                 qps_[d.qid].complete(d.f.cid, d.f.submittedAt, deadline,
                                      nvme::kCommandAborted);
                 noteCmdSpan(d.qid, cmdName(d.f.cmd.opcode()),
                             d.f.submittedAt, deadline,
                             nvme::kCommandAborted);
-                const auto cid = qps_[d.qid].submit(d.f.cmd, done);
+                const auto cid = qps_[d.qid].submit(
+                    d.f.cmd, done + requeueDelay(attempt + 1));
                 if (!cid)
                     panic("HostInterface: ring full on requeue");
-                requeued.push_back(*cid);
+                attempts.emplace(*cid, attempt + 1);
                 ++requeues_;
                 more = true;
                 ++retired;
@@ -206,6 +259,8 @@ HostInterface::pump()
             qps_[d.qid].complete(d.f.cid, d.f.submittedAt, done, d.status);
             noteCmdSpan(d.qid, cmdName(d.f.cmd.opcode()), d.f.submittedAt,
                         done, d.status);
+            if (health && d.status == nvme::kUnrecoveredReadError)
+                health->noteUncorrectable();
             ++retired;
         }
         deferred.clear();
@@ -249,30 +304,55 @@ HostInterface::pump()
                     groups[p.qid].clear();
                     const auto batches = parser_.parse(group);
                     flushDeferred();
+                    if (health && !health->admitFormula()) {
+                        // A degraded device sheds computation before it
+                        // executes — formulas are deferrable work the
+                        // host can route elsewhere; plain I/O keeps
+                        // flowing.  A failed device cannot vouch for
+                        // anything and reports an internal error.
+                        const std::uint16_t status =
+                            health->admitRead() ? nvme::kAdmissionShed
+                                                : nvme::kInternalError;
+                        if (status == nvme::kAdmissionShed)
+                            ++sheds_;
+                        const Tick at =
+                            std::max(dev_->now(), p.f.submittedAt);
+                        qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
+                                             at, status);
+                        noteCmdSpan(p.qid, "formula", p.f.submittedAt, at,
+                                    status);
+                        ++retired;
+                        continue;
+                    }
                     ExecResult r = dev_->controller().executeBatches(
-                        batches, mode_, dev_->now());
-                    const Tick deadline = p.f.submittedAt + commandTimeout_;
-                    if (commandTimeout_ > 0 && !t.requeued &&
+                        batches, mode_,
+                        std::max(dev_->now(), p.f.submittedAt));
+                    const Tick deadline =
+                        p.f.submittedAt + retry_.commandTimeout;
+                    if (retry_.commandTimeout > 0 &&
+                        t.attempts < retry_.maxRequeues &&
                         r.stats.end > deadline) {
                         // The host's watchdog fires before the device
                         // would finish: abort at the deadline and
-                        // re-issue the whole formula once.
+                        // re-issue the whole formula after the backoff,
+                        // until the retry budget runs out.
                         ++timeouts_;
                         qps_[p.qid].complete(t.finalCid, p.f.submittedAt,
                                              deadline,
                                              nvme::kCommandAborted);
                         noteCmdSpan(p.qid, "formula", p.f.submittedAt,
                                     deadline, nvme::kCommandAborted);
+                        const Tick at =
+                            r.stats.end + requeueDelay(t.attempts + 1);
                         std::uint16_t last = 0;
                         for (const auto &c : group) {
-                            const auto cid = qps_[p.qid].submit(c,
-                                                                r.stats.end);
+                            const auto cid = qps_[p.qid].submit(c, at);
                             if (!cid)
                                 panic("HostInterface: ring full on requeue");
                             last = *cid;
                         }
                         tickets_.at(p.qid).push_back(FormulaTicket{
-                            p.qid, last, group.size(), true});
+                            p.qid, last, group.size(), t.attempts + 1});
                         ++requeues_;
                         more = true;
                         ++retired;
@@ -296,7 +376,11 @@ HostInterface::pump()
 
             // Plain I/O path.  Reads gate on page accessibility — a
             // dead plane surfaces as a media error, not silent data.
+            // A backed-off requeue carries a submission time past the
+            // device clock; never execute (or complete) it earlier than
+            // it was submitted.
             const nvme::Lpn lpn = p.f.cmd.slba() / parser_.sectorsPerPage();
+            const Tick ready = std::max(dev_->now(), p.f.submittedAt);
             if (op == nvme::Opcode::kFlush) {
                 // Flush = force a checkpoint: every write completed
                 // before this command survives a subsequent power cut
@@ -307,26 +391,41 @@ HostInterface::pump()
                 if (!dev_->flush())
                     status = nvme::kInternalError;
                 DeferredPlain d{p.qid, std::move(p.f), {}, status,
-                                dev_->now()};
+                                std::max(dev_->now(), ready)};
                 deferred.push_back(std::move(d));
                 flushDeferred(); // empty group: completes at dev_->now()
                 continue;
             }
             DeferredPlain d{p.qid, std::move(p.f), {}, nvme::kSuccess,
-                            dev_->now()};
+                            ready};
             if (op == nvme::Opcode::kRead) {
-                if (!dev_->ssd().ftl().pageAccessible(lpn)) {
+                if (health && !health->admitRead()) {
+                    // Failed device: nothing it returns can be vouched
+                    // for.  The completion still posts — reject loudly.
+                    d.status = nvme::kInternalError;
+                } else if (!dev_->ssd().ftl().pageAccessible(lpn)) {
                     d.status = nvme::kUnrecoveredReadError;
                 } else {
                     std::vector<ssd::PhysOp> ops;
                     dev_->ssd().ftl().readPage(lpn, ops);
-                    d.group = dev_->ssd().submitOps(ops, dev_->now());
+                    d.group = dev_->ssd().submitOps(ops, ready);
                 }
+            } else if (health && !health->admitWrite()) {
+                // Read-only device: refuse new data it might not be
+                // able to keep, with a status the host can tell apart
+                // from an execution failure.
+                d.status = health->state() == ssd::HealthState::kFailed
+                               ? nvme::kInternalError
+                               : nvme::kWriteProtected;
+                if (d.status == nvme::kWriteProtected)
+                    ++writeRejects_;
             } else {
+                if (health)
+                    health->noteAdmittedWrite();
                 std::vector<ssd::PhysOp> ops;
                 const bool wrote =
                     dev_->ssd().ftl().writePage(lpn, nullptr, ops);
-                d.group = dev_->ssd().submitOps(ops, dev_->now());
+                d.group = dev_->ssd().submitOps(ops, ready);
                 if (!wrote)
                     d.status = nvme::kInternalError;
             }

@@ -20,8 +20,10 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "nvme/parser.hpp"
 #include "nvme/queue.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +44,38 @@ struct QueuedCompletion
     std::vector<BitVector> pages;
 
     bool ok() const { return status == 0; }
+};
+
+/**
+ * Host command-retry policy: what the host's watchdog does with a
+ * command whose device-side completion would land past its deadline.
+ *
+ * A timed-out command is completed as nvme::kCommandAborted at the
+ * deadline and re-submitted (fresh cid, fresh submission time) after an
+ * exponential backoff — attempt n waits backoffBase * 2^(n-1) plus a
+ * deterministic seeded jitter in [0, backoffBase), so retries from a
+ * storm do not re-converge on the same instant.  After maxRequeues
+ * aborted attempts the next submission runs to completion whatever its
+ * latency, so a degraded device still makes forward progress and no
+ * command ever vanishes without a terminal completion.
+ *
+ * Defaults (timeout 0 = watchdog off, one requeue, no backoff) are
+ * byte-identical to the historical one-shot-requeue behaviour;
+ * flash::kDefaultRequeueBackoff is the suggested backoffBase for
+ * experiments that enable backoff.
+ */
+struct RetryPolicy
+{
+    /** Abort-and-requeue threshold; 0 disables the watchdog. */
+    Tick commandTimeout = 0;
+    /** Aborted re-submissions allowed per command; the attempt after
+     *  the last requeue runs to completion.  0 = never requeue (the
+     *  first attempt always runs to completion). */
+    std::uint32_t maxRequeues = 1;
+    /** First-retry backoff; doubles per attempt.  0 = immediate. */
+    Tick backoffBase = 0;
+    /** Seed of the jitter stream (common/rng.hpp); deterministic. */
+    std::uint64_t jitterSeed = 0x9E3779B97F4A7C15ull;
 };
 
 /** Queue-fronted ParaBit device; see file comment. */
@@ -102,22 +136,46 @@ class HostInterface
         return static_cast<std::uint16_t>(qps_.size());
     }
 
-    /** @name Command timeout policy. */
+    /** @name Command retry policy and admission control. */
     /// @{
 
+    /** Install @p p (see RetryPolicy) and re-seed the jitter stream. */
+    void setRetryPolicy(const RetryPolicy &p)
+    {
+        retry_ = p;
+        jitterRng_ = Rng(p.jitterSeed);
+    }
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /** Sugar: enable the watchdog at threshold @p t keeping the other
+     *  RetryPolicy fields at their historical defaults. */
+    void setCommandTimeout(Tick t)
+    {
+        RetryPolicy p = retry_;
+        p.commandTimeout = t;
+        setRetryPolicy(p);
+    }
+    Tick commandTimeout() const { return retry_.commandTimeout; }
+
     /**
-     * Abort-and-requeue threshold; 0 (default) disables.  A command
-     * whose device-side completion would land later than submit +
-     * timeout is completed as nvme::kCommandAborted at the deadline and
-     * re-submitted once (fresh cid, fresh submission time).  The second
-     * attempt runs to completion whatever its latency, so a degraded
-     * device still makes forward progress.
+     * Admission controller: cap the per-queue submission backlog at
+     * @p limit entries (0, the default, disables).  A submission that
+     * would push the SQ past the cap is shed — the caller still gets a
+     * cid and reaps an immediate nvme::kAdmissionShed completion, so
+     * overload fails fast and loudly instead of growing an unbounded
+     * wait.  A shed formula consumes one completion for the whole
+     * group.
      */
-    void setCommandTimeout(Tick t) { commandTimeout_ = t; }
-    Tick commandTimeout() const { return commandTimeout_; }
+    void setAdmissionLimit(std::uint16_t limit) { admissionLimit_ = limit; }
+    std::uint16_t admissionLimit() const { return admissionLimit_; }
 
     std::uint64_t timeouts() const { return timeouts_.value(); }
     std::uint64_t requeues() const { return requeues_.value(); }
+    /** Commands refused by the admission controller or a degraded
+     *  device's formula gate (nvme::kAdmissionShed completions). */
+    std::uint64_t sheds() const { return sheds_.value(); }
+    /** Writes refused by a read-only device (nvme::kWriteProtected). */
+    std::uint64_t writeRejects() const { return writeRejects_.value(); }
     /// @}
 
   private:
@@ -127,12 +185,29 @@ class HostInterface
     void noteCmdSpan(std::uint16_t qid, const char *name, Tick start,
                      Tick end, std::uint16_t status);
 
+    /** Backoff before re-submission number @p attempt (1-based):
+     *  backoffBase * 2^(attempt-1) plus seeded jitter; 0 when the
+     *  policy has no backoff. */
+    Tick requeueDelay(std::uint32_t attempt);
+
+    /**
+     * Admission-control gate shared by the submit paths: feeds queue
+     * pressure into the health machine and, over the configured limit,
+     * sheds the submission (@p cmds ring entries) with an immediate
+     * nvme::kAdmissionShed completion.  @return true when the caller
+     * must not submit; @p cid then holds the shed completion's cid to
+     * be reaped (nullopt only if the CQ itself was full — the caller
+     * reports ring-full, never losing a command silently).
+     */
+    bool shedIfOverloaded(std::uint16_t qid, std::size_t cmds,
+                          std::optional<std::uint16_t> &cid);
+
     struct FormulaTicket
     {
         std::uint16_t qid;
         std::uint16_t finalCid;
         std::size_t cmdCount;
-        bool requeued = false; ///< second attempt; no further requeue
+        std::uint32_t attempts = 0; ///< aborted re-submissions so far
     };
 
     ParaBitDevice *dev_;
@@ -143,11 +218,16 @@ class HostInterface
     std::vector<std::deque<FormulaTicket>> tickets_;
     /** Result pages held until the host reaps, keyed per queue FIFO. */
     std::vector<std::deque<QueuedCompletion>> results_;
-    Tick commandTimeout_ = 0;
+    RetryPolicy retry_;
+    Rng jitterRng_{RetryPolicy{}.jitterSeed};
+    std::uint16_t admissionLimit_ = 0;
     obs::Counter timeouts_{"host.timeouts"};
     obs::Counter requeues_{"host.requeues"};
-    /** cids of re-submitted plain commands (per queue): run-to-completion. */
-    std::vector<std::vector<std::uint16_t>> requeuedCids_;
+    obs::Counter sheds_{"host.sheds"};
+    obs::Counter writeRejects_{"host.write_rejects"};
+    /** Re-submitted plain commands (per queue): cid -> aborted attempts
+     *  consumed; a cid absent from the map is on its first attempt. */
+    std::vector<std::unordered_map<std::uint16_t, std::uint32_t>> attempts_;
     std::uint64_t nextCmdSpanId_ = 0; ///< async trace span ids
 };
 

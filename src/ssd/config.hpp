@@ -115,6 +115,69 @@ struct RainConfig
 };
 
 /**
+ * Device health state machine: overload and degradation control plane.
+ *
+ * When enabled the device runs a DeviceHealth instance (ssd/health.hpp)
+ * that folds existing distress signals — uncorrectable pages, RAIN
+ * rebuilds, retired blocks, scrub refreshes, sustained queue depth —
+ * into one exponentially-decaying pressure budget and walks a
+ * healthy -> degraded -> read-only -> failed state machine over it.
+ * Escalation happens the moment pressure crosses the next state's
+ * threshold; de-escalation additionally requires a minimum dwell in the
+ * state and pressure below threshold * (1 - hysteresis), so the machine
+ * cannot oscillate at a boundary.  kFailed is terminal.  Per-state
+ * policy: degraded throttles background scrub batches and RAIN parity
+ * destage and sheds ParaBit formula admission; read-only additionally
+ * rejects host writes with nvme::kWriteProtected; failed rejects
+ * everything with nvme::kInternalError.  Disabled (the default) the
+ * subsystem does not exist and the device is byte-identical to a build
+ * without it.
+ */
+struct HealthConfig
+{
+    bool enabled = false;
+
+    /** Pressure at which healthy escalates to degraded. */
+    double degradedThreshold = 8.0;
+
+    /** Pressure at which degraded escalates to read-only. */
+    double readOnlyThreshold = 24.0;
+
+    /** Pressure at which read-only escalates to failed (terminal). */
+    double failedThreshold = 96.0;
+
+    /**
+     * De-escalation margin in (0, 1): a state steps back toward healthy
+     * only once pressure has fallen below its own entry threshold times
+     * (1 - hysteresis).
+     */
+    double hysteresis = 0.25;
+
+    /** Exponential half-life of the pressure budget. */
+    Tick pressureHalfLife = flash::kDefaultHealthHalfLife;
+
+    /** Minimum simulated time in a state before de-escalation. */
+    Tick minDwell = flash::kDefaultHealthMinDwell;
+
+    /** @name Signal weights (pressure charged per event). */
+    /// @{
+    double weightUncorrectable = 4.0; ///< per uncorrectable page
+    double weightRebuild = 1.0;       ///< per RAIN page rebuild
+    double weightRetiredBlock = 2.0;  ///< per bad-block retirement
+    double weightRefresh = 0.25;      ///< per scrub refresh relocation
+    double weightQueuePressure = 0.5; ///< per near-full SQ submission
+    /// @}
+
+    /** SQ occupancy fraction above which a submission charges
+     *  weightQueuePressure (sustained-queue-depth signal). */
+    double queuePressureFraction = 0.75;
+
+    /** Degraded-state throttle: background scrub batches shrink to
+     *  scrubWordlinesPerPass / this (min 1); must be >= 1. */
+    std::uint32_t degradedScrubDivisor = 4;
+};
+
+/**
  * Whole-device invariant audits (common/invariant.hpp).
  *
  * Every subsystem registers a named audit suite with the device's
@@ -199,6 +262,9 @@ struct SsdConfig
     /** Die-level RAIN parity (off by default). */
     RainConfig rain;
 
+    /** Device health state machine (off by default). */
+    HealthConfig health;
+
     /** Whole-device invariant audit cadence (defaults follow the
      *  PARABIT_INVARIANTS build option). */
     InvariantConfig invariants;
@@ -242,6 +308,40 @@ validateMediaConfig(const SsdConfig &cfg)
         cfg.media.scrubWordlinesPerPass == 0)
         return "media.scrubWordlinesPerPass must be nonzero when patrol "
                "scrubbing is enabled";
+    return nullptr;
+}
+
+/**
+ * Validate the device-health corner of @p cfg.  Returns nullptr when
+ * consistent, else a static description of the violation.  SsdDevice's
+ * constructor treats a violation as fatal; the config tests call this
+ * directly.
+ */
+inline const char *
+validateHealthConfig(const SsdConfig &cfg)
+{
+    const HealthConfig &h = cfg.health;
+    if (!h.enabled)
+        return nullptr; // knobs of a disabled subsystem are inert
+    if (!(h.degradedThreshold > 0.0 &&
+          h.degradedThreshold < h.readOnlyThreshold &&
+          h.readOnlyThreshold < h.failedThreshold))
+        return "health thresholds must be strictly ordered: 0 < "
+               "degradedThreshold < readOnlyThreshold < failedThreshold "
+               "(each state escalates at its own pressure level)";
+    if (!(h.hysteresis > 0.0 && h.hysteresis < 1.0))
+        return "health.hysteresis must be in (0, 1): without a nonzero "
+               "de-escalation margin the state machine oscillates at a "
+               "threshold boundary";
+    if (h.pressureHalfLife == 0)
+        return "health.pressureHalfLife must be nonzero: an instant-decay "
+               "budget can never accumulate sustained distress";
+    if (h.minDwell == 0)
+        return "health.minDwell must be nonzero: zero dwell defeats the "
+               "hysteresis guard on de-escalation";
+    if (h.degradedScrubDivisor == 0)
+        return "health.degradedScrubDivisor must be >= 1 (it divides the "
+               "scrub batch size)";
     return nullptr;
 }
 

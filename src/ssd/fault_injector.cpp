@@ -20,6 +20,26 @@ faultClassName(FaultClass c)
     return "?";
 }
 
+bool
+faultClassTransient(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::kElevatedRber:
+      case FaultClass::kStuckBitline:
+      case FaultClass::kProgramFailure:
+      case FaultClass::kEraseFailure:
+      case FaultClass::kReadDisturbHot:
+      case FaultClass::kRetentionLoss:
+          return true;
+      case FaultClass::kDeadPlane:
+      case FaultClass::kDeadChip:
+      case FaultClass::kDieFail:
+      case FaultClass::kPowerLoss:
+          return false;
+    }
+    return false;
+}
+
 FaultInjector::FaultInjector(const flash::FlashGeometry &geom,
                              std::uint64_t seed)
     : geom_(geom), seed_(seed), rng_(seed)
@@ -69,6 +89,78 @@ FaultInjector::randomSchedule(const flash::FlashGeometry &geom,
         out.push_back(s);
     }
     return out;
+}
+
+std::vector<FaultSpec>
+FaultInjector::stormSchedule(const flash::FlashGeometry &geom,
+                             std::uint64_t seed, const StormConfig &cfg)
+{
+    // The transient classes a storm may draw (see faultClassTransient);
+    // permanent damage never comes from a storm, so lifting it with
+    // clearTransient() restores the device's full capability.
+    static constexpr FaultClass kStormClasses[] = {
+        FaultClass::kElevatedRber,   FaultClass::kStuckBitline,
+        FaultClass::kProgramFailure, FaultClass::kEraseFailure,
+        FaultClass::kReadDisturbHot, FaultClass::kRetentionLoss,
+    };
+    constexpr std::size_t kStormClassCount =
+        sizeof(kStormClasses) / sizeof(kStormClasses[0]);
+
+    Rng rng(seed);
+    const std::uint32_t chips = geom.channels * geom.chipsPerChannel;
+    const std::uint32_t planes_per_chip =
+        geom.diesPerChip * geom.planesPerDie;
+    std::vector<FaultSpec> out;
+    out.reserve(static_cast<std::size_t>(cfg.bursts) * cfg.faultsPerBurst);
+    for (std::uint32_t b = 0; b < cfg.bursts; ++b) {
+        // Each burst concentrates on one focus chip — correlated damage.
+        const std::uint32_t focus =
+            static_cast<std::uint32_t>(rng.below(chips));
+        for (std::uint32_t i = 0; i < cfg.faultsPerBurst; ++i) {
+            FaultSpec s;
+            s.cls = kStormClasses[rng.below(kStormClassCount)];
+            if (rng.chance(cfg.localityBias))
+                s.plane = static_cast<PlaneIndex>(
+                    static_cast<std::uint64_t>(focus) * planes_per_chip +
+                    rng.below(planes_per_chip));
+            else
+                s.plane =
+                    static_cast<PlaneIndex>(rng.below(geom.planesTotal()));
+            if (rng.chance(0.5))
+                s.block = static_cast<std::uint32_t>(
+                    rng.below(geom.blocksPerPlane));
+            s.rberMultiplier = 10.0 * static_cast<double>(1 + rng.below(100));
+            s.stuckCount = static_cast<std::uint32_t>(1 + rng.below(8));
+            s.stuckValue = rng.chance(0.5);
+            s.failPeriod = static_cast<std::uint32_t>(1 + rng.below(4));
+            s.onset = static_cast<std::uint32_t>(rng.below(8));
+            out.push_back(s);
+        }
+    }
+    return out;
+}
+
+std::size_t
+FaultInjector::clearTransient()
+{
+    // active_ and specs_ are parallel (pushed together in addFault);
+    // erase in lockstep so the pairing survives.
+    std::size_t removed = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < active_.size(); ++r) {
+        if (faultClassTransient(active_[r].spec.cls)) {
+            ++removed;
+            continue;
+        }
+        if (w != r) {
+            active_[w] = std::move(active_[r]);
+            specs_[w] = specs_[r];
+        }
+        ++w;
+    }
+    active_.resize(w);
+    specs_.resize(w);
+    return removed;
 }
 
 PlaneIndex

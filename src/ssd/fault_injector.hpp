@@ -79,6 +79,15 @@ enum class FaultClass : std::uint8_t
 
 const char *faultClassName(FaultClass c);
 
+/**
+ * Whether a fault class models a *transient* condition — one a real
+ * device shakes off once the environmental stress ends (storm over,
+ * marginal power rail restored, thermal excursion passed).  Permanent
+ * classes (dead plane/chip/die, armed power loss) survive
+ * FaultInjector::clearTransient().
+ */
+bool faultClassTransient(FaultClass c);
+
 /** How a power-loss fault strikes one PhysOp boundary. */
 enum class PowerCut : std::uint8_t
 {
@@ -119,6 +128,25 @@ struct FaultSpec
     bool operator==(const FaultSpec &) const = default;
 };
 
+/**
+ * Shape of a correlated fault storm (FaultInjector::stormSchedule): a
+ * burst of faults concentrates on one "focus" chip — correlated damage,
+ * the way a marginal power rail or a thermal excursion hits co-located
+ * dies — with a seeded fraction leaking to random planes elsewhere.
+ * Only transient classes are drawn, so clearTransient() models the
+ * storm passing.
+ */
+struct StormConfig
+{
+    /** Number of bursts; each burst draws a fresh focus chip. */
+    std::uint32_t bursts = 4;
+    /** Faults per burst. */
+    std::uint32_t faultsPerBurst = 6;
+    /** Probability that a burst fault lands on the focus chip (the rest
+     *  scatter over the whole device). */
+    double localityBias = 0.75;
+};
+
 /** Deterministic fault injector; see file comment. */
 class FaultInjector
 {
@@ -143,7 +171,27 @@ class FaultInjector
     randomSchedule(const flash::FlashGeometry &geom, std::uint64_t seed,
                    std::size_t count);
 
+    /**
+     * A reproducible *correlated* schedule — bursty faults clustered on
+     * per-burst focus chips (see StormConfig) — that is a pure function
+     * of @p seed.  Draws only transient classes, so the storm can be
+     * lifted again with clearTransient().  Feed to addFault() to apply.
+     */
+    static std::vector<FaultSpec>
+    stormSchedule(const flash::FlashGeometry &geom, std::uint64_t seed,
+                  const StormConfig &cfg);
+
     const std::vector<FaultSpec> &faults() const { return specs_; }
+
+    /**
+     * Drop every registered transient fault (faultClassTransient) —
+     * the storm has passed.  Permanent damage (dead plane/chip/die)
+     * and armed power-loss faults stay.  The schedule fingerprint
+     * changes accordingly.  @return the number of faults removed.
+     * Callers that mirror plane state (SsdDevice) must re-derive it;
+     * use SsdDevice::clearTransientFaults() from device code.
+     */
+    std::size_t clearTransient();
 
     /** @name Queries (wired into the chip/plane hooks). */
     /// @{

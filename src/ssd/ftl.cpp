@@ -5,16 +5,12 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "ssd/health.hpp"
 #include "ssd/rain.hpp"
 
 namespace parabit::ssd {
 
 namespace {
-
-/** Re-placements attempted after an injected program failure before the
- *  write is reported as failed (each failure also retires a block, so
- *  repeated failures walk across fresh blocks, not the same one). */
-constexpr int kMaxProgramRetries = 4;
 
 } // namespace
 
@@ -104,6 +100,8 @@ Ftl::programPhys(const flash::PhysPageAddr &a, const BitVector *data,
         const PlaneIndex p = planeIndex(
             cfg_.geometry, PlaneCoord{a.channel, a.chip, a.die, a.plane});
         alloc_.retireBlock(p, a.block);
+        if (health_)
+            health_->noteRetiredBlock();
         journalAppend(JournalRecord{JournalRecord::Kind::kRetire, 0, 0,
                                     linearBlockId(p, a.block)},
                       ops);
@@ -306,6 +304,8 @@ Ftl::collectGarbage(PlaneIndex plane, std::vector<PhysOp> &ops)
     } else {
         ++eraseFailures_;
         alloc_.retireBlock(plane, static_cast<std::uint32_t>(victim));
+        if (health_)
+            health_->noteRetiredBlock();
         journalAppend(
             JournalRecord{JournalRecord::Kind::kRetire, 0, 0,
                           linearBlockId(plane,
@@ -455,6 +455,8 @@ Ftl::maybeWearLevel(PlaneIndex plane, std::vector<PhysOp> &ops)
     } else {
         ++eraseFailures_;
         alloc_.retireBlock(plane, static_cast<std::uint32_t>(coldest));
+        if (health_)
+            health_->noteRetiredBlock();
         journalAppend(
             JournalRecord{JournalRecord::Kind::kRetire, 0, 0,
                           linearBlockId(plane,

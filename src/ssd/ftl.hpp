@@ -46,6 +46,7 @@
 namespace parabit::ssd {
 
 class RainController;
+class DeviceHealth;
 
 /** One physical flash operation, for the timing layer. */
 struct PhysOp
@@ -67,6 +68,11 @@ struct PhysOp
 class Ftl
 {
   public:
+    /** Re-placements attempted after a program failure before the write
+     *  is reported as failed (each failure also retires a block, so
+     *  repeated failures walk across fresh blocks, not the same one). */
+    static constexpr int kMaxProgramRetries = 4;
+
     /**
      * @param cfg device configuration
      * @param chips chip array, indexed channel * chipsPerChannel + chip
@@ -146,6 +152,10 @@ class Ftl
      * refresh relocation and ParaBit reallocation.
      */
     void setRain(RainController *rain) { rain_ = rain; }
+
+    /** Attach the device health machine: every bad-block retirement
+     *  then charges its error budget (ssd/health.hpp). */
+    void setHealth(DeviceHealth *health) { health_ = health; }
 
     /** LPN mapped to physical page @p a, or kNoLpn. */
     Lpn lpnAt(const flash::PhysPageAddr &a) const;
@@ -385,6 +395,7 @@ class Ftl
     obs::Counter refreshWrites_{"ftl.pages.refresh_written"};
     /// @}
     RainController *rain_ = nullptr;
+    DeviceHealth *health_ = nullptr;
     std::uint32_t gcThresholdBlocks_;
     bool inGc_ = false;
 

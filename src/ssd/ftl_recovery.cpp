@@ -64,7 +64,8 @@ Ftl::restorePlpEntries(RecoveryReport &rep, std::vector<PhysOp> &ops)
         if (map_.count(e.lpn) > 0)
             continue; // the flash copy survived: the dump is redundant
         bool placed = false;
-        for (int attempt = 0; attempt < 4 && !placed; ++attempt) {
+        for (int attempt = 0; attempt < kMaxProgramRetries && !placed;
+             ++attempt) {
             const auto a = allocateOrGc(pickAlivePlane(), false, ops);
             if (!a)
                 break;

@@ -1,5 +1,9 @@
 #include "ssd/media.hpp"
 
+#include <algorithm>
+
+#include "ssd/health.hpp"
+
 namespace parabit::ssd {
 
 MediaScrubber::MediaScrubber(const SsdConfig &cfg, Ftl &ftl,
@@ -17,7 +21,13 @@ MediaScrubber::pump(Tick now, std::vector<PhysOp> &ops)
         return s;
     s.ran = true;
     ++passes_;
-    for (std::uint32_t n = 0; n < cfg_.media.scrubWordlinesPerPass; ++n) {
+    // Degraded throttle: a distressed device shrinks its patrol batch
+    // so foreground I/O is not competing with a full-rate scrub.
+    std::uint32_t batch = cfg_.media.scrubWordlinesPerPass;
+    if (health_ && health_->backgroundThrottled())
+        batch = std::max<std::uint32_t>(
+            1, batch / cfg_.health.degradedScrubDivisor);
+    for (std::uint32_t n = 0; n < batch; ++n) {
         scanOne(s, ops);
         advanceCursor();
         if (ftl_->powerLost())
@@ -90,6 +100,8 @@ MediaScrubber::scanOne(ScrubPassStats &s, std::vector<PhysOp> &ops)
     if (ftl_->refreshWordline(a, ops)) {
         ++s.refreshes;
         ++refreshes_;
+        if (health_)
+            health_->noteRefresh();
     } else {
         ++s.refreshFailures;
         ++refreshFails_;
@@ -114,14 +126,20 @@ MediaScrubber::repairWordline(flash::PhysPageAddr a, ScrubPassStats &s,
             // fail loudly rather than silently serving garbage.
             ++s.uncorrectable;
             ++uncorrectable_;
+            if (health_)
+                health_->noteUncorrectable();
             continue;
         }
         if (ftl_->relocatePage(lpn, data ? &*data : nullptr, ops)) {
             ++s.repairs;
             ++repairs_;
+            if (health_)
+                health_->noteRebuild();
         } else {
             ++s.uncorrectable;
             ++uncorrectable_;
+            if (health_)
+                health_->noteUncorrectable();
         }
     }
 }

@@ -41,6 +41,8 @@
 
 namespace parabit::ssd {
 
+class DeviceHealth;
+
 /** What one pump() call did (feeds the device's scrub trace span). */
 struct ScrubPassStats
 {
@@ -71,6 +73,15 @@ class MediaScrubber
 
     /** Earliest simulated time the next pass may run. */
     Tick nextPassAt() const { return nextPassAt_; }
+
+    /**
+     * Attach the device health machine (ssd/health.hpp): refreshes,
+     * repairs and uncorrectable pages charge its error budget, and in
+     * degraded states the patrol batch shrinks to scrubWordlinesPerPass
+     * / HealthConfig::degradedScrubDivisor so background traffic yields
+     * to distressed foreground I/O.
+     */
+    void setHealth(DeviceHealth *health) { health_ = health; }
 
     /**
      * Audit media.cursor.range: the persistent patrol cursor points at
@@ -118,6 +129,7 @@ class MediaScrubber
     Ftl *ftl_;
     std::vector<flash::Chip> *chips_;
     RainController *rain_;
+    DeviceHealth *health_ = nullptr;
 
     /** Persistent patrol cursor (flat plane, block, wordline). */
     PlaneIndex plane_ = 0;

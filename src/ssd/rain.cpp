@@ -1,5 +1,7 @@
 #include "ssd/rain.hpp"
 
+#include "ssd/health.hpp"
+
 namespace parabit::ssd {
 
 RainController::RainController(const SsdConfig &cfg,
@@ -69,10 +71,12 @@ RainController::onProgram(const flash::PhysPageAddr &a,
             xorInto(stripeKey(a), *d);
     }
     ++updates_;
-    if (chargeParity_) {
+    if (chargeParity_ && !(health_ && health_->backgroundThrottled())) {
         // One stripe-buffer destage program rides along with the data
         // program; it is booked as background traffic on the rotating
-        // parity die and has no functional side effect.
+        // parity die and has no functional side effect.  A degraded
+        // device defers destage (the buffer is battery-backed) to keep
+        // the channels free for foreground I/O.
         ops.push_back(PhysOp{PhysOp::Kind::kPageProgram, parityAddr(a),
                              true});
         ++destages_;

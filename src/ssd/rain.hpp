@@ -47,11 +47,22 @@
 
 namespace parabit::ssd {
 
+class DeviceHealth;
+
 /** Die-level parity controller; see file comment. */
 class RainController
 {
   public:
     RainController(const SsdConfig &cfg, std::vector<flash::Chip> &chips);
+
+    /**
+     * Attach the device health machine (ssd/health.hpp): in degraded
+     * states parity-destage programs stop being booked on the timing
+     * model (the stripe buffer is battery-backed, so deferring destage
+     * bandwidth is safe), freeing the channels for distressed
+     * foreground I/O.  Parity itself stays exactly consistent.
+     */
+    void setHealth(const DeviceHealth *health) { health_ = health; }
 
     /** Fold the just-programmed page at @p a into its stripe's parity;
      *  books the parity-destage program on @p ops when configured. */
@@ -130,6 +141,7 @@ class RainController
     bool storeData_;
     bool chargeParity_;
     std::vector<flash::Chip> *chips_;
+    const DeviceHealth *health_ = nullptr;
     /** Stripe key -> parity page (store-data mode only). */
     std::unordered_map<std::uint64_t, BitVector> parity_;
 

@@ -28,12 +28,22 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
         sched_.setTraceSink(sink);
     if (const char *err = validateMediaConfig(cfg_))
         fatal(std::string("SsdDevice: ") + err);
+    if (const char *err = validateHealthConfig(cfg_))
+        fatal(std::string("SsdDevice: ") + err);
     if (cfg_.rain.enabled)
         rain_ = std::make_unique<RainController>(cfg_, chips_);
     ftl_.setRain(rain_.get());
     if (cfg_.media.enabled)
         media_ = std::make_unique<MediaScrubber>(cfg_, ftl_, chips_,
                                                  rain_.get());
+    if (cfg_.health.enabled) {
+        health_ = std::make_unique<DeviceHealth>(cfg_.health);
+        ftl_.setHealth(health_.get());
+        if (rain_)
+            rain_->setHealth(health_.get());
+        if (media_)
+            media_->setHealth(health_.get());
+    }
     registerInvariantSuites();
 }
 
@@ -49,6 +59,10 @@ SsdDevice::registerInvariantSuites()
             "rain", [this](InvariantReport &r) { rain_->auditParity(r); });
     invariants_.registerSuite(
         "media", [this](InvariantReport &r) { auditMedia(r); });
+    if (health_)
+        invariants_.registerSuite("health", [this](InvariantReport &r) {
+            health_->auditInvariants(r);
+        });
 }
 
 void
@@ -153,6 +167,13 @@ Tick
 SsdDevice::drainTransactions()
 {
     const Tick done = sched_.drain();
+    if (health_) {
+        // The drain is the single choke point every timed batch passes
+        // through: sync the power state and move the health clock here
+        // so pressure decays with simulated time, not call counts.
+        health_->setPowerLost(ftl_.powerLost());
+        health_->pump(done);
+    }
     maybeAudit();
     return done;
 }
@@ -208,6 +229,8 @@ SsdDevice::repairPage(Lpn lpn, Tick at)
     std::vector<PhysOp> ops;
     if (!ftl_.relocatePage(lpn, data ? &*data : nullptr, ops))
         return false;
+    if (health_ && data)
+        health_->noteRebuild();
     const Tick done = scheduleOps(ops, at);
     if (obs::TraceSink *sink = obs::TraceSink::global()) {
         const Tick s0 = std::max(at, mediaSpanEnd_);
@@ -318,6 +341,24 @@ SsdDevice::injectFault(const FaultSpec &spec)
         pl.setDead(inj.planeDead(p));
         pl.setStuckBitlines(inj.stuckBitlines(p));
     }
+}
+
+std::size_t
+SsdDevice::clearTransientFaults()
+{
+    if (!injector_)
+        return 0;
+    const std::size_t removed = injector_->clearTransient();
+    // Re-derive the plane-level state from the thinned schedule, the
+    // same way injectFault() applies it: stuck-bitline sets shrink and
+    // permanent dead flags re-assert.
+    for (PlaneIndex p = 0; p < cfg_.geometry.planesTotal(); ++p) {
+        const PlaneCoord c = planeCoord(cfg_.geometry, p);
+        flash::Plane &pl = chipAt(c.channel, c.chip).plane(c.die, c.plane);
+        pl.setDead(injector_->planeDead(p));
+        pl.setStuckBitlines(injector_->stuckBitlines(p));
+    }
+    return removed;
 }
 
 sched::DeviceTransaction

@@ -35,6 +35,7 @@
 #include "ssd/endurance.hpp"
 #include "ssd/fault_injector.hpp"
 #include "ssd/ftl.hpp"
+#include "ssd/health.hpp"
 #include "ssd/media.hpp"
 #include "ssd/rain.hpp"
 #include "ssd/sched/scheduler.hpp"
@@ -133,9 +134,11 @@ class SsdDevice
      * construction: "ftl" (map bijection, OOB agreement, valid-count
      * accounting, LSB/MSB pairing), "sched" (queue drain/accounting,
      * work conservation, booking exclusivity), "rain" (stripe parity,
-     * only when RAIN is enabled) and "media" (clock/wear monotonicity
-     * and the patrol-cursor range).  Tools (parabit-model) and tests
-     * may run suites individually or register extra ones.
+     * only when RAIN is enabled), "media" (clock/wear monotonicity
+     * and the patrol-cursor range) and "health" (budget/transition
+     * consistency, only when the health machine is enabled).  Tools
+     * (parabit-model) and tests may run suites individually or
+     * register extra ones.
      */
     InvariantRegistry &invariantRegistry() { return invariants_; }
 
@@ -190,6 +193,15 @@ class SsdDevice
      *  side effects (dead flags, stuck bitlines) to the chip array. */
     void injectFault(const FaultSpec &spec);
 
+    /**
+     * Drop every transient fault from the injector (storm over) and
+     * re-derive the chip array's plane-level state, reviving stuck
+     * bitlines and elevated-RBER regions.  Permanent damage (dead
+     * planes/chips/dies, retired blocks) stays.  No-op without an
+     * injector.  @return faults removed.
+     */
+    std::size_t clearTransientFaults();
+
     /** Whether @p a's plane still accepts operations. */
     bool
     planeAlive(const flash::PhysPageAddr &a)
@@ -206,6 +218,9 @@ class SsdDevice
 
     /** The patrol scrubber, or null (cfg.media.enabled false). */
     MediaScrubber *media() { return media_.get(); }
+
+    /** The health state machine, or null (cfg.health.enabled false). */
+    DeviceHealth *health() { return health_.get(); }
 
     /**
      * Give the patrol scrubber a chance to run at simulated time @p now
@@ -257,6 +272,7 @@ class SsdDevice
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<RainController> rain_;
     std::unique_ptr<MediaScrubber> media_;
+    std::unique_ptr<DeviceHealth> health_;
 
     /** End tick of the last span emitted on the device/media trace
      *  track.  Spans there must not overlap (parabit-trace checks

@@ -312,6 +312,111 @@ TEST(HostInterface, FormulaTimeoutRequeuesWholeGroup)
     EXPECT_EQ(host.requeues(), 1u);
 }
 
+TEST(HostInterface, RetryBudgetAllowsTwoAbortsThenTerminalCompletion)
+{
+    ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const auto d = pages(dev.ssd().config(), 1, 41);
+    dev.writeData(0, d);
+
+    HostInterface host(dev, 1, 8);
+    RetryPolicy p;
+    p.commandTimeout = 1; // 1 ps: every timed attempt misses
+    p.maxRequeues = 2;
+    host.setRetryPolicy(p);
+    ASSERT_TRUE(host.submitRead(0, 0));
+    EXPECT_EQ(host.pump(), 3u) << "two aborts plus the terminal attempt";
+
+    const auto c1 = host.reap(0);
+    ASSERT_TRUE(c1);
+    EXPECT_EQ(c1->status, nvme::kCommandAborted);
+    const auto c2 = host.reap(0);
+    ASSERT_TRUE(c2);
+    EXPECT_EQ(c2->status, nvme::kCommandAborted);
+    const auto c3 = host.reap(0);
+    ASSERT_TRUE(c3);
+    EXPECT_TRUE(c3->ok()) << "the attempt after the last requeue runs "
+                             "to completion";
+    EXPECT_FALSE(host.reap(0).has_value()) << "no ghost completions";
+    EXPECT_EQ(host.timeouts(), 2u);
+    EXPECT_EQ(host.requeues(), 2u);
+}
+
+TEST(HostInterface, ZeroRequeueBudgetRunsFirstAttemptToCompletion)
+{
+    ParaBitDevice dev(ssd::SsdConfig::tiny());
+    const auto d = pages(dev.ssd().config(), 1, 42);
+    dev.writeData(0, d);
+
+    HostInterface host(dev, 1, 8);
+    RetryPolicy p;
+    p.commandTimeout = 1;
+    p.maxRequeues = 0; // watchdog armed but never allowed to requeue
+    host.setRetryPolicy(p);
+    ASSERT_TRUE(host.submitRead(0, 0));
+    EXPECT_EQ(host.pump(), 1u);
+    const auto c = host.reap(0);
+    ASSERT_TRUE(c);
+    EXPECT_TRUE(c->ok());
+    EXPECT_EQ(host.timeouts(), 0u);
+    EXPECT_EQ(host.requeues(), 0u);
+}
+
+TEST(HostInterface, BackoffRequeueIsDeterministicAndNeverUnderflows)
+{
+    const auto run = [] {
+        ParaBitDevice dev(ssd::SsdConfig::tiny());
+        dev.writeMeta(0, 2);
+        HostInterface host(dev, 1, 8);
+        RetryPolicy p;
+        p.commandTimeout = 1;
+        p.maxRequeues = 2;
+        p.backoffBase = flash::kDefaultRequeueBackoff;
+        p.jitterSeed = 0xC0FFEE;
+        host.setRetryPolicy(p);
+        EXPECT_TRUE(host.submitRead(0, 0));
+        EXPECT_TRUE(host.submitRead(0, 1));
+        host.pump();
+        std::vector<Tick> latencies;
+        while (const auto c = host.reap(0)) {
+            // A backed-off resubmission carries a future submission
+            // time; its completion must never precede it.
+            EXPECT_LE(c->latency, ticks::fromMs(100));
+            latencies.push_back(c->latency);
+        }
+        EXPECT_EQ(latencies.size(), 6u) << "2 aborts + terminal, each";
+        return latencies;
+    };
+    EXPECT_EQ(run(), run()) << "seeded jitter must replay identically";
+}
+
+TEST(HostInterface, AbortWhileArrayPhaseBookedKeepsSchedInvariants)
+{
+    // The watchdog aborts commands whose array-phase transactions are
+    // already booked on the scheduler; the booking record must stay
+    // consistent (the abort is host-side bookkeeping, not a revocation
+    // of device work).
+    ssd::SsdConfig cfg = ssd::SsdConfig::tiny();
+    cfg.sched.traceEnabled = true;
+    ParaBitDevice dev(cfg);
+    const auto d = pages(dev.ssd().config(), 4, 43);
+    dev.writeData(0, d);
+
+    HostInterface host(dev, 1, 16);
+    host.setCommandTimeout(1);
+    for (nvme::Lpn l = 0; l < 4; ++l)
+        ASSERT_TRUE(host.submitRead(0, l));
+    ASSERT_TRUE(host.submitWrite(0, 1));
+    host.pump();
+    std::size_t reaped = 0;
+    for (; host.reap(0); ++reaped)
+        ;
+    EXPECT_EQ(reaped, 10u) << "5 aborts + 5 completed requeued attempts";
+
+    InvariantReport r;
+    ASSERT_TRUE(dev.ssd().invariantRegistry().runSuite("sched", r));
+    EXPECT_TRUE(r.ok()) << r.describe();
+}
+
 TEST(HostInterface, QueueDepthAddsLatency)
 {
     // Two reads targeting the same page serialise on the same plane;

@@ -264,6 +264,106 @@ TEST(FaultInjector, ClearPowerLossRearmsNothing)
     EXPECT_TRUE(inj.powerLost());
 }
 
+TEST(FaultInjector, StormScheduleIsReproducibleAndTransientOnly)
+{
+    const auto g = tinyGeom();
+    StormConfig sc;
+    sc.bursts = 3;
+    sc.faultsPerBurst = 5;
+    const auto s1 = FaultInjector::stormSchedule(g, 77, sc);
+    const auto s2 = FaultInjector::stormSchedule(g, 77, sc);
+    const auto s3 = FaultInjector::stormSchedule(g, 78, sc);
+    ASSERT_EQ(s1.size(), 15u);
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, s3);
+    for (const auto &f : s1) {
+        EXPECT_TRUE(faultClassTransient(f.cls))
+            << "storms draw only transient classes ("
+            << faultClassName(f.cls) << ")";
+        EXPECT_LT(f.plane, g.planesTotal());
+    }
+}
+
+TEST(FaultInjector, StormBurstsClusterOnFocusChips)
+{
+    // With full locality bias every burst lands entirely on one chip.
+    const auto g = tinyGeom();
+    StormConfig sc;
+    sc.bursts = 2;
+    sc.faultsPerBurst = 8;
+    sc.localityBias = 1.0;
+    const auto sched = FaultInjector::stormSchedule(g, 5, sc);
+    const std::uint32_t per_chip = g.diesPerChip * g.planesPerDie;
+    for (std::uint32_t b = 0; b < sc.bursts; ++b) {
+        const std::uint32_t chip0 = sched[b * sc.faultsPerBurst].plane /
+                                    per_chip;
+        for (std::uint32_t i = 1; i < sc.faultsPerBurst; ++i)
+            EXPECT_EQ(sched[b * sc.faultsPerBurst + i].plane / per_chip,
+                      chip0)
+                << "burst " << b << " fault " << i << " left its focus";
+    }
+}
+
+TEST(FaultInjector, ClearTransientKeepsPermanentDamage)
+{
+    const auto g = tinyGeom();
+    FaultInjector inj(g, 9);
+    FaultSpec dead;
+    dead.cls = FaultClass::kDeadPlane;
+    dead.plane = 3;
+    inj.addFault(dead);
+    for (const auto &f : FaultInjector::stormSchedule(g, 9, StormConfig{}))
+        inj.addFault(f);
+    const std::size_t total = inj.faults().size();
+    ASSERT_GT(total, 1u);
+
+    const std::size_t removed = inj.clearTransient();
+    EXPECT_EQ(removed, total - 1);
+    ASSERT_EQ(inj.faults().size(), 1u);
+    EXPECT_EQ(inj.faults()[0].cls, FaultClass::kDeadPlane);
+    EXPECT_TRUE(inj.planeDead(3)) << "permanent damage survives the storm";
+    // Transient queries all read clean now.
+    for (PlaneIndex p = 0; p < g.planesTotal(); ++p) {
+        EXPECT_TRUE(inj.stuckBitlines(p).empty());
+        EXPECT_DOUBLE_EQ(inj.rberMultiplier(addrInPlane(g, p)), 1.0);
+        if (p != 3)
+            EXPECT_FALSE(inj.programShouldFail(addrInPlane(g, p)));
+    }
+    EXPECT_EQ(inj.clearTransient(), 0u) << "idempotent once cleared";
+}
+
+TEST(SsdDeviceFaults, ClearTransientFaultsRestoresPlaneState)
+{
+    SsdDevice dev(SsdConfig::tiny());
+    FaultSpec stuck;
+    stuck.cls = FaultClass::kStuckBitline;
+    stuck.plane = 2;
+    stuck.stuckCount = 3;
+    dev.injectFault(stuck);
+    FaultSpec dead;
+    dead.cls = FaultClass::kDeadPlane;
+    dead.plane = 1;
+    dev.injectFault(dead);
+
+    const PlaneCoord c2 = planeCoord(dev.geometry(), 2);
+    ASSERT_EQ(dev.chipAt(c2.channel, c2.chip)
+                  .plane(c2.die, c2.plane)
+                  .stuckBitlines()
+                  .size(),
+              3u);
+
+    EXPECT_EQ(dev.clearTransientFaults(), 1u);
+    EXPECT_TRUE(dev.chipAt(c2.channel, c2.chip)
+                    .plane(c2.die, c2.plane)
+                    .stuckBitlines()
+                    .empty())
+        << "stuck bitlines lift with the storm";
+    const PlaneCoord c1 = planeCoord(dev.geometry(), 1);
+    EXPECT_FALSE(
+        dev.chipAt(c1.channel, c1.chip).planeOperational(c1.die, c1.plane))
+        << "a dead plane is permanent";
+}
+
 TEST(SsdDeviceFaults, InjectDeadPlaneMarksChipPlane)
 {
     SsdDevice dev(SsdConfig::tiny());

@@ -27,6 +27,7 @@ auditedConfig()
     cfg.media.scrubWordlinesPerPass = 64;
     cfg.rain.enabled = true;
     cfg.sched.traceEnabled = true;
+    cfg.health.enabled = true;
     return cfg;
 }
 
@@ -67,7 +68,7 @@ TEST(Invariants, CleanAuditAfterMixedWorkload)
     mixedWorkload(dev, seededPages(cfg, 48, 0xBEEF));
     const InvariantReport r = dev.auditInvariants();
     EXPECT_TRUE(r.ok()) << r.describe();
-    EXPECT_EQ(r.suitesRun, 4u); // ftl, sched, rain, media
+    EXPECT_EQ(r.suitesRun, 5u); // ftl, sched, rain, media, health
     EXPECT_GT(r.checksRun, 0u);
 }
 
@@ -76,13 +77,14 @@ TEST(Invariants, RegistryListsDeviceSuites)
     SsdConfig cfg = auditedConfig();
     SsdDevice dev(cfg);
     const std::vector<std::string> names = dev.invariantRegistry().names();
-    ASSERT_EQ(names.size(), 4u);
+    ASSERT_EQ(names.size(), 5u);
     EXPECT_EQ(names[0], "ftl");
     EXPECT_EQ(names[1], "sched");
     EXPECT_EQ(names[2], "rain");
     EXPECT_EQ(names[3], "media");
+    EXPECT_EQ(names[4], "health");
 
-    // Without RAIN the suite is simply absent, not a stub.
+    // Without RAIN or health the suites are simply absent, not stubs.
     SsdConfig plain = SsdConfig::tiny();
     SsdDevice small(plain);
     EXPECT_EQ(small.invariantRegistry().names(),
@@ -125,6 +127,45 @@ TEST(Invariants, RainParityCorruptionFiresStripeXorId)
     InvariantReport r;
     ASSERT_TRUE(dev.invariantRegistry().runSuite("rain", r));
     EXPECT_TRUE(r.has("rain.parity.stripe_xor")) << r.describe();
+}
+
+TEST(Invariants, HealthPressureCorruptionFiresBudgetRangeId)
+{
+    SsdConfig cfg = auditedConfig();
+    cfg.invariants.auditInterval = 0;
+    SsdDevice dev(cfg);
+    mixedWorkload(dev, seededPages(cfg, 16, 0x8EA1));
+    ASSERT_NE(dev.health(), nullptr);
+    ASSERT_TRUE(dev.health()->debugCorruptPressure());
+    InvariantReport r;
+    ASSERT_TRUE(dev.invariantRegistry().runSuite("health", r));
+    EXPECT_TRUE(r.has("health.budget.range")) << r.describe();
+}
+
+TEST(Invariants, HealthForgedPowerLostTransitionFiresPowerlostId)
+{
+    SsdConfig cfg = auditedConfig();
+    cfg.invariants.auditInterval = 0;
+    SsdDevice dev(cfg);
+    mixedWorkload(dev, seededPages(cfg, 16, 0x8EA2));
+    ASSERT_NE(dev.health(), nullptr);
+    ASSERT_TRUE(dev.health()->debugForgeTransitionWhilePowerLost());
+    InvariantReport r;
+    ASSERT_TRUE(dev.invariantRegistry().runSuite("health", r));
+    EXPECT_TRUE(r.has("health.transition.powerlost")) << r.describe();
+}
+
+TEST(Invariants, HealthReadOnlyAdmitCorruptionFiresWritesId)
+{
+    SsdConfig cfg = auditedConfig();
+    cfg.invariants.auditInterval = 0;
+    SsdDevice dev(cfg);
+    mixedWorkload(dev, seededPages(cfg, 16, 0x8EA3));
+    ASSERT_NE(dev.health(), nullptr);
+    ASSERT_TRUE(dev.health()->debugCorruptReadOnlyAdmit());
+    InvariantReport r;
+    ASSERT_TRUE(dev.invariantRegistry().runSuite("health", r));
+    EXPECT_TRUE(r.has("health.readonly.writes")) << r.describe();
 }
 
 TEST(Invariants, CorruptionSurfacesOnDeviceAudit)

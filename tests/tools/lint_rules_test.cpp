@@ -285,6 +285,47 @@ TEST(LintMetricName, AllowsConformingNamesAndNonLiteralConstruction)
         "metric-name"));
 }
 
+TEST(LintBoundedRetry, FlagsUncappedRetryLoops)
+{
+    // Magic-number bound: the cap must be named.
+    EXPECT_TRUE(hasRule(
+        lintCpp("for (int attempt = 0; attempt < 3; ++attempt) {}\n"),
+        "bounded-retry"));
+    // Unbounded while driven by a retry predicate.
+    EXPECT_TRUE(hasRule(
+        lintCpp("while (shouldRetry(st)) { resend(); }\n"),
+        "bounded-retry"));
+    // Requeue spelling counts as retry flavour.
+    EXPECT_TRUE(hasRule(
+        lintCpp("while (requeuePending()) { pump(); }\n"),
+        "bounded-retry"));
+}
+
+TEST(LintBoundedRetry, AllowsNamedCapsTablesAndPlainLoops)
+{
+    // The real FTL program-retry shape: a named constant cap.
+    EXPECT_FALSE(hasRule(
+        lintCpp("for (int attempt = 0; attempt < kMaxProgramRetries; "
+                "++attempt) {}\n"),
+        "bounded-retry"));
+    // A config-named budget.
+    EXPECT_FALSE(hasRule(
+        lintCpp("while (t.attempts < retry_.maxRequeues) { again(); }\n"),
+        "bounded-retry"));
+    // Range-for over a fixed retry ladder is bounded by construction.
+    EXPECT_FALSE(hasRule(
+        lintCpp("for (const RetryRung &r : kRetryLadder) { apply(r); }\n"),
+        "bounded-retry"));
+    // Loops that never speak of retrying are out of scope.
+    EXPECT_FALSE(hasRule(
+        lintCpp("for (int i = 0; i < 3; ++i) { work(i); }\n"),
+        "bounded-retry"));
+    EXPECT_FALSE(hasRule(
+        lintCpp("for (int attempt = 0; attempt < 3; ++attempt) {} "
+                "// lint:allow(bounded-retry)\n"),
+        "bounded-retry"));
+}
+
 TEST(LintJson, RendersFindings)
 {
     const auto fs = lintCpp("delete p;\n");

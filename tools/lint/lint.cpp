@@ -160,6 +160,7 @@ class Linter
     void checkDurations();
     void checkTimelineBooking();
     void checkMetricNames();
+    void checkBoundedRetry();
     void checkRawStderr();
     void checkNewDelete();
     void checkEnumSwitchDefault();
@@ -298,6 +299,82 @@ Linter::checkMetricNames()
                     "\" must be 2-4 lowercase dotted segments "
                     "(<subsystem>.<noun>[.<qualifier>]), each matching "
                     "[a-z][a-z0-9_]*");
+    }
+}
+
+void
+Linter::checkBoundedRetry()
+{
+    // A loop that retries must say how often: its header has to name a
+    // cap (kMaxProgramRetries, retry_.maxRequeues, budget...), because
+    // a bare literal goes stale silently and an unbounded loop hangs
+    // the device under a fault storm.  Range-for over a fixed table (a
+    // retry ladder) is bounded by construction.
+    static const char *const kLoops[] = {"for", "while"};
+    static const char *const kFlavors[] = {"retry", "retri", "requeue",
+                                           "attempt"};
+    static const char *const kCaps[] = {"max", "cap", "budget", "limit",
+                                        "bound"};
+    for (const char *kw : kLoops) {
+        for (std::size_t p = findWord(code_, kw, 0);
+             p != std::string::npos; p = findWord(code_, kw, p + 1)) {
+            const std::size_t open = code_.find_first_not_of(
+                " \t\n", p + std::string(kw).size());
+            if (open == std::string::npos || code_[open] != '(')
+                continue;
+            int depth = 0;
+            std::size_t close = open;
+            for (; close < code_.size(); ++close) {
+                if (code_[close] == '(')
+                    ++depth;
+                else if (code_[close] == ')' && --depth == 0)
+                    break;
+            }
+            if (close >= code_.size())
+                continue;
+            std::string header =
+                code_.substr(open + 1, close - open - 1);
+            std::transform(header.begin(), header.end(), header.begin(),
+                           [](unsigned char c) {
+                               return static_cast<char>(std::tolower(c));
+                           });
+
+            // Range-for: a top-level ':' that is not part of '::'.
+            if (kw[0] == 'f') {
+                bool range_for = false;
+                for (std::size_t i = 0; i < header.size(); ++i) {
+                    if (header[i] != ':')
+                        continue;
+                    if ((i + 1 < header.size() && header[i + 1] == ':') ||
+                        (i > 0 && header[i - 1] == ':')) {
+                        ++i;
+                        continue;
+                    }
+                    range_for = true;
+                    break;
+                }
+                if (range_for)
+                    continue;
+            }
+
+            const bool retry_flavored = std::any_of(
+                std::begin(kFlavors), std::end(kFlavors),
+                [&](const char *t) {
+                    return header.find(t) != std::string::npos;
+                });
+            if (!retry_flavored)
+                continue;
+            const bool capped = std::any_of(
+                std::begin(kCaps), std::end(kCaps), [&](const char *t) {
+                    return header.find(t) != std::string::npos;
+                });
+            if (!capped)
+                add(lineOfOffset(code_, p), "bounded-retry",
+                    "retry/requeue loop without a named cap; bound it "
+                    "with a config- or constant-named budget (e.g. "
+                    "kMaxProgramRetries, retry_.maxRequeues) so the "
+                    "retry ceiling is visible and tunable");
+        }
     }
 }
 
@@ -513,6 +590,7 @@ Linter::run()
     checkDurations();
     checkTimelineBooking();
     checkMetricNames();
+    checkBoundedRetry();
     checkRawStderr();
     checkNewDelete();
     checkEnumSwitchDefault();

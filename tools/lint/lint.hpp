@@ -41,6 +41,14 @@
  *    <subsystem>.<noun>[.<qualifier>] convention — 2 to 4 lowercase
  *    dotted segments — so dashboards and snapshot diffs can group by
  *    prefix.
+ *  - bounded-retry: a loop whose header speaks of retrying (retry /
+ *    requeue / attempt) must bound itself with a named cap (an
+ *    identifier mentioning max, cap, budget, limit or bound — e.g.
+ *    kMaxProgramRetries, retry_.maxRequeues) rather than a bare
+ *    literal or nothing at all.  An unbounded or magic-number retry
+ *    loop is exactly how a device hangs under a fault storm.
+ *    Range-for over a fixed table (a retry ladder) is bounded by
+ *    construction and exempt.
  *
  * A finding on a specific line can be suppressed with a trailing
  * `// lint:allow(<rule>)` comment; suppressions are deliberate and
