@@ -291,7 +291,12 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         std::ostringstream os;
-        os << "{\n  \"tool\": \"bench_chaos\",\n"
+        os << "{\n  \"schema_version\": 1,\n"
+           << "  \"tool\": \"bench_chaos\",\n"
+           << "  \"config\": {\"seeds\": " << seeds
+           << ", \"queues\": " << kQueues << ", \"depth\": " << kDepth
+           << ", \"preloaded_lpns\": " << kPreloadedLpns
+           << ", \"audit_interval\": " << obs.auditInterval << "},\n"
            << "  \"seeds\": " << seeds << ",\n"
            << "  \"commands_submitted\": " << sum.submitted << ",\n"
            << "  \"commands_lost\": " << sum.lost << ",\n"

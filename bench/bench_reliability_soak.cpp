@@ -12,7 +12,7 @@
  *
  * `--json FILE` writes the machine-readable report (the CI trajectory
  * file `BENCH_reliability.json`): simulated host ops/sec of wall time,
- * patrol-scrub overhead as a percentage of host flash traffic, and the
+ * the patrol-scrub share of total flash traffic, and the
  * uncorrectable-after-rebuild count (the acceptance bar is zero).
  * `--trace-out FILE` additionally re-runs one seed with the Perfetto
  * sink attached so scrub_pass / rain_rebuild spans land in the trace.
@@ -240,9 +240,13 @@ main(int argc, char **argv)
 
     const double ops_per_sec =
         sum.wallSec > 0 ? sum.hostOps / sum.wallSec : 0.0;
+    // Scrub *share* of all flash traffic, bounded to [0, 100].  The
+    // old "overhead" ratio divided patrol senses by host-booked ops
+    // alone, so a patrol-heavy soak reported >200% "overhead" — true
+    // as a ratio, useless as a percentage.
+    const double flash_traffic = sum.scrubReads + sum.hostPhysOps;
     const double scrub_pct =
-        sum.hostPhysOps > 0 ? 100.0 * sum.scrubReads / sum.hostPhysOps
-                            : 0.0;
+        flash_traffic > 0 ? 100.0 * sum.scrubReads / flash_traffic : 0.0;
 
     bench::section("per-seed runs");
     std::printf("%-6s %9s %9s %9s %8s %8s %8s %8s\n", "seed", "host ops",
@@ -257,23 +261,27 @@ main(int argc, char **argv)
 
     bench::section("aggregate");
     std::printf("  simulated host ops/sec (wall)   %12.0f\n", ops_per_sec);
-    std::printf("  scrub overhead (%% of host ops)  %12.2f\n", scrub_pct);
+    std::printf("  scrub share (%% of flash traffic)%12.2f\n", scrub_pct);
     std::printf("  uncorrectable after rebuild     %12.0f\n",
                 sum.uncorrectable);
     std::printf("  oracle mismatches               %12.0f\n",
                 sum.mismatches);
     std::printf("  all recoveries clean            %12s\n",
                 sum.recovered ? "yes" : "NO");
-    bench::note("overhead = patrol scan senses / host-booked flash ops; "
-                "the acceptance bar is zero uncorrectable and zero "
-                "mismatches");
+    bench::note("share = patrol scan senses / (patrol senses + "
+                "host-booked flash ops); the acceptance bar is zero "
+                "uncorrectable and zero mismatches");
 
     if (!json_path.empty()) {
         std::ostringstream os;
-        os << "{\n  \"tool\": \"bench_reliability_soak\",\n"
+        os << "{\n  \"schema_version\": 1,\n"
+           << "  \"tool\": \"bench_reliability_soak\",\n"
+           << "  \"config\": {\"seeds\": " << seeds
+           << ", \"steps\": " << kSteps << ", \"hot_lpns\": " << kHotLpns
+           << ", \"audit_interval\": " << obs.auditInterval << "},\n"
            << "  \"seeds\": " << seeds << ",\n"
            << "  \"sim_ops_per_sec\": " << ops_per_sec << ",\n"
-           << "  \"scrub_overhead_pct\": " << scrub_pct << ",\n"
+           << "  \"scrub_share_pct\": " << scrub_pct << ",\n"
            << "  \"uncorrectable_after_rebuild\": " << sum.uncorrectable
            << ",\n"
            << "  \"oracle_mismatches\": " << sum.mismatches << ",\n"

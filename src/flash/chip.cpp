@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "flash/latch_array.hpp"
+#include "obs/profiler.hpp"
 
 namespace parabit::flash {
 
@@ -43,6 +44,7 @@ bool
 Chip::programPage(const ChipPageAddr &a, const BitVector *data,
                   const PageOob *oob)
 {
+    PROFILE_SCOPE(obs::Subsystem::kFlashArray);
     if (plane(a.die, a.plane).dead())
         return false;
     if (faults_.programFails && faults_.programFails(a))
@@ -56,6 +58,7 @@ Chip::programPage(const ChipPageAddr &a, const BitVector *data,
 BitVector
 Chip::readPage(const ChipPageAddr &a)
 {
+    PROFILE_SCOPE(obs::Subsystem::kFlashArray);
     Block &blk = blockAt(a);
     if (blk.pageState(a.wordline, a.msb) != PageState::kValid)
         logWarn("Chip::readPage: reading a non-valid page");
@@ -71,6 +74,7 @@ bool
 Chip::eraseBlock(std::uint32_t die, std::uint32_t plane_idx,
                  std::uint32_t block)
 {
+    PROFILE_SCOPE(obs::Subsystem::kFlashArray);
     if (plane(die, plane_idx).dead())
         return false;
     if (faults_.eraseFails &&

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/profiler.hpp"
+
 namespace parabit::obs {
 
 namespace {
@@ -53,6 +55,7 @@ MetricsRegistry::histogramSlot(const std::string &name, double lo, double hi,
 std::string
 MetricsRegistry::toJson() const
 {
+    PROFILE_SCOPE(Subsystem::kObs);
     std::ostringstream os;
     os << "{\n  \"counters\": {";
     bool first = true;

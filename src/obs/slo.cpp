@@ -1,0 +1,156 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parabit::obs {
+
+QuantileSketch::QuantileSketch(double relative_error, double max_value)
+{
+    relative_error = std::max(relative_error, 1e-6);
+    gamma_ = 1.0 + relative_error;
+    invLogGamma_ = 1.0 / std::log(gamma_);
+    // Bucket i covers (gamma^i, gamma^(i+1)]; enough buckets to reach
+    // max_value, fixed from here on.
+    const double top = std::max(max_value, gamma_);
+    const auto n = static_cast<std::size_t>(
+        std::ceil(std::log(top) * invLogGamma_));
+    buckets_.assign(n + 1, 0);
+}
+
+std::size_t
+QuantileSketch::indexOf(double v) const
+{
+    // v > 1 here; ceil(log_gamma(v)) - 1 is the bucket whose range
+    // (gamma^i, gamma^(i+1)] contains v.
+    const double idx = std::ceil(std::log(v) * invLogGamma_) - 1.0;
+    if (idx < 0.0)
+        return 0;
+    const auto i = static_cast<std::size_t>(idx);
+    return std::min(i, buckets_.size() - 1);
+}
+
+void
+QuantileSketch::sample(double v)
+{
+    ++count_;
+    if (!(v > 1.0)) {
+        ++zeros_; // sub-resolution (or negative/NaN): exact zero bucket
+        return;
+    }
+    ++buckets_[indexOf(v)];
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the smallest bucket whose cumulative count covers
+    // rank ceil(q * count), ranks counted from 1.
+    const auto rank = static_cast<std::uint64_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = zeros_;
+    if (rank <= seen)
+        return 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (rank <= seen)
+            return std::pow(gamma_, static_cast<double>(i + 1));
+    }
+    return std::pow(gamma_, static_cast<double>(buckets_.size()));
+}
+
+std::uint64_t
+QuantileSketch::countAbove(double threshold) const
+{
+    if (count_ == 0)
+        return 0;
+    std::uint64_t above = 0;
+    const std::size_t from =
+        threshold > 1.0 ? indexOf(threshold) + 1 : 0;
+    for (std::size_t i = from; i < buckets_.size(); ++i)
+        above += buckets_[i];
+    return above;
+}
+
+bool
+QuantileSketch::merge(const QuantileSketch &o)
+{
+    if (o.buckets_.size() != buckets_.size() || o.gamma_ != gamma_)
+        return false;
+    zeros_ += o.zeros_;
+    count_ += o.count_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    return true;
+}
+
+void
+QuantileSketch::reset()
+{
+    zeros_ = 0;
+    count_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+SloTracker::SloTracker(const std::string &prefix, const SloConfig &cfg)
+    : cfg_(cfg), p99_(prefix + ".p99_us"), p999_(prefix + ".p999_us"),
+      burn_(prefix + ".burn_rate"), violations_(prefix + ".violations"),
+      windows_(prefix + ".windows")
+{
+}
+
+void
+SloTracker::record(Tick latency, Tick at)
+{
+    if (cfg_.window > 0) {
+        // Tumbling windows on the logical clock; close every boundary
+        // the stream skipped over so gaps export too.
+        while (at >= windowStart_ + cfg_.window) {
+            closeWindow();
+            windowStart_ += cfg_.window;
+        }
+    }
+    sketch_.sample(ticks::toUs(latency));
+    ++windowSamples_;
+    if (latency > cfg_.target) {
+        ++windowViolations_;
+        ++violations_;
+    }
+}
+
+void
+SloTracker::finalize(Tick at)
+{
+    if (cfg_.window > 0) {
+        while (at >= windowStart_ + cfg_.window) {
+            closeWindow();
+            windowStart_ += cfg_.window;
+        }
+    }
+    closeWindow();
+}
+
+void
+SloTracker::closeWindow()
+{
+    ++windows_;
+    if (windowSamples_ == 0) {
+        // An empty window burns no budget and has no tail to report.
+        burn_.set(0.0);
+        return;
+    }
+    p99_.set(sketch_.quantile(0.99));
+    p999_.set(sketch_.quantile(0.999));
+    const double fraction = static_cast<double>(windowViolations_) /
+                            static_cast<double>(windowSamples_);
+    const double budget = 1.0 - cfg_.objective;
+    burn_.set(budget > 0.0 ? fraction / budget : 0.0);
+    sketch_.reset();
+    windowSamples_ = 0;
+    windowViolations_ = 0;
+}
+
+} // namespace parabit::obs

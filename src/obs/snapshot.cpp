@@ -4,12 +4,37 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace parabit::obs {
+
+namespace {
+
+/** RFC 4180 field quoting: a column holding a comma, quote, CR or LF
+ *  is wrapped in double quotes with embedded quotes doubled.  Metric
+ *  names are lint-constrained to dotted identifiers, but the series
+ *  must stay a well-formed CSV for any registered name. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
 
 void
 SnapshotSeries::record(Tick at)
 {
+    PROFILE_SCOPE(Subsystem::kObs);
     const MetricsRegistry &reg = MetricsRegistry::global();
     if (columns_.empty()) {
         for (const auto &[name, v] : reg.counters())
@@ -39,7 +64,7 @@ SnapshotSeries::toCsv() const
     std::ostringstream os;
     os << "tick";
     for (const std::string &c : columns_)
-        os << ',' << c;
+        os << ',' << csvField(c);
     os << '\n';
     for (const Row &r : rows_) {
         os << r.at;

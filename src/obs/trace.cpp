@@ -3,6 +3,8 @@
 #include <fstream>
 #include <memory>
 
+#include "obs/profiler.hpp"
+
 namespace parabit::obs {
 
 namespace {
@@ -141,6 +143,42 @@ TraceSink::asyncEnd(TrackId t, const std::string &cat,
 }
 
 void
+TraceSink::flowEvent(Kind kind, TrackId t, const std::string &cat,
+                     const std::string &name, std::uint64_t id, Tick at)
+{
+    Event e;
+    e.kind = kind;
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.ts = at;
+    e.id = id;
+    e.name = name;
+    e.cat = cat;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::flowStart(TrackId t, const std::string &cat,
+                     const std::string &name, std::uint64_t id, Tick at)
+{
+    flowEvent(Kind::kFlowStart, t, cat, name, id, at);
+}
+
+void
+TraceSink::flowStep(TrackId t, const std::string &cat,
+                    const std::string &name, std::uint64_t id, Tick at)
+{
+    flowEvent(Kind::kFlowStep, t, cat, name, id, at);
+}
+
+void
+TraceSink::flowEnd(TrackId t, const std::string &cat,
+                   const std::string &name, std::uint64_t id, Tick at)
+{
+    flowEvent(Kind::kFlowEnd, t, cat, name, id, at);
+}
+
+void
 TraceSink::appendEvent(std::string &out, const Event &e) const
 {
     out += "{\"ph\":\"";
@@ -157,6 +195,15 @@ TraceSink::appendEvent(std::string &out, const Event &e) const
       case Kind::kAsyncEnd:
         out += 'e';
         break;
+      case Kind::kFlowStart:
+        out += 's';
+        break;
+      case Kind::kFlowStep:
+        out += 't';
+        break;
+      case Kind::kFlowEnd:
+        out += 'f';
+        break;
     }
     out += "\",\"pid\":";
     out += std::to_string(e.pid);
@@ -170,7 +217,9 @@ TraceSink::appendEvent(std::string &out, const Event &e) const
         out += ",\"dur\":";
         appendTicksAsUs(out, e.dur);
     }
-    if (e.kind == Kind::kAsyncBegin || e.kind == Kind::kAsyncEnd) {
+    if (e.kind == Kind::kAsyncBegin || e.kind == Kind::kAsyncEnd ||
+        e.kind == Kind::kFlowStart || e.kind == Kind::kFlowStep ||
+        e.kind == Kind::kFlowEnd) {
         out += ",\"cat\":\"";
         appendEscaped(out, e.cat);
         out += "\",\"id\":\"";
@@ -207,6 +256,7 @@ TraceSink::appendEvent(std::string &out, const Event &e) const
 std::string
 TraceSink::toJson() const
 {
+    PROFILE_SCOPE(Subsystem::kObs);
     std::string out = "{\"traceEvents\":[\n";
     for (std::size_t i = 0; i < events_.size(); ++i) {
         if (i)

@@ -12,7 +12,13 @@
  *    scan) — the parabit-trace validator rejects overlap there;
  *  - async "b"/"e" pairs (matched by category + id within a process)
  *    are used for logically concurrent work (in-flight host commands,
- *    ParaBit formulas), which may overlap freely.
+ *    ParaBit formulas), which may overlap freely;
+ *  - flow events ("s"/"t"/"f", matched globally by category + id) link
+ *    one NVMe command's async span to every DeviceTransaction span that
+ *    served it: the host emits the start at submission and the finish
+ *    at completion, the scheduler emits one step per booked phase on
+ *    the resource track that executed it.  parabit-trace's
+ *    flow-linkage check validates the stitching.
  *
  * Timestamps: the simulator Tick is a picosecond count; Chrome expects
  * microseconds.  ts/dur are rendered with pure integer arithmetic at
@@ -33,6 +39,12 @@
 #include "common/units.hpp"
 
 namespace parabit::obs {
+
+/** Flow category/name binding one NVMe command's async span to the
+ *  DeviceTransaction spans that served it (host emits s/f, scheduler
+ *  emits t; the id is the host-allocated attribution token). */
+inline constexpr const char *kNvmeFlowCat = "nvme_flow";
+inline constexpr const char *kNvmeFlowName = "nvme_cmd";
 
 /** One (process, thread) pair; value type, cheap to copy. */
 struct TrackId
@@ -80,6 +92,19 @@ class TraceSink
     void asyncEnd(TrackId t, const std::string &cat,
                   const std::string &name, std::uint64_t id, Tick at);
 
+    /**
+     * Flow events "s" (start) / "t" (step) / "f" (finish), matched by
+     * (@p cat, @p id) across every process.  One start, any number of
+     * steps with non-decreasing timestamps, one finish; a step placed
+     * at the ts of an "X" span binds the flow to that span.
+     */
+    void flowStart(TrackId t, const std::string &cat,
+                   const std::string &name, std::uint64_t id, Tick at);
+    void flowStep(TrackId t, const std::string &cat,
+                  const std::string &name, std::uint64_t id, Tick at);
+    void flowEnd(TrackId t, const std::string &cat,
+                 const std::string &name, std::uint64_t id, Tick at);
+
     std::size_t eventCount() const { return events_.size(); }
     std::size_t trackCount() const { return tids_.size(); }
 
@@ -99,7 +124,13 @@ class TraceSink
         kComplete,
         kAsyncBegin,
         kAsyncEnd,
+        kFlowStart,
+        kFlowStep,
+        kFlowEnd,
     };
+
+    void flowEvent(Kind kind, TrackId t, const std::string &cat,
+                   const std::string &name, std::uint64_t id, Tick at);
 
     struct Event
     {

@@ -7,8 +7,44 @@
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
 #include "ssd/health.hpp"
+#include "ssd/sched/scheduler.hpp"
 
 namespace parabit::core {
+
+namespace {
+
+/** Stage axis of the obs.latency.<class>.<stage> histogram family. */
+enum CmdStage : std::size_t
+{
+    kStageTotal = 0, ///< submission -> terminal completion
+    kStageSqWait,    ///< submission -> device fetch
+    kStageQueue,     ///< scheduler-queue wait (contention)
+    kStageCmd,
+    kStageXferIn,
+    kStageArray,
+    kStageXferOut,
+    kStageSuspend, ///< suspend + resume transition overhead
+    kNumCmdStages,
+};
+
+const char *const kStageNames[kNumCmdStages] = {
+    "total",   "sq_wait", "queue",    "cmd",
+    "xfer_in", "array",   "xfer_out", "suspend",
+};
+
+} // namespace
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::kRead: return "read";
+      case OpClass::kWrite: return "write";
+      case OpClass::kFlush: return "flush";
+      case OpClass::kFormula: return "formula";
+    }
+    return "?";
+}
 
 HostInterface::HostInterface(ParaBitDevice &dev, std::uint16_t num_queues,
                              std::uint16_t depth, Mode mode)
@@ -22,6 +58,17 @@ HostInterface::HostInterface(ParaBitDevice &dev, std::uint16_t num_queues,
     tickets_.resize(num_queues);
     results_.resize(num_queues);
     attempts_.resize(num_queues);
+    stageHist_.reserve(static_cast<std::size_t>(kNumOpClasses) *
+                       kNumCmdStages);
+    for (int c = 0; c < kNumOpClasses; ++c) {
+        for (std::size_t s = 0; s < kNumCmdStages; ++s) {
+            stageHist_.emplace_back(
+                std::string("obs.latency.") +
+                    opClassName(static_cast<OpClass>(c)) + "." +
+                    kStageNames[s],
+                0.0, 10000.0, 100);
+        }
+    }
 }
 
 namespace {
@@ -50,7 +97,113 @@ cmdName(nvme::Opcode op)
     return "?";
 }
 
+OpClass
+opClassOf(nvme::Opcode op)
+{
+    switch (op) {
+      case nvme::Opcode::kFlush: return OpClass::kFlush;
+      case nvme::Opcode::kWrite: return OpClass::kWrite;
+      case nvme::Opcode::kRead: return OpClass::kRead;
+    }
+    return OpClass::kRead;
+}
+
 } // namespace
+
+bool
+HostInterface::attributionOn() const
+{
+    return obs::MetricsRegistry::global().enabled() ||
+           obs::TraceSink::global() != nullptr;
+}
+
+std::optional<std::uint64_t>
+HostInterface::beginAttribution()
+{
+    if (!attributionOn())
+        return std::nullopt;
+    const std::uint64_t token = nextCmdToken_++;
+    dev_->ssd().scheduler().beginCommandAttribution(token);
+    return token;
+}
+
+void
+HostInterface::endAttribution(const std::optional<std::uint64_t> &token)
+{
+    if (token)
+        dev_->ssd().scheduler().endCommandAttribution();
+}
+
+void
+HostInterface::noteFlowStart(std::uint16_t qid, std::uint64_t token, Tick at)
+{
+    obs::TraceSink *sink = obs::TraceSink::global();
+    if (sink == nullptr)
+        return;
+    const obs::TrackId t =
+        sink->track("host", "queue " + std::to_string(qid));
+    sink->flowStart(t, obs::kNvmeFlowCat, obs::kNvmeFlowName, token, at);
+}
+
+void
+HostInterface::noteFlowEnd(std::uint16_t qid, std::uint64_t token, Tick at)
+{
+    obs::TraceSink *sink = obs::TraceSink::global();
+    if (sink == nullptr)
+        return;
+    const obs::TrackId t =
+        sink->track("host", "queue " + std::to_string(qid));
+    sink->flowEnd(t, obs::kNvmeFlowCat, obs::kNvmeFlowName, token, at);
+}
+
+void
+HostInterface::recordStages(OpClass cls, Tick submitted_at, Tick started,
+                            Tick done, const ssd::sched::StageTicks *st)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(cls) * kNumCmdStages;
+    stageHist_[base + kStageTotal].sample(ticks::toUs(done - submitted_at));
+    stageHist_[base + kStageSqWait].sample(
+        ticks::toUs(started - submitted_at));
+    if (st == nullptr)
+        return;
+    using PK = ssd::sched::PhaseKind;
+    const auto booked = [&](PK k) {
+        return st->phase[static_cast<std::size_t>(k)];
+    };
+    stageHist_[base + kStageQueue].sample(ticks::toUs(st->queueWait));
+    stageHist_[base + kStageCmd].sample(ticks::toUs(booked(PK::kCmd)));
+    stageHist_[base + kStageXferIn].sample(ticks::toUs(booked(PK::kXferIn)));
+    stageHist_[base + kStageArray].sample(ticks::toUs(booked(PK::kArray)));
+    stageHist_[base + kStageXferOut].sample(
+        ticks::toUs(booked(PK::kXferOut)));
+    stageHist_[base + kStageSuspend].sample(
+        ticks::toUs(booked(PK::kSuspend) + booked(PK::kResume)));
+}
+
+void
+HostInterface::noteSlo(OpClass cls, Tick latency, Tick at)
+{
+    const auto &t = slo_[static_cast<std::size_t>(cls)];
+    if (t)
+        t->record(latency, at);
+}
+
+void
+HostInterface::setSlo(OpClass cls, const obs::SloConfig &cfg)
+{
+    slo_[static_cast<std::size_t>(cls)] = std::make_unique<obs::SloTracker>(
+        std::string("obs.slo.") + opClassName(cls), cfg);
+}
+
+void
+HostInterface::finalizeSlo()
+{
+    for (const auto &t : slo_) {
+        if (t)
+            t->finalize(dev_->now());
+    }
+}
 
 void
 HostInterface::noteCmdSpan(std::uint16_t qid, const char *name, Tick start,
@@ -212,6 +365,9 @@ HostInterface::pump()
         ssd::sched::TxGroup group;
         std::uint16_t status;
         Tick submittedNow; ///< device clock at submission (fallback)
+        /** Attribution token bracketing this command's scheduler
+         *  submissions (set only while metrics/tracing are on). */
+        std::optional<std::uint64_t> token;
     };
     std::vector<DeferredPlain> deferred;
 
@@ -230,6 +386,22 @@ HostInterface::pump()
         for (DeferredPlain &d : deferred) {
             const Tick done =
                 dev_->ssd().groupCompletion(d.group, d.submittedNow);
+            const OpClass cls = opClassOf(d.f.cmd.opcode());
+            if (d.token) {
+                const ssd::sched::StageTicks stages =
+                    dev_->ssd().scheduler().takeCommandStages(*d.token);
+                // Flush never touches the scheduler: only total and
+                // SQ-wait are meaningful for it.  The flow start is
+                // emitted here rather than at submission — buffered
+                // events carry explicit timestamps, so ordering in the
+                // buffer is irrelevant.
+                recordStages(cls, d.f.submittedAt, d.submittedNow, done,
+                             d.group.empty() ? nullptr : &stages);
+                if (!d.group.empty()) {
+                    noteFlowStart(d.qid, *d.token, d.f.submittedAt);
+                    noteFlowEnd(d.qid, *d.token, done);
+                }
+            }
             auto &attempts = attempts_.at(d.qid);
             std::uint32_t attempt = 0;
             if (const auto it = attempts.find(d.f.cid);
@@ -246,6 +418,7 @@ HostInterface::pump()
                 noteCmdSpan(d.qid, cmdName(d.f.cmd.opcode()),
                             d.f.submittedAt, deadline,
                             nvme::kCommandAborted);
+                noteSlo(cls, deadline - d.f.submittedAt, deadline);
                 const auto cid = qps_[d.qid].submit(
                     d.f.cmd, done + requeueDelay(attempt + 1));
                 if (!cid)
@@ -259,6 +432,7 @@ HostInterface::pump()
             qps_[d.qid].complete(d.f.cid, d.f.submittedAt, done, d.status);
             noteCmdSpan(d.qid, cmdName(d.f.cmd.opcode()), d.f.submittedAt,
                         done, d.status);
+            noteSlo(cls, done - d.f.submittedAt, done);
             if (health && d.status == nvme::kUnrecoveredReadError)
                 health->noteUncorrectable();
             ++retired;
@@ -324,9 +498,21 @@ HostInterface::pump()
                         ++retired;
                         continue;
                     }
+                    const Tick started =
+                        std::max(dev_->now(), p.f.submittedAt);
+                    const auto token = beginAttribution();
                     ExecResult r = dev_->controller().executeBatches(
-                        batches, mode_,
-                        std::max(dev_->now(), p.f.submittedAt));
+                        batches, mode_, started);
+                    endAttribution(token);
+                    if (token) {
+                        const ssd::sched::StageTicks stages =
+                            dev_->ssd().scheduler().takeCommandStages(
+                                *token);
+                        recordStages(OpClass::kFormula, p.f.submittedAt,
+                                     started, r.stats.end, &stages);
+                        noteFlowStart(p.qid, *token, p.f.submittedAt);
+                        noteFlowEnd(p.qid, *token, r.stats.end);
+                    }
                     const Tick deadline =
                         p.f.submittedAt + retry_.commandTimeout;
                     if (retry_.commandTimeout > 0 &&
@@ -342,6 +528,8 @@ HostInterface::pump()
                                              nvme::kCommandAborted);
                         noteCmdSpan(p.qid, "formula", p.f.submittedAt,
                                     deadline, nvme::kCommandAborted);
+                        noteSlo(OpClass::kFormula,
+                                deadline - p.f.submittedAt, deadline);
                         const Tick at =
                             r.stats.end + requeueDelay(t.attempts + 1);
                         std::uint16_t last = 0;
@@ -369,6 +557,8 @@ HostInterface::pump()
                                          r.stats.end, status);
                     noteCmdSpan(p.qid, "formula", p.f.submittedAt,
                                 r.stats.end, status);
+                    noteSlo(OpClass::kFormula,
+                            r.stats.end - p.f.submittedAt, r.stats.end);
                     ++retired;
                 }
                 continue;
@@ -392,6 +582,8 @@ HostInterface::pump()
                     status = nvme::kInternalError;
                 DeferredPlain d{p.qid, std::move(p.f), {}, status,
                                 std::max(dev_->now(), ready)};
+                if (attributionOn())
+                    d.token = nextCmdToken_++;
                 deferred.push_back(std::move(d));
                 flushDeferred(); // empty group: completes at dev_->now()
                 continue;
@@ -408,7 +600,9 @@ HostInterface::pump()
                 } else {
                     std::vector<ssd::PhysOp> ops;
                     dev_->ssd().ftl().readPage(lpn, ops);
+                    d.token = beginAttribution();
                     d.group = dev_->ssd().submitOps(ops, ready);
+                    endAttribution(d.token);
                 }
             } else if (health && !health->admitWrite()) {
                 // Read-only device: refuse new data it might not be
@@ -425,7 +619,9 @@ HostInterface::pump()
                 std::vector<ssd::PhysOp> ops;
                 const bool wrote =
                     dev_->ssd().ftl().writePage(lpn, nullptr, ops);
+                d.token = beginAttribution();
                 d.group = dev_->ssd().submitOps(ops, ready);
+                endAttribution(d.token);
                 if (!wrote)
                     d.status = nvme::kInternalError;
             }

@@ -17,8 +17,10 @@
 #ifndef PARABIT_PARABIT_HOST_INTERFACE_HPP_
 #define PARABIT_PARABIT_HOST_INTERFACE_HPP_
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -27,9 +29,28 @@
 #include "nvme/parser.hpp"
 #include "nvme/queue.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "parabit/device.hpp"
 
+namespace parabit::ssd::sched {
+struct StageTicks;
+}
+
 namespace parabit::core {
+
+/** Host-visible command class, the unit of latency attribution and SLO
+ *  tracking (obs.latency.* / obs.slo.* metric families). */
+enum class OpClass : std::uint8_t
+{
+    kRead = 0,
+    kWrite,
+    kFlush,
+    kFormula,
+};
+
+inline constexpr int kNumOpClasses = 4;
+
+const char *opClassName(OpClass c);
 
 /** Host-visible result of a finished command/formula. */
 struct QueuedCompletion
@@ -169,6 +190,30 @@ class HostInterface
     void setAdmissionLimit(std::uint16_t limit) { admissionLimit_ = limit; }
     std::uint16_t admissionLimit() const { return admissionLimit_; }
 
+    /** @name Latency SLOs (obs/slo.hpp). */
+    /// @{
+
+    /**
+     * Track @p cfg for @p cls completions under the "obs.slo.<class>"
+     * metric prefix.  Windows advance on the *simulated* clock; served
+     * completions (successes, media errors, watchdog aborts) are
+     * recorded, admission-refused ones (kAdmissionShed and a degraded
+     * device's formula gate) are not — refusing work must not improve
+     * or poison the latency objective.
+     */
+    void setSlo(OpClass cls, const obs::SloConfig &cfg);
+
+    /** Close any open SLO window at the current device time so the
+     *  exported gauges cover the tail of the run. */
+    void finalizeSlo();
+
+    /** The tracker for @p cls, or nullptr when setSlo was never called. */
+    const obs::SloTracker *slo(OpClass cls) const
+    {
+        return slo_[static_cast<std::size_t>(cls)].get();
+    }
+    /// @}
+
     std::uint64_t timeouts() const { return timeouts_.value(); }
     std::uint64_t requeues() const { return requeues_.value(); }
     /** Commands refused by the admission controller or a degraded
@@ -184,6 +229,30 @@ class HostInterface
      *  events because in-flight commands of one queue overlap. */
     void noteCmdSpan(std::uint16_t qid, const char *name, Tick start,
                      Tick end, std::uint16_t status);
+
+    /** @name Command-lifecycle attribution (see DESIGN "Observability").
+     * When metrics or tracing are on, each executed command gets a
+     * token bracketing its scheduler submissions; the per-stage ticks
+     * the scheduler aggregates under that token feed the obs.latency.*
+     * histograms, and flow events stitch the command's async span to
+     * the device spans that served it.  With both off, no token is
+     * allocated and the hot path costs one branch.
+     */
+    /// @{
+    bool attributionOn() const;
+    /** Open an attribution bracket; nullopt when attribution is off. */
+    std::optional<std::uint64_t> beginAttribution();
+    void endAttribution(const std::optional<std::uint64_t> &token);
+    void noteFlowStart(std::uint16_t qid, std::uint64_t token, Tick at);
+    void noteFlowEnd(std::uint16_t qid, std::uint64_t token, Tick at);
+    /** Sample the obs.latency.<class>.* histograms for one command:
+     *  total (submit -> completion), sq_wait (submit -> fetch), and —
+     *  when @p st is non-null — the scheduler-side stage breakdown. */
+    void recordStages(OpClass cls, Tick submitted_at, Tick started,
+                      Tick done, const ssd::sched::StageTicks *st);
+    /** Record a served completion into @p cls's SLO tracker, if any. */
+    void noteSlo(OpClass cls, Tick latency, Tick at);
+    /// @}
 
     /** Backoff before re-submission number @p attempt (1-based):
      *  backoffBase * 2^(attempt-1) plus seeded jitter; 0 when the
@@ -229,6 +298,10 @@ class HostInterface
      *  consumed; a cid absent from the map is on its first attempt. */
     std::vector<std::unordered_map<std::uint16_t, std::uint32_t>> attempts_;
     std::uint64_t nextCmdSpanId_ = 0; ///< async trace span ids
+    std::uint64_t nextCmdToken_ = 0;  ///< attribution tokens / flow ids
+    /** obs.latency.<class>.<stage>, kNumCmdStages per class. */
+    std::vector<obs::Hist> stageHist_;
+    std::array<std::unique_ptr<obs::SloTracker>, kNumOpClasses> slo_;
 };
 
 } // namespace parabit::core

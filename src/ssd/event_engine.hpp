@@ -64,6 +64,11 @@ class EventEngine
     /** Pending event count. */
     std::size_t pending() const { return queue_.size(); }
 
+    /** Events executed across every engine in this process (engines
+     *  are per-drain throwaways); bench_simspeed's events/sec
+     *  denominator.  Monotonic, never reset. */
+    static std::uint64_t processExecuted();
+
   private:
     struct Event
     {

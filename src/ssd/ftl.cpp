@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 #include "ssd/health.hpp"
 #include "ssd/rain.hpp"
 
@@ -500,6 +501,7 @@ Ftl::allocatePairOrGc(PlaneIndex plane, std::vector<PhysOp> &ops)
 bool
 Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
 {
+    PROFILE_SCOPE(obs::Subsystem::kFtl);
     if (lpn >= logicalPages_)
         fatal("Ftl::writePage: LPN beyond logical capacity");
     BitVector whitened;
@@ -544,6 +546,7 @@ Ftl::writePage(Lpn lpn, const BitVector *data, std::vector<PhysOp> &ops)
 BitVector
 Ftl::readPage(Lpn lpn, std::vector<PhysOp> &ops)
 {
+    PROFILE_SCOPE(obs::Subsystem::kFtl);
     auto it = map_.find(lpn);
     if (it == map_.end())
         fatal("Ftl::readPage: unmapped LPN");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 
 namespace parabit::ssd::sched {
 
@@ -87,10 +88,11 @@ TransactionScheduler::setTraceSink(obs::TraceSink *sink)
 }
 
 void
-TransactionScheduler::noteSpan(std::size_t res, const TxState &st,
+TransactionScheduler::noteSpan(std::size_t res, TxState &st,
                                PhaseKind kind, Tick start, Tick end)
 {
     const Resource &r = resources_[res];
+    st.stages.phase[static_cast<std::size_t>(kind)] += end - start;
     if (cfg_.traceEnabled)
     {
         trace_.push_back({st.id, r.onChannel, r.index, kind, start, end});
@@ -100,6 +102,15 @@ TransactionScheduler::noteSpan(std::size_t res, const TxState &st,
         sink_->span(resourceTracks_[res], phaseKindName(kind), start, end,
                     {{"tx", std::to_string(st.id), false},
                      {"class", txClassName(st.tx.cls), true}});
+        const auto it = cmdOf_.find(st.id);
+        if (it != cmdOf_.end())
+        {
+            // The step lands exactly on the span's start ts, which is
+            // what binds the command's flow to this span in Perfetto
+            // (and what the flow-linkage check verifies).
+            sink_->flowStep(resourceTracks_[res], obs::kNvmeFlowCat,
+                            obs::kNvmeFlowName, it->second, start);
+        }
     }
 }
 
@@ -169,11 +180,18 @@ TransactionScheduler::submit(const DeviceTransaction &tx)
         txs_.clear();
         completions_.clear();
         trace_.clear();
+        // Command tags refer to batch-local tx ids; stage aggregates in
+        // cmdStages_ survive (a formula command spans several drains).
+        cmdOf_.clear();
         batchOpen_ = true;
     }
     TxState st;
     st.tx = tx;
     st.id = nextId_++;
+    if (curCmd_)
+    {
+        cmdOf_[st.id] = *curCmd_;
+    }
     buildPhases(st);
     ++submitted_;
 
@@ -202,6 +220,7 @@ TransactionScheduler::submit(const DeviceTransaction &tx)
 Tick
 TransactionScheduler::drain()
 {
+    PROFILE_SCOPE(obs::Subsystem::kSched);
     batchOpen_ = false;
     bool anyPending = false;
     for (const TxState &st : txs_)
@@ -342,6 +361,9 @@ TransactionScheduler::startEntry(std::size_t res, std::size_t qIdx)
     run.payloadStart = run.start + overhead;
     run.plannedEnd = run.payloadStart + payload;
     run.isResume = e.isResume;
+    // Queue wait: how long the phase sat ready but unserved (resource
+    // contention / arbitration), as opposed to booked work time.
+    txs_[e.txIdx].stages.queueWait += run.start - e.earliest;
     r.busy = true;
     r.running = run;
 
@@ -468,6 +490,13 @@ TransactionScheduler::finishTx(TxState &st, Tick end)
     st.complete = end;
     completions_[st.id] = end;
     ++completedCount_;
+    const auto cmd = cmdOf_.find(st.id);
+    if (cmd != cmdOf_.end())
+    {
+        StageTicks &agg = cmdStages_[cmd->second];
+        agg.add(st.stages);
+        ++agg.txCount;
+    }
     const auto cls = static_cast<std::size_t>(st.tx.cls);
     // Tick is picoseconds; the registry histogram is bucketed in us.
     latencyHist_[cls].sample(static_cast<double>(end - st.tx.readyAt) /
@@ -476,6 +505,19 @@ TransactionScheduler::finishTx(TxState &st, Tick end)
     {
         latency_[cls].sample(static_cast<double>(end - st.tx.readyAt));
     }
+}
+
+StageTicks
+TransactionScheduler::takeCommandStages(std::uint64_t token)
+{
+    const auto it = cmdStages_.find(token);
+    if (it == cmdStages_.end())
+    {
+        return StageTicks{};
+    }
+    StageTicks out = it->second;
+    cmdStages_.erase(it);
+    return out;
 }
 
 Tick

@@ -26,10 +26,12 @@
 #ifndef PARABIT_SSD_SCHED_SCHEDULER_HPP_
 #define PARABIT_SSD_SCHED_SCHEDULER_HPP_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +59,34 @@ struct TraceEntry
     PhaseKind kind = PhaseKind::kArray;
     Tick start = 0;
     Tick end = 0;
+};
+
+/**
+ * Where a transaction's (or a whole host command's) ticks went: booked
+ * time per phase kind plus the time its phases sat in a resource queue
+ * beyond their dependency-readiness (the "scheduler queue" stage of
+ * the command lifecycle).  Aggregated per host command via the
+ * attribution scope (beginCommandAttribution / takeCommandStages).
+ */
+struct StageTicks
+{
+    /** Sum over phases of (booking start - phase earliest): time lost
+     *  to arbitration and resource contention. */
+    Tick queueWait = 0;
+    /** Booked ticks per PhaseKind (cmd, xfer_in, array, xfer_out,
+     *  suspend, resume), indexed by the enum. */
+    std::array<Tick, 6> phase{};
+    /** Device transactions aggregated in. */
+    std::uint64_t txCount = 0;
+
+    void
+    add(const StageTicks &o)
+    {
+        queueWait += o.queueWait;
+        for (std::size_t i = 0; i < phase.size(); ++i)
+            phase[i] += o.phase[i];
+        txCount += o.txCount;
+    }
 };
 
 /** Per-transaction outcome of the last drained batch. */
@@ -145,6 +175,24 @@ class TransactionScheduler
     /** Per-transaction records of the last drained batch. */
     std::vector<TxRecord> records() const;
 
+    /** @name Host-command attribution
+     * The host interface brackets the submissions serving one NVMe
+     * command with begin/end; every transaction submitted inside the
+     * bracket is tagged with @p token, and its stage breakdown folds
+     * into the command's StageTicks at completion.  Accumulation
+     * survives batch restarts (a formula command spans several drains);
+     * takeCommandStages reads and erases, so memory stays bounded by
+     * in-flight commands.  Tokens are host-allocated and must be unique
+     * per command lifetime.
+     */
+    /// @{
+    void beginCommandAttribution(std::uint64_t token) { curCmd_ = token; }
+    void endCommandAttribution() { curCmd_.reset(); }
+    /** Aggregated stages for @p token (default-initialized if unknown);
+     *  erases the entry. */
+    StageTicks takeCommandStages(std::uint64_t token);
+    /// @}
+
     /** @name Invariant audit (common/invariant.hpp). */
     /// @{
 
@@ -193,6 +241,7 @@ class TransactionScheduler
         int suspends = 0;
         Tick forceAt = 0; ///< set at first suspension
         bool done = false;
+        StageTicks stages; ///< where this transaction's ticks went
     };
 
     struct QEntry
@@ -232,8 +281,11 @@ class TransactionScheduler
     std::string dieTrackName(std::uint32_t plane_ordinal) const;
 
     /** Record one booked interval in the TraceEntry log (traceEnabled)
-     *  and on the attached TraceSink track (if any). */
-    void noteSpan(std::size_t res, const TxState &st, PhaseKind kind,
+     *  and on the attached TraceSink track (if any), accumulate it into
+     *  @p st's stage breakdown, and — when @p st belongs to an
+     *  attributed host command — emit a flow step binding the span to
+     *  the command's NVMe flow. */
+    void noteSpan(std::size_t res, TxState &st, PhaseKind kind,
                   Tick start, Tick end);
 
     void buildPhases(TxState &st) const;
@@ -265,6 +317,12 @@ class TransactionScheduler
     EventEngine *eng_ = nullptr; ///< valid only inside drain()
     std::uint64_t nextId_ = 0;
     bool batchOpen_ = false;
+
+    std::optional<std::uint64_t> curCmd_; ///< open attribution bracket
+    /** tx id -> command token, for the current batch. */
+    std::unordered_map<std::uint64_t, std::uint64_t> cmdOf_;
+    /** command token -> aggregated stages (until takeCommandStages). */
+    std::unordered_map<std::uint64_t, StageTicks> cmdStages_;
 
     obs::Counter submitted_;
     obs::Counter completedCount_;

@@ -114,6 +114,32 @@ TEST(Metrics, JsonDumpContainsInstruments)
     EXPECT_NE(json.find("\"buckets\": [1,1]"), std::string::npos);
 }
 
+TEST(Metrics, JsonDumpIsSortedAndByteStable)
+{
+    // The dump is diffed across runs and committed as a CI trajectory
+    // artifact, so key order must be lexicographic regardless of
+    // registration order and two identical registries must render
+    // byte-identically.
+    std::string first, second;
+    for (std::string *out : {&first, &second}) {
+        RegistryScope scope;
+        Counter z("z.last");
+        Counter a("a.first");
+        Gauge m("m.middle");
+        z += 9;
+        a += 1;
+        m.set(2.25);
+        *out = MetricsRegistry::global().toJson();
+    }
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+    const std::size_t a_at = first.find("\"a.first\"");
+    const std::size_t z_at = first.find("\"z.last\"");
+    ASSERT_NE(a_at, std::string::npos);
+    ASSERT_NE(z_at, std::string::npos);
+    EXPECT_LT(a_at, z_at);
+}
+
 TEST(Metrics, LateEnableDoesNotRetrofitHandles)
 {
     // A handle built while disabled must stay local even if the

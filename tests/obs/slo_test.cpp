@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for SLO tracking: the deterministic quantile sketch
+ * (accuracy bound, merge, reproducibility) and the windowed tracker
+ * (violation counts, burn rate, tumbling windows on the logical
+ * clock).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace parabit::obs {
+namespace {
+
+TEST(QuantileSketch, QuantilesWithinRelativeErrorBound)
+{
+    QuantileSketch s(0.01);
+    for (int v = 1; v <= 10000; ++v)
+        s.sample(static_cast<double>(v));
+    EXPECT_EQ(s.count(), 10000u);
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact = q * 10000.0;
+        const double got = s.quantile(q);
+        // Log-bucketed: answer within gamma of the true value, plus
+        // one nearest-rank step.
+        EXPECT_NEAR(got, exact, exact * 0.03 + 1.0)
+            << "q=" << q << " got=" << got;
+    }
+}
+
+TEST(QuantileSketch, CountAboveIsExactAtBucketBoundaries)
+{
+    QuantileSketch s(0.01);
+    for (int v = 0; v < 100; ++v)
+        s.sample(v < 90 ? 10.0 : 1e6);
+    EXPECT_EQ(s.countAbove(1000.0), 10u);
+    EXPECT_EQ(s.countAbove(1e9), 0u);
+}
+
+TEST(QuantileSketch, SameStreamSameSketch)
+{
+    QuantileSketch a(0.01), b(0.01);
+    for (int v = 1; v <= 1000; ++v) {
+        a.sample(static_cast<double>(v * 7 % 997));
+        b.sample(static_cast<double>(v * 7 % 997));
+    }
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(QuantileSketch, MergeMatchesUnion)
+{
+    QuantileSketch a(0.01), b(0.01), u(0.01);
+    for (int v = 1; v <= 500; ++v) {
+        a.sample(static_cast<double>(v));
+        u.sample(static_cast<double>(v));
+    }
+    for (int v = 501; v <= 1000; ++v) {
+        b.sample(static_cast<double>(v));
+        u.sample(static_cast<double>(v));
+    }
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.count(), u.count());
+    for (double q : {0.25, 0.5, 0.75, 0.99})
+        EXPECT_EQ(a.quantile(q), u.quantile(q));
+}
+
+TEST(QuantileSketch, MergeRefusesShapeMismatch)
+{
+    QuantileSketch a(0.01), b(0.02);
+    b.sample(5.0);
+    EXPECT_FALSE(a.merge(b));
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(SloTracker, CountsViolationsAndBurnRate)
+{
+    SloConfig cfg;
+    cfg.target = ticks::fromUs(100);
+    cfg.objective = 0.9; // 10% error budget
+    cfg.window = 0;      // one run-length window
+    SloTracker t("obs.slo.test", cfg);
+    // 20 completions, 4 over target: 20% violations on a 10% budget.
+    for (int i = 0; i < 16; ++i)
+        t.record(ticks::fromUs(50), 1000 * (i + 1));
+    for (int i = 0; i < 4; ++i)
+        t.record(ticks::fromUs(200), 1000 * (17 + i));
+    t.finalize(ticks::fromUs(1000));
+    EXPECT_EQ(t.windowsClosed(), 1u);
+    EXPECT_EQ(t.violations(), 4u);
+    EXPECT_NEAR(t.burnRate(), 2.0, 1e-9);
+    // p99 of the window lands in the violating population.
+    EXPECT_GT(t.windowP99Us(), 100.0);
+}
+
+TEST(SloTracker, TumblingWindowsCloseOnTheLogicalClock)
+{
+    SloConfig cfg;
+    cfg.target = ticks::fromUs(100);
+    cfg.objective = 0.99;
+    cfg.window = ticks::fromUs(1000);
+    SloTracker t("obs.slo.test2", cfg);
+    // Window 1: all fast.  Window 2: all slow.
+    for (int i = 0; i < 8; ++i)
+        t.record(ticks::fromUs(10), ticks::fromUs(100 * (i + 1)));
+    EXPECT_EQ(t.violations(), 0u); // window 1 was clean
+    for (int i = 0; i < 8; ++i)
+        t.record(ticks::fromUs(500), ticks::fromUs(1100 + 100 * i));
+    EXPECT_EQ(t.windowsClosed(), 1u); // first boundary crossed
+    // Finalize just shy of the next boundary: closes the partial
+    // second window without tacking on an empty third.
+    t.finalize(ticks::fromUs(1999));
+    EXPECT_EQ(t.windowsClosed(), 2u);
+    EXPECT_EQ(t.violations(), 8u);
+    EXPECT_GT(t.burnRate(), 1.0);
+}
+
+TEST(SloTracker, ExportsThroughTheRegistry)
+{
+    MetricsRegistry::global().setEnabled(true);
+    {
+        SloConfig cfg;
+        cfg.target = ticks::fromUs(100);
+        cfg.window = 0;
+        SloTracker t("obs.slo.reg", cfg);
+        t.record(ticks::fromUs(250), 500);
+        t.finalize(1000);
+        const std::string json = MetricsRegistry::global().toJson();
+        EXPECT_NE(json.find("\"obs.slo.reg.violations\": 1"),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"obs.slo.reg.windows\": 1"),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"obs.slo.reg.p99_us\""), std::string::npos);
+    }
+    MetricsRegistry::global().setEnabled(false);
+    MetricsRegistry::global().clear();
+}
+
+} // namespace
+} // namespace parabit::obs

@@ -73,6 +73,46 @@ TEST(Snapshot, ColumnsFreezeAtFirstRecord)
     EXPECT_EQ(series.size(), 2u);
 }
 
+TEST(Snapshot, CsvEscapesHostileColumnNames)
+{
+    RegistryScope scope;
+    // Metric names with CSV metacharacters are illegal by the lint
+    // naming rule, but the renderer must not corrupt the file even if
+    // one slips through (RFC 4180: quote, double embedded quotes).
+    Counter comma("snap.evil,name");
+    Counter quote("snap.evil\"name");
+    ++comma;
+    ++quote;
+    SnapshotSeries series;
+    series.record(10);
+    const std::string csv = series.toCsv();
+    EXPECT_NE(csv.find("\"snap.evil,name\""), std::string::npos);
+    EXPECT_NE(csv.find("\"snap.evil\"\"name\""), std::string::npos);
+    // Header row still has exactly tick + 2 columns on the first line
+    // (registry order is lexicographic; '"' sorts before ',').
+    const std::string header = csv.substr(0, csv.find('\n'));
+    EXPECT_EQ(header, "tick,\"snap.evil\"\"name\",\"snap.evil,name\"");
+}
+
+TEST(Snapshot, SameStreamRendersByteIdenticalCsv)
+{
+    std::string first, second;
+    for (std::string *out : {&first, &second}) {
+        RegistryScope scope;
+        Counter c("snap.det");
+        Gauge g("snap.det_gauge");
+        SnapshotSeries series;
+        for (Tick t = 100; t <= 500; t += 100) {
+            c += 7;
+            g.set(static_cast<double>(t) * 0.25);
+            series.record(t);
+        }
+        *out = series.toCsv();
+    }
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 TEST(Snapshot, SamplerRecordsOnTheLogicalClock)
 {
     RegistryScope scope;

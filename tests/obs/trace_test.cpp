@@ -75,6 +75,27 @@ TEST(TraceSink, AsyncPairCarriesCatIdName)
     EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
 }
 
+TEST(TraceSink, FlowEventsRenderStepAndTerminus)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    const TrackId die = sink.track("dies", "d0");
+    sink.flowStart(host, kNvmeFlowCat, kNvmeFlowName, 7, 1000000);
+    sink.flowStep(die, kNvmeFlowCat, kNvmeFlowName, 7, 2000000);
+    sink.flowEnd(host, kNvmeFlowCat, kNvmeFlowName, 7, 3000000);
+    const std::string json = sink.toJson();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    // All three carry the shared cat/id the viewer stitches on, and the
+    // step lands on the die track's coordinates.
+    EXPECT_NE(json.find("\"cat\":\"nvme_flow\",\"id\":\"7\","
+                        "\"name\":\"nvme_cmd\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\",\"pid\":2,\"tid\":2,\"ts\":2,"),
+              std::string::npos);
+}
+
 TEST(TraceSink, MetadataNamesProcessesAndThreads)
 {
     TraceSink sink;

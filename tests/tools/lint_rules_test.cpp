@@ -136,6 +136,44 @@ TEST(LintNondeterminism, AllowsSeededRngAndOperands)
                          "nondeterminism"));
 }
 
+TEST(LintNondeterminism, WallClockBannedInSimulatorSources)
+{
+    for (const char *read :
+         {"auto t = std::chrono::steady_clock::now();\n",
+          "auto t = std::chrono::system_clock::now();\n",
+          "auto t = std::chrono::high_resolution_clock::now();\n"})
+        EXPECT_TRUE(hasRule(lintCpp(read), "nondeterminism")) << read;
+}
+
+TEST(LintNondeterminism, WallClockAllowedWhereSanctioned)
+{
+    // The self-profiler TU (and tools/benches, which the tree walker
+    // marks the same way) may read the clock; seeded-randomness bans
+    // still apply there.
+    SourceInfo info;
+    info.wallClockAllowed = true;
+    EXPECT_FALSE(hasRule(
+        lintSource("obs/profiler.cpp",
+                   "auto t = std::chrono::steady_clock::now();\n", info),
+        "nondeterminism"));
+    EXPECT_TRUE(hasRule(lintSource("obs/profiler.cpp",
+                                   "std::random_device rd;\n", info),
+                        "nondeterminism"));
+}
+
+TEST(LintNondeterminism, WallClockSuppressibleWithAllow)
+{
+    EXPECT_FALSE(
+        hasRule(lintCpp("auto t = std::chrono::steady_clock::now(); "
+                        "// lint:allow(nondeterminism)\n"),
+                "nondeterminism"));
+    // Comments and string literals never trigger the rule.
+    EXPECT_FALSE(hasRule(
+        lintCpp("// std::chrono::steady_clock::now() is banned here\n"
+                "const char *s = \"steady_clock::now()\";\n"),
+        "nondeterminism"));
+}
+
 TEST(LintGuard, EnforcesCanonicalGuard)
 {
     const std::string good = "#ifndef PARABIT_FLASH_SAMPLE_HPP_\n"

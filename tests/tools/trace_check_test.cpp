@@ -144,6 +144,86 @@ TEST(TraceCheck, AllowsSuspendResumeCycles)
     EXPECT_TRUE(r.ok()) << toJson(r);
 }
 
+TEST(TraceCheck, AcceptsLinkedFlow)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    const TrackId ch = sink.track("channels", "channel 0");
+    const TrackId die = sink.track("dies", "d0");
+    sink.span(ch, "cmd", 1000000, 2000000, {{"tx", "3", false}});
+    sink.span(die, "array", 2000000, 6000000, {{"tx", "3", false}});
+    sink.span(ch, "xfer_out", 6000000, 7000000, {{"tx", "3", false}});
+    sink.flowStart(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 11, 0);
+    sink.flowStep(ch, obs::kNvmeFlowCat, obs::kNvmeFlowName, 11, 1000000);
+    sink.flowStep(die, obs::kNvmeFlowCat, obs::kNvmeFlowName, 11, 2000000);
+    sink.flowEnd(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 11, 8000000);
+    const CheckResult r = checkTrace(sink.toJson());
+    EXPECT_TRUE(r.ok()) << toJson(r);
+    EXPECT_EQ(r.stats.flows, 1u);
+    EXPECT_EQ(r.stats.flowSteps, 2u);
+}
+
+TEST(TraceCheck, AcceptsSteplessFlow)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    sink.flowStart(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 4, 0);
+    sink.flowEnd(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 4, 1000000);
+    const CheckResult r = checkTrace(sink.toJson());
+    EXPECT_TRUE(r.ok()) << toJson(r);
+    EXPECT_EQ(r.stats.flows, 1u);
+    EXPECT_EQ(r.stats.flowSteps, 0u);
+}
+
+TEST(TraceCheck, RejectsDanglingFlowStart)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    sink.flowStart(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 5, 0);
+    const CheckResult r = checkTrace(sink.toJson());
+    EXPECT_TRUE(hasFinding(r, "flow-linkage"));
+}
+
+TEST(TraceCheck, RejectsFlowStepOutsideWindow)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    const TrackId ch = sink.track("channels", "channel 0");
+    sink.span(ch, "cmd", 9000000, 10000000, {{"tx", "6", false}});
+    sink.flowStart(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 6, 0);
+    // Step at the span start, but after the flow already finished.
+    sink.flowStep(ch, obs::kNvmeFlowCat, obs::kNvmeFlowName, 6, 9000000);
+    sink.flowEnd(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 6, 5000000);
+    const CheckResult r = checkTrace(sink.toJson());
+    EXPECT_TRUE(hasFinding(r, "flow-linkage"));
+}
+
+TEST(TraceCheck, RejectsFlowStepOffSpanStart)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    const TrackId ch = sink.track("channels", "channel 0");
+    sink.span(ch, "cmd", 1000000, 3000000, {{"tx", "8", false}});
+    sink.flowStart(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 8, 0);
+    // Step in the middle of the span, not at its start: the binding
+    // the attribution protocol promises is broken.
+    sink.flowStep(ch, obs::kNvmeFlowCat, obs::kNvmeFlowName, 8, 2000000);
+    sink.flowEnd(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 8, 4000000);
+    const CheckResult r = checkTrace(sink.toJson());
+    EXPECT_TRUE(hasFinding(r, "flow-linkage"));
+}
+
+TEST(TraceCheck, RejectsFlowStepOffResourceTracks)
+{
+    TraceSink sink;
+    const TrackId host = sink.track("host", "queue 0");
+    sink.flowStart(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 9, 0);
+    sink.flowStep(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 9, 500000);
+    sink.flowEnd(host, obs::kNvmeFlowCat, obs::kNvmeFlowName, 9, 1000000);
+    const CheckResult r = checkTrace(sink.toJson());
+    EXPECT_TRUE(hasFinding(r, "flow-linkage"));
+}
+
 TEST(TraceCheck, ReportJsonRoundTrips)
 {
     TraceSink sink;

@@ -488,13 +488,25 @@ Linter::checkNondeterminism()
     static const Banned banned[] = {
         {"srand", "seed the simulator RNG (common/rng.hpp) instead"},
         {"random_device", "nondeterministic entropy; use common/rng.hpp"},
-        {"system_clock", "wall-clock time breaks byte-reproducibility"},
-        {"steady_clock", "wall-clock time breaks byte-reproducibility"},
+    };
+    // Wall-clock reads are banned only where reproducibility is at
+    // stake: the simulator proper.  The self-profiler TU measures the
+    // simulator itself and is the sanctioned home for them.
+    static const Banned wallClock[] = {
+        {"system_clock", "wall-clock time breaks byte-reproducibility; "
+                         "profiling belongs in obs/profiler.cpp"},
+        {"steady_clock", "wall-clock time breaks byte-reproducibility; "
+                         "profiling belongs in obs/profiler.cpp"},
         {"high_resolution_clock",
-         "wall-clock time breaks byte-reproducibility"},
+         "wall-clock time breaks byte-reproducibility; "
+         "profiling belongs in obs/profiler.cpp"},
     };
     for (const Banned &b : banned)
         forEachWord(b.token, "nondeterminism", b.why);
+    if (!info_.wallClockAllowed) {
+        for (const Banned &b : wallClock)
+            forEachWord(b.token, "nondeterminism", b.why);
+    }
     // std::rand specifically (plain rand() is caught via srand seeding
     // being required anyway, and matching bare "rand" would false-trip
     // on identifiers like operand extraction helpers).
@@ -643,6 +655,7 @@ lintTree(const std::string &root)
                                rel.rfind("ssd/sched/", 0) == 0 ||
                                rel == "ssd/timeline.hpp" ||
                                rel == "ssd/timeline.cpp";
+        info.wallClockAllowed = prefix_base || rel == "obs/profiler.cpp";
         if (f.extension() == ".cpp") {
             fs::path header = f;
             header.replace_extension(".hpp");

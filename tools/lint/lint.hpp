@@ -18,8 +18,14 @@
  *    swallow newly added enumerators that -Wswitch would otherwise
  *    surface (e.g. a new BitwiseOp or ExecStatus).
  *  - nondeterminism: the simulator is seeded and byte-reproducible;
- *    std::rand, srand, std::random_device and wall-clock time sources
- *    are banned (common/rng.hpp is the only randomness source).
+ *    std::rand, srand and std::random_device are banned everywhere
+ *    (common/rng.hpp is the only randomness source), and wall-clock
+ *    reads (system_clock, steady_clock, high_resolution_clock) are
+ *    banned in src/ outside the self-profiler's translation unit
+ *    (obs/profiler.cpp) — the one component whose whole job is
+ *    measuring host time.  Tools and benches are exempt from the
+ *    wall-clock leg; a deliberate exception elsewhere takes a
+ *    `// lint:allow(nondeterminism)`.
  *  - include-guard: headers carry the canonical PARABIT_<PATH>_HPP_
  *    guard so copy-pasted guards can never collide.
  *  - first-include: a .cpp's first include is its own header, which
@@ -88,6 +94,9 @@ struct SourceInfo
     /** File may use the Timeline type directly (the scheduler subsystem
      *  and ssd/timeline.hpp itself). */
     bool timelineAllowed = false;
+    /** File may read wall-clock time sources (the self-profiler TU,
+     *  tools and benches); seeded randomness stays banned regardless. */
+    bool wallClockAllowed = false;
 };
 
 /**

@@ -86,7 +86,9 @@ main(int argc, char **argv)
     if (!quiet) {
         std::cout << "parabit-trace: OK — " << result.stats.events
                   << " events, " << result.stats.spans << " spans, "
-                  << result.stats.asyncPairs << " async pairs on "
+                  << result.stats.asyncPairs << " async pairs, "
+                  << result.stats.flows << " flows ("
+                  << result.stats.flowSteps << " steps) on "
                   << result.stats.tracks << " tracks across "
                   << result.stats.processes << " processes, 0 findings\n";
     }

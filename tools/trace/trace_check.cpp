@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 namespace parabit::tracecheck {
@@ -352,6 +354,7 @@ class TraceChecker
         checkAsyncPairs();
         checkTrackSpans();
         checkPhaseOrder();
+        checkFlowLinkage();
         return std::move(result_);
     }
 
@@ -445,6 +448,31 @@ class TraceChecker
             }
             spans_[{pid, tid}].push_back(std::move(s));
             ++result_.stats.spans;
+            return;
+        }
+        if (ph == "s" || ph == "t" || ph == "f") {
+            std::string cat;
+            std::string id;
+            std::string name;
+            std::uint64_t ts = 0;
+            if (!readString(e, "cat", cat) || !readString(e, "id", id) ||
+                !readString(e, "name", name) || !readTime(e, "ts", ts)) {
+                add("json", at + ": flow event without cat/id/name/ts");
+                return;
+            }
+            // Flows bind across processes, so the key has no pid.
+            Flow &f = flows_[cat + ":" + id];
+            if (ph == "s") {
+                ++f.starts;
+                f.startTs = ts;
+                f.startName = name;
+            } else if (ph == "f") {
+                ++f.finishes;
+                f.finishTs = ts;
+                f.finishName = name;
+            } else {
+                f.steps.push_back(FlowStep{ts, pid, tid, index, name});
+            }
             return;
         }
         if (ph == "b" || ph == "e") {
@@ -603,6 +631,63 @@ class TraceChecker
         }
     }
 
+    void
+    checkFlowLinkage()
+    {
+        // Span starts on resource tracks, the only legal step anchors.
+        std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>
+            anchors;
+        for (const auto &[track, spans] : spans_) {
+            if (!resourceTrack(track.first))
+                continue;
+            for (const Span &s : spans)
+                anchors.insert({track.first, track.second, s.ts});
+        }
+        for (const auto &[key, f] : flows_) {
+            if (f.starts != 1 || f.finishes != 1) {
+                add("flow-linkage",
+                    "flow " + key + ": " + std::to_string(f.starts) +
+                        " start(s), " + std::to_string(f.finishes) +
+                        " finish(es); want exactly one of each");
+                continue;
+            }
+            if (f.startName != f.finishName)
+                add("flow-linkage", "flow " + key + ": start name \"" +
+                                        f.startName + "\" != finish name \"" +
+                                        f.finishName + "\"");
+            if (f.finishTs < f.startTs)
+                add("flow-linkage",
+                    "flow " + key + ": finishes before it starts");
+            for (const FlowStep &st : f.steps) {
+                if (st.name != f.startName)
+                    add("flow-linkage",
+                        "flow " + key + ": step name \"" + st.name +
+                            "\" (event " + std::to_string(st.eventIndex) +
+                            ") differs from flow name \"" + f.startName +
+                            "\"");
+                if (st.ts < f.startTs || st.ts > f.finishTs)
+                    add("flow-linkage",
+                        "flow " + key + ": step at event " +
+                            std::to_string(st.eventIndex) +
+                            " lies outside [start, finish]");
+                if (!resourceTrack(st.pid)) {
+                    add("flow-linkage",
+                        "flow " + key + ": step at event " +
+                            std::to_string(st.eventIndex) +
+                            " is not on a resource track");
+                } else if (!anchors.count({st.pid, st.tid, st.ts})) {
+                    add("flow-linkage",
+                        "flow " + key + ": step at event " +
+                            std::to_string(st.eventIndex) +
+                            " does not coincide with the start of a span "
+                            "on its track");
+                }
+            }
+            ++result_.stats.flows;
+            result_.stats.flowSteps += f.steps.size();
+        }
+    }
+
     struct AsyncPair
     {
         int begins = 0;
@@ -613,6 +698,26 @@ class TraceChecker
         std::string endName;
     };
 
+    struct FlowStep
+    {
+        std::uint64_t ts = 0;
+        std::uint64_t pid = 0;
+        std::uint64_t tid = 0;
+        std::size_t eventIndex = 0;
+        std::string name;
+    };
+
+    struct Flow
+    {
+        int starts = 0;
+        int finishes = 0;
+        std::uint64_t startTs = 0;
+        std::uint64_t finishTs = 0;
+        std::string startName;
+        std::string finishName;
+        std::vector<FlowStep> steps;
+    };
+
     CheckResult result_;
     std::map<std::uint64_t, std::string> processNames_;
     std::map<std::pair<std::uint64_t, std::uint64_t>, std::string>
@@ -620,6 +725,7 @@ class TraceChecker
     std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Span>>
         spans_;
     std::map<std::string, AsyncPair> asyncs_;
+    std::map<std::string, Flow> flows_;
 };
 
 } // namespace
@@ -647,6 +753,8 @@ toJson(const CheckResult &r)
        << (r.ok() ? "true" : "false") << ",\n  \"stats\": {\"events\": "
        << r.stats.events << ", \"spans\": " << r.stats.spans
        << ", \"asyncPairs\": " << r.stats.asyncPairs
+       << ", \"flows\": " << r.stats.flows
+       << ", \"flowSteps\": " << r.stats.flowSteps
        << ", \"tracks\": " << r.stats.tracks
        << ", \"processes\": " << r.stats.processes
        << "},\n  \"findings\": [";

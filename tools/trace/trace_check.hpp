@@ -23,6 +23,13 @@
  *    scheduler's phase machine — cmd, then xfer_in, then the array
  *    portion (with optional suspend/resume cycles), then xfer_out —
  *    and only known phase names appear on resource tracks.
+ *  - flow-linkage: every flow (events "s"/"t"/"f", matched globally by
+ *    cat + id) has exactly one start and one finish with a consistent
+ *    name, every step's timestamp lies within [start, finish], and
+ *    every step lands on a resource track at the exact start of an
+ *    "X" span there — the stitching that attributes each NVMe command
+ *    to the device transactions that served it.  Step-less flows are
+ *    legal (a command whose phases all collapsed to zero duration).
  */
 
 #ifndef PARABIT_TOOLS_TRACE_TRACE_CHECK_HPP_
@@ -47,6 +54,8 @@ struct TraceStats
     std::size_t events = 0;     ///< total trace events
     std::size_t spans = 0;      ///< "X" complete events
     std::size_t asyncPairs = 0; ///< matched b/e pairs
+    std::size_t flows = 0;      ///< matched s/f flow pairs
+    std::size_t flowSteps = 0;  ///< "t" events across all flows
     std::size_t tracks = 0;     ///< named threads (thread_name metadata)
     std::size_t processes = 0;  ///< named processes
 };
